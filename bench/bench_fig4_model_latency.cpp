@@ -1,0 +1,49 @@
+// Fig. 4: whole-model latency vs op count for random models sampled from two
+// supernet backbones on two MCUs — the paper's central observation that
+// latency is linear in ops within a backbone (0.95 < r^2 < 0.99).
+#include "bench_util.hpp"
+#include "charac/charac.hpp"
+
+using namespace mn;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_args(argc, argv);
+  bench::print_header("Fig. 4: model latency vs ops, random models from two backbones");
+  const int count = opt.full ? 1000 : 250;
+
+  const std::vector<int> w{16, 16, 10, 16, 14, 12};
+  bench::print_row({"backbone", "device", "models", "slope(s/Mop)", "Mops/s", "r^2"}, w);
+
+  double kws_mops = 0, cifar_mops = 0;
+  for (const charac::Backbone bb :
+       {charac::Backbone::kCifar10Cnn, charac::Backbone::kKwsDsCnn}) {
+    for (const mcu::Device* dev : {&mcu::stm32f446re(), &mcu::stm32f746zg()}) {
+      const charac::LatencySweep sweep =
+          charac::characterize_model_latency(*dev, bb, count, opt.seed);
+      bench::print_row({charac::backbone_name(bb), dev->name, std::to_string(count),
+                        bench::fmt(sweep.fit.slope * 1e6, 5),
+                        bench::fmt(sweep.mops_per_s, 1), bench::fmt(sweep.fit.r2, 4)},
+                       w);
+      if (dev == &mcu::stm32f746zg()) {
+        if (bb == charac::Backbone::kKwsDsCnn) kws_mops = sweep.mops_per_s;
+        else cifar_mops = sweep.mops_per_s;
+      }
+    }
+  }
+
+  bench::print_subheader("paper claims");
+  std::printf("  - latency linear in ops within a backbone: 0.95 < r^2 < 0.99\n");
+  bench::print_vs_paper("KWS vs CIFAR10 backbone throughput", kws_mops / cifar_mops,
+                        1.40, "x");
+  std::printf("  - STM32F746ZG ~2x faster than STM32F446RE (slopes above)\n");
+
+  bench::print_subheader("sample points (KWS backbone, STM32F746ZG)");
+  const charac::LatencySweep sweep = charac::characterize_model_latency(
+      mcu::stm32f746zg(), charac::Backbone::kKwsDsCnn, 12, opt.seed + 1);
+  bench::print_row({"ops(M)", "latency(ms)"}, {12, 14});
+  for (const auto& p : sweep.points)
+    bench::print_row({bench::fmt(static_cast<double>(p.ops) / 1e6, 2),
+                      bench::fmt(p.latency_s * 1e3, 2)},
+                     {12, 14});
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 5: measured power and energy of random image-classification models on
+// two MCUs — power is essentially independent of the model (sigma/mu ~ 0.007)
+// so energy per inference is linear in ops, and the smaller MCU uses less
+// energy despite higher latency.
+#include "bench_util.hpp"
+#include "charac/charac.hpp"
+
+using namespace mn;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_args(argc, argv);
+  bench::print_header("Fig. 5: power & energy of 400 random CIFAR10-backbone models");
+  const int count = opt.full ? 1000 : 400;
+
+  const std::vector<int> w{16, 14, 14, 14, 12};
+  bench::print_row({"device", "mean P (W)", "sigma/mu", "energy r^2", "J per Gop"}, w);
+  charac::EnergySweep small_sweep, medium_sweep;
+  for (const mcu::Device* dev : {&mcu::stm32f446re(), &mcu::stm32f746zg()}) {
+    const charac::EnergySweep sweep = charac::characterize_energy(
+        *dev, charac::Backbone::kCifar10Cnn, count, opt.seed);
+    bench::print_row({dev->name, bench::fmt(sweep.power.mean, 3),
+                      bench::fmt(sweep.power.cv(), 5),
+                      bench::fmt(sweep.energy_fit.r2, 4),
+                      bench::fmt(sweep.energy_fit.slope * 1e9, 2)},
+                     w);
+    if (dev == &mcu::stm32f446re()) small_sweep = sweep;
+    else medium_sweep = sweep;
+  }
+
+  bench::print_subheader("vs paper");
+  bench::print_vs_paper("power sigma/mu (F446RE)", small_sweep.power.cv(), 0.00731, "");
+  std::printf("  - executing the same model on the smaller MCU reduces energy\n"
+              "    despite higher latency:\n");
+  bench::print_vs_paper("energy slope ratio S/M", small_sweep.energy_fit.slope /
+                                                      medium_sweep.energy_fit.slope,
+                        0.166 / 0.445 * 2.0, "");
+
+  bench::print_subheader("sample energy points (STM32F446RE)");
+  bench::print_row({"ops(M)", "power(W)", "energy(mJ)"}, {12, 12, 12});
+  for (size_t i = 0; i < small_sweep.points.size(); i += small_sweep.points.size() / 10) {
+    const auto& p = small_sweep.points[i];
+    bench::print_row({bench::fmt(static_cast<double>(p.ops) / 1e6, 2),
+                      bench::fmt(p.power_w, 4), bench::fmt(p.energy_j * 1e3, 2)},
+                     {12, 12, 12});
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Fig. 8: VWW results — MicroNets vs ProxylessNAS / MSNet / the TFLM person
+// detection reference. Footprints from the full-size architectures; accuracy
+// from width-scaled proxies on the synthetic person/no-person task.
+#include "bench_util.hpp"
+#include "datasets/vww.hpp"
+#include "tensor/stats.hpp"
+
+using namespace mn;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_args(argc, argv);
+  bench::print_header("Fig. 8: VWW pareto — MicroNet vs ProxylessNAS / MSNet / TFLM ref");
+
+  struct Row {
+    std::string name;
+    rt::MemoryReport report;
+    double lat_m = 0;
+    bool dep_s = false, dep_m = false, dep_l = false;
+    double proxy_acc = -1;
+    double paper_acc = 0;
+  };
+  std::vector<Row> rows;
+
+  models::BuildOptions bo;
+  bo.seed = opt.seed;
+  bo.qat = false;
+
+  auto add = [&](const std::string& name, nn::Graph g, Shape input,
+                 double paper_acc, bool reference_kernels = false) {
+    rt::Interpreter interp = bench::calibrated_interpreter(g, input, name);
+    Row r;
+    r.name = name;
+    r.report = interp.memory_report();
+    r.lat_m = reference_kernels
+                  ? mcu::model_latency_reference_kernels_s(mcu::stm32f746zg(),
+                                                           interp.model())
+                  : mcu::model_latency_s(mcu::stm32f746zg(), interp.model());
+    r.dep_s = mcu::check_deployable(mcu::stm32f446re(), r.report).deployable();
+    r.dep_m = mcu::check_deployable(mcu::stm32f746zg(), r.report).deployable();
+    r.dep_l = mcu::check_deployable(mcu::stm32f767zi(), r.report).deployable();
+    r.paper_acc = paper_acc;
+    rows.push_back(r);
+  };
+
+  using MS = models::ModelSize;
+  add("MicroNet-VWW-S",
+      models::build_mobilenet_v2(models::micronet_vww(MS::kS), bo), Shape{50, 50, 1},
+      79.6);
+  add("MicroNet-VWW-M",
+      models::build_mobilenet_v2(models::micronet_vww(MS::kM), bo),
+      Shape{160, 160, 1}, 87.3);
+  add("ProxylessNAS", models::build_mobilenet_v2(models::proxylessnas_vww(), bo),
+      Shape{224, 224, 3}, 94.6, /*reference_kernels=*/true);
+  add("MSNet", models::build_mobilenet_v2(models::msnet_vww(), bo),
+      Shape{224, 224, 3}, 95.13, /*reference_kernels=*/true);
+  {
+    models::MobileNetV1Config person;
+    add("TFLM-person-det", models::build_mobilenet_v1(person, bo), Shape{96, 96, 1},
+        76.0);
+  }
+  add("MobileNetV2-1.0 (search-space max)",
+      models::build_mobilenet_v2(models::mobilenet_v2(1.0, Shape{160, 160, 1}, 2), bo),
+      Shape{160, 160, 1}, 88.75);
+
+  // Accuracy proxies: MicroNet-S/M-style vs person-detection reference on the
+  // synthetic VWW task (resolution-reduced in fast mode).
+  data::VwwConfig vcfg;
+  vcfg.resolution = opt.full ? 50 : 32;
+  data::Dataset all = data::make_vww_dataset(vcfg, opt.full ? 200 : 100, opt.seed);
+  auto [train, test] = data::split(all, 0.25);
+  struct ProxySpec {
+    size_t row;
+    models::MobileNetV2Config cfg;
+    int divisor;  // the S model is already thin; halving it suffices
+  };
+  models::MobileNetV2Config s_cfg = models::micronet_vww(MS::kS);
+  s_cfg.input = train.input_shape;
+  models::MobileNetV2Config m_cfg = models::micronet_vww(MS::kM);
+  m_cfg.input = train.input_shape;
+  m_cfg.stem_stride = 1;  // keep enough spatial extent at proxy resolution
+  const int divisor = opt.full ? 2 : 4;
+  for (const ProxySpec& p :
+       {ProxySpec{0, s_cfg, opt.full ? 1 : 2}, ProxySpec{1, m_cfg, divisor}}) {
+    models::BuildOptions to;
+    to.seed = opt.seed + 3;
+    to.qat = true;
+    nn::Graph g = models::build_mobilenet_v2(bench::scale_mbv2(p.cfg, p.divisor), to);
+    nn::TrainConfig tc;
+    tc.epochs = opt.full ? 18 : 14;
+    tc.batch_size = 32;
+    tc.lr_start = 0.06;
+    tc.seed = opt.seed;
+    const bench::TrainedResult tr = bench::train_and_measure(g, train, test, tc);
+    rows[p.row].proxy_acc = tr.quant_accuracy * 100.0;
+    std::printf("  [trained %s proxy: int8 accuracy %.1f%%]\n", rows[p.row].name.c_str(),
+                rows[p.row].proxy_acc);
+  }
+
+  bench::print_subheader("results");
+  const std::vector<int> w{24, 10, 10, 12, 6, 6, 6, 10, 10};
+  bench::print_row({"model", "flash", "SRAM", "lat_M(s)", "S", "M", "L", "acc*",
+                    "paperAcc"},
+                   w);
+  for (const Row& r : rows)
+    bench::print_row({r.name, bench::fmt_kb(r.report.model_flash()),
+                      bench::fmt_kb(r.report.model_sram()),
+                      r.dep_m ? bench::fmt(r.lat_m, 3) : "ND",
+                      bench::fmt_bool(r.dep_s), bench::fmt_bool(r.dep_m),
+                      bench::fmt_bool(r.dep_l),
+                      r.proxy_acc >= 0 ? bench::fmt(r.proxy_acc, 1) : "-",
+                      bench::fmt(r.paper_acc, 1)},
+                     w);
+  std::printf("  (*) 1/%d-width proxies on the synthetic person/no-person task\n",
+              divisor);
+
+  bench::print_subheader("paper claims");
+  std::printf("  - ProxylessNAS / MSNet fit flash everywhere but their activations\n"
+              "    need the largest MCU: %s\n",
+              (!rows[2].dep_s && !rows[2].dep_m && rows[2].dep_l && !rows[3].dep_m)
+                  ? "reproduced"
+                  : "NOT reproduced");
+  std::printf("  - MicroNet-VWW-S deploys on the small MCU: %s\n",
+              rows[0].dep_s ? "reproduced" : "NOT reproduced");
+  std::printf("  - MicroNet-VWW-M is the only competitive model deployable on the\n"
+              "    medium MCU: %s\n",
+              (rows[1].dep_m && !rows[2].dep_m && !rows[3].dep_m) ? "reproduced"
+                                                                  : "NOT reproduced");
+  std::printf("  - TFLM reference deploys on S but is ~3%% less accurate than\n"
+              "    MicroNet-VWW-S (paper: 76.0 vs 79.6)\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Google-benchmark microbenchmarks of the integer kernels: int8 vs packed
+// int4 (§5.1.3: the sub-byte emulation overhead), conv vs depthwise vs FC.
+#include <benchmark/benchmark.h>
+
+#include "kernels/kernels.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mn {
+namespace {
+
+kernels::ConvGeometry conv_geom(int32_t hw, int32_t ch) {
+  kernels::ConvGeometry g;
+  g.in_h = g.in_w = hw;
+  g.in_ch = g.out_ch = ch;
+  g.out_h = g.out_w = hw;
+  g.kh = g.kw = 3;
+  g.stride = 1;
+  g.pad_h = g.pad_w = 1;
+  return g;
+}
+
+kernels::RequantParams default_rq(int bits) {
+  kernels::RequantParams rq;
+  rq.mult = quant::quantize_multiplier(0.01);
+  const quant::QRange r = quant::qrange(bits);
+  rq.act_min = r.qmin;
+  rq.act_max = r.qmax;
+  return rq;
+}
+
+void BM_Conv2D_S8(benchmark::State& state) {
+  const auto g = conv_geom(static_cast<int32_t>(state.range(0)),
+                           static_cast<int32_t>(state.range(1)));
+  Rng rng(1);
+  TensorI8 x(Shape{g.in_h, g.in_w, g.in_ch});
+  TensorI8 wgt(Shape{g.out_ch, 3, 3, g.in_ch});
+  TensorI8 y(Shape{g.out_h, g.out_w, g.out_ch});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (int64_t i = 0; i < wgt.size(); ++i) wgt[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  const auto rq = default_rq(8);
+  for (auto _ : state) {
+    kernels::conv2d_s8(x.span(), wgt.span(), {}, y.span(), g, rq);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.macs(false));
+}
+BENCHMARK(BM_Conv2D_S8)->Args({10, 32})->Args({10, 64})->Args({20, 32});
+
+void BM_Conv2D_S8_Im2col(benchmark::State& state) {
+  const auto g = conv_geom(static_cast<int32_t>(state.range(0)),
+                           static_cast<int32_t>(state.range(1)));
+  Rng rng(1);
+  TensorI8 x(Shape{g.in_h, g.in_w, g.in_ch});
+  TensorI8 wgt(Shape{g.out_ch, 3, 3, g.in_ch});
+  TensorI8 y(Shape{g.out_h, g.out_w, g.out_ch});
+  std::vector<int8_t> scratch(static_cast<size_t>(kernels::conv2d_scratch_bytes(g)));
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (int64_t i = 0; i < wgt.size(); ++i) wgt[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  const auto rq = default_rq(8);
+  for (auto _ : state) {
+    kernels::conv2d_s8_im2col(x.span(), wgt.span(), {}, y.span(), scratch, g, rq);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.macs(false));
+}
+BENCHMARK(BM_Conv2D_S8_Im2col)->Args({10, 32})->Args({10, 64})->Args({20, 32});
+
+void BM_Conv2D_S4(benchmark::State& state) {
+  const auto g = conv_geom(static_cast<int32_t>(state.range(0)),
+                           static_cast<int32_t>(state.range(1)));
+  Rng rng(2);
+  TensorI8 x(Shape{g.in_h, g.in_w, g.in_ch});
+  TensorI8 wgt(Shape{g.out_ch, 3, 3, g.in_ch});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-8, 7));
+  for (int64_t i = 0; i < wgt.size(); ++i) wgt[i] = static_cast<int8_t>(rng.uniform_int(-8, 7));
+  const auto xp = quant::pack_int4(x);
+  const auto wp = quant::pack_int4(wgt);
+  std::vector<uint8_t> yp(static_cast<size_t>(
+      kernels::packed_size_s4(int64_t{g.out_h} * g.out_w * g.out_ch)));
+  const auto rq = default_rq(4);
+  for (auto _ : state) {
+    kernels::conv2d_s4(xp, wp, {}, yp, g, rq);
+    benchmark::DoNotOptimize(yp.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.macs(false));
+}
+BENCHMARK(BM_Conv2D_S4)->Args({10, 32})->Args({10, 64});
+
+void BM_DepthwiseConv2D_S8(benchmark::State& state) {
+  auto g = conv_geom(static_cast<int32_t>(state.range(0)),
+                     static_cast<int32_t>(state.range(1)));
+  Rng rng(3);
+  TensorI8 x(Shape{g.in_h, g.in_w, g.in_ch});
+  TensorI8 wgt(Shape{3, 3, g.in_ch});
+  TensorI8 y(Shape{g.out_h, g.out_w, g.out_ch});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (int64_t i = 0; i < wgt.size(); ++i) wgt[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  const auto rq = default_rq(8);
+  for (auto _ : state) {
+    kernels::depthwise_conv2d_s8(x.span(), wgt.span(), {}, y.span(), g, rq);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.macs(true));
+}
+BENCHMARK(BM_DepthwiseConv2D_S8)->Args({10, 64})->Args({20, 64});
+
+void BM_FullyConnected_S8(benchmark::State& state) {
+  const int32_t in_f = static_cast<int32_t>(state.range(0));
+  const int32_t out_f = static_cast<int32_t>(state.range(1));
+  Rng rng(4);
+  TensorI8 x(Shape{in_f}), wgt(Shape{out_f, in_f}), y(Shape{out_f});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (int64_t i = 0; i < wgt.size(); ++i) wgt[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  const auto rq = default_rq(8);
+  for (auto _ : state) {
+    kernels::fully_connected_s8(x.span(), wgt.span(), {}, y.span(), in_f, out_f, rq);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{in_f} * out_f);
+}
+BENCHMARK(BM_FullyConnected_S8)->Args({256, 64})->Args({1024, 128});
+
+void BM_AvgPool_S8(benchmark::State& state) {
+  kernels::PoolGeometry g;
+  g.in_h = g.in_w = static_cast<int32_t>(state.range(0));
+  g.ch = 64;
+  g.out_h = g.out_w = g.in_h / 2;
+  g.kh = g.kw = 2;
+  g.stride = 2;
+  Rng rng(5);
+  TensorI8 x(Shape{g.in_h, g.in_w, g.ch}), y(Shape{g.out_h, g.out_w, g.ch});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (auto _ : state) {
+    kernels::avg_pool_s8(x.span(), y.span(), g, -128, 127);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AvgPool_S8)->Arg(16)->Arg(32);
+
+void BM_Softmax_S8(benchmark::State& state) {
+  const int32_t cols = static_cast<int32_t>(state.range(0));
+  Rng rng(6);
+  TensorI8 x(Shape{cols}), y(Shape{cols});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (auto _ : state) {
+    kernels::softmax_s8(x.span(), y.span(), 1, cols, 0.1f);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Softmax_S8)->Arg(12)->Arg(256);
+
+}  // namespace
+}  // namespace mn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "nn/loss.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn::bench {
+
+BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
+    if (std::strcmp(argv[i], "--fast") == 0) opt.full = false;
+  }
+  return opt;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void print_subheader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    std::printf("%-*s", w, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_kb(int64_t bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lldKB", static_cast<long long>((bytes + 512) / 1024));
+  return buf;
+}
+
+std::string fmt_bool(bool deployable) { return deployable ? "yes" : "ND"; }
+
+rt::Interpreter calibrated_interpreter(nn::Graph& graph, Shape input,
+                                       const std::string& name, int weight_bits,
+                                       int act_bits) {
+  Rng rng(0xCA11B);
+  TensorF batch = input.rank() == 1
+                      ? TensorF(Shape{2, input.dim(0)})
+                      : TensorF(Shape{2, input.dim(0), input.dim(1), input.dim(2)});
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  const rt::RangeMap ranges = rt::calibrate_ranges(graph, batch);
+  rt::ConvertOptions co;
+  co.name = name;
+  co.weight_bits = weight_bits;
+  co.act_bits = act_bits;
+  return rt::Interpreter(rt::convert(graph, co, &ranges));
+}
+
+namespace {
+int64_t scaled4(int64_t c, int divisor) {
+  return std::max<int64_t>(4, (c / divisor + 3) / 4 * 4);
+}
+}  // namespace
+
+models::DsCnnConfig scale_ds_cnn(models::DsCnnConfig cfg, int divisor) {
+  cfg.stem_channels = scaled4(cfg.stem_channels, divisor);
+  for (auto& blk : cfg.blocks) blk.channels = scaled4(blk.channels, divisor);
+  return cfg;
+}
+
+models::MobileNetV2Config scale_mbv2(models::MobileNetV2Config cfg, int divisor) {
+  cfg.stem_channels = scaled4(cfg.stem_channels, divisor);
+  int64_t prev = cfg.stem_channels;
+  for (auto& blk : cfg.blocks) {
+    // Preserve expand-ratio-1 blocks (expansion == previous stage width).
+    const bool t1 = blk.expansion_channels == prev || blk.expansion_channels == 0;
+    prev = blk.out_channels;
+    blk.out_channels = scaled4(blk.out_channels, divisor);
+    blk.expansion_channels =
+        t1 ? blk.out_channels : scaled4(blk.expansion_channels, divisor);
+  }
+  // Re-link t=1 blocks to the scaled previous width.
+  int64_t in_ch = cfg.stem_channels;
+  for (auto& blk : cfg.blocks) {
+    if (blk.expansion_channels <= in_ch) blk.expansion_channels = in_ch;
+    in_ch = blk.out_channels;
+  }
+  if (cfg.head_channels > 0) cfg.head_channels = scaled4(cfg.head_channels, divisor);
+  return cfg;
+}
+
+TrainedResult train_and_measure(nn::Graph& graph, const data::Dataset& train,
+                                const data::Dataset& test,
+                                const nn::TrainConfig& cfg, int weight_bits,
+                                int act_bits) {
+  nn::fit(graph, train, cfg);
+  TrainedResult r;
+  r.float_accuracy = nn::evaluate(graph, test);
+  rt::ConvertOptions co;
+  co.name = "trained";
+  co.weight_bits = weight_bits;
+  co.act_bits = act_bits;
+  rt::Interpreter interp(rt::convert(graph, co));
+  int64_t correct = 0;
+  for (const data::Example& e : test.examples) {
+    const TensorF out = interp.invoke(e.input);
+    int64_t best = 0;
+    for (int64_t c = 1; c < out.size(); ++c)
+      if (out[c] > out[best]) best = c;
+    if (best == e.label) ++correct;
+  }
+  r.quant_accuracy = static_cast<double>(correct) / static_cast<double>(test.size());
+  return r;
+}
+
+void print_vs_paper(const std::string& metric, double measured, double paper,
+                    const std::string& unit) {
+  std::printf("  %-38s measured %10.4f %-6s paper %10.4f %-6s\n", metric.c_str(),
+              measured, unit.c_str(), paper, unit.c_str());
+}
+
+}  // namespace mn::bench

@@ -1,0 +1,65 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Every bench supports --fast (default) and --full. Fast mode shrinks
+// dataset sizes and training epochs so the complete harness runs on one CPU
+// core in minutes while exercising identical code paths; footprint and
+// latency numbers come from the full-size architectures either way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+#include "mcu/perf_model.hpp"
+#include "models/backbones.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace mn::bench {
+
+struct BenchOptions {
+  bool full = false;
+  uint64_t seed = 1;
+};
+BenchOptions parse_args(int argc, char** argv);
+
+// Pretty-printers.
+void print_header(const std::string& title);
+void print_subheader(const std::string& title);
+// Prints a row of fixed-width columns.
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+std::string fmt(double v, int precision = 2);
+std::string fmt_kb(int64_t bytes);
+std::string fmt_bool(bool deployable);
+
+// Builds a graph with random weights, calibrates activation ranges on random
+// data, and converts it: exact footprints/latency without training.
+rt::Interpreter calibrated_interpreter(nn::Graph& graph, Shape input,
+                                       const std::string& name,
+                                       int weight_bits = 8, int act_bits = 8);
+
+// Scales a DS-CNN / MobileNetV2 config's channel counts by 1/divisor
+// (rounded to multiples of 4): the trainable fast-mode proxies used for the
+// accuracy axis of the result benches.
+models::DsCnnConfig scale_ds_cnn(models::DsCnnConfig cfg, int divisor);
+models::MobileNetV2Config scale_mbv2(models::MobileNetV2Config cfg, int divisor);
+
+// Trains a graph on the dataset (QAT) and reports test accuracy of the
+// *converted int8 model* run on the interpreter — the deployment accuracy
+// the paper reports.
+struct TrainedResult {
+  double float_accuracy = 0.0;
+  double quant_accuracy = 0.0;
+};
+TrainedResult train_and_measure(nn::Graph& graph, const data::Dataset& train,
+                                const data::Dataset& test,
+                                const nn::TrainConfig& cfg, int weight_bits = 8,
+                                int act_bits = 8);
+
+// Summary line comparing a measured value against the paper's reported one.
+void print_vs_paper(const std::string& metric, double measured, double paper,
+                    const std::string& unit);
+
+}  // namespace mn::bench

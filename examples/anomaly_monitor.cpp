@@ -1,0 +1,83 @@
+// Anomaly-monitoring example: the paper's §4.3 pipeline end to end — train a
+// self-supervised machine-ID classifier on normal machine sounds, deploy it,
+// and monitor a stream of clips, flagging anomalies when the classifier's
+// confidence in the clip's machine ID drops.
+#include <cstdio>
+
+#include "datasets/anomaly.hpp"
+#include "mcu/perf_model.hpp"
+#include "models/backbones.hpp"
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+
+using namespace mn;
+
+int main() {
+  data::AnomalyConfig acfg;
+  acfg.clip_seconds = 4.6;
+  const data::Dataset train = data::make_anomaly_train(acfg, /*clips=*/6, /*seed=*/31);
+  const data::Dataset test = data::make_anomaly_test(acfg, 6, /*seed=*/32);
+  std::printf("training on %lld normal spectrogram patches from %d machines\n",
+              static_cast<long long>(train.size()), acfg.num_machines);
+
+  // MicroNet-AD-style DS-CNN (reduced widths for the example).
+  models::DsCnnConfig cfg = models::micronet_ad(models::ModelSize::kS);
+  cfg.stem_channels = 32;
+  cfg.blocks = {{32, 1}, {40, 1}, {48, 2}, {56, 2}};
+  models::BuildOptions bopt;
+  bopt.seed = 3;
+  bopt.qat = true;
+  nn::Graph graph = models::build_ds_cnn(cfg, bopt);
+
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.batch_size = 32;
+  tcfg.lr_start = 0.05;
+  tcfg.mixup_alpha = 0.3f;  // the paper's AD augmentation
+  nn::fit(graph, train, tcfg);
+  std::printf("machine-ID accuracy (normal data): %.1f%%\n",
+              nn::evaluate(graph, train) * 100.0);
+  std::printf("anomaly AUC on the mixed test set:  %.1f%%\n\n",
+              nn::anomaly_auc(graph, test) * 100.0);
+
+  rt::Interpreter monitor(rt::convert(graph, {.name = "anomaly-monitor"}));
+  const mcu::Device& dev = mcu::stm32f446re();
+  const double latency = mcu::model_latency_s(dev, monitor.model());
+  std::printf("deployed on %s: latency %.0f ms per patch, uptime %.1f%% at the\n"
+              "640 ms real-time stride (paper Table 3's real-time criterion)\n\n",
+              dev.name.c_str(), latency * 1e3, 100.0 * latency / 0.640);
+
+  // Monitor a stream of clips. Anomaly score = -P(correct machine ID), as in
+  // §4.3; threshold calibrated on the training data.
+  std::printf("monitoring 12 clips (threshold: P(id) < 0.5):\n");
+  Rng rng(55);
+  int correct_flags = 0, total = 0;
+  for (int i = 0; i < 12; ++i) {
+    const int machine = static_cast<int>(rng.uniform_int(0, acfg.num_machines - 1));
+    const bool fault = rng.bernoulli(0.4);
+    Rng crng = rng.fork(static_cast<uint64_t>(i) * 101 + 9);
+    const auto wave = data::synth_machine_waveform(acfg, machine, fault, crng);
+    const auto patches = data::anomaly_patches(acfg, wave);
+    // Score the clip by its worst patch.
+    double min_conf = 1.0;
+    for (const TensorF& patch : patches) {
+      const TensorF out = monitor.invoke(patch);
+      // Output is already softmax when converted with append_softmax; here we
+      // normalize logits explicitly.
+      TensorF logits = out.reshaped(Shape{1, out.shape().dim(0)});
+      const TensorF probs = nn::softmax(logits);
+      min_conf = std::min(min_conf, static_cast<double>(probs[machine]));
+    }
+    const bool flagged = min_conf < 0.5;
+    const bool right = flagged == fault;
+    correct_flags += right ? 1 : 0;
+    ++total;
+    std::printf("  machine %d: P(id)=%.2f -> %-7s (truth: %s)%s\n", machine, min_conf,
+                flagged ? "ANOMALY" : "normal", fault ? "faulty" : "healthy",
+                right ? "" : "  <-- wrong");
+  }
+  std::printf("flagging accuracy: %d/%d\n", correct_flags, total);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Exports the MicroNet model zoo: every MicroNet instantiation is built,
+// converted to the deployable .mnm format and written to disk, with a
+// manifest of footprints — the "models for MCU benchmarking" release the
+// paper promises in §6.5.
+//
+// Usage: export_model_zoo [output_dir]   (default /tmp/micronet_zoo)
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "mcu/perf_model.hpp"
+#include "models/backbones.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+#include "tensor/rng.hpp"
+
+using namespace mn;
+
+namespace {
+
+rt::ModelDef convert_calibrated(nn::Graph& g, Shape input, const std::string& name,
+                                int bits) {
+  Rng rng(0x200);
+  TensorF batch = input.rank() == 1
+                      ? TensorF(Shape{2, input.dim(0)})
+                      : TensorF(Shape{2, input.dim(0), input.dim(1), input.dim(2)});
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  const rt::RangeMap ranges = rt::calibrate_ranges(g, batch);
+  rt::ConvertOptions co;
+  co.name = name;
+  co.weight_bits = bits;
+  co.act_bits = bits;
+  return rt::convert(g, co, &ranges);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/micronet_zoo";
+  std::filesystem::create_directories(dir);
+  std::printf("exporting the MicroNet zoo to %s\n", dir.c_str());
+  std::printf("(weights are randomly initialized + calibration-quantized;\n"
+              " train with nn::fit before converting for accurate models)\n\n");
+  std::printf("%-22s %-10s %-10s %-10s %-12s\n", "model", "flash", "SRAM",
+              "ops(M)", "deploys on");
+
+  models::BuildOptions bo;
+  bo.seed = 1;
+  bo.qat = false;
+  using MS = models::ModelSize;
+
+  struct Item {
+    std::string name;
+    nn::Graph graph;
+    Shape input;
+    int bits;
+  };
+  std::vector<Item> zoo;
+  zoo.push_back({"micronet-kws-s", models::build_ds_cnn(models::micronet_kws(MS::kS), bo),
+                 Shape{49, 10, 1}, 8});
+  zoo.push_back({"micronet-kws-m", models::build_ds_cnn(models::micronet_kws(MS::kM), bo),
+                 Shape{49, 10, 1}, 8});
+  zoo.push_back({"micronet-kws-l", models::build_ds_cnn(models::micronet_kws(MS::kL), bo),
+                 Shape{49, 10, 1}, 8});
+  zoo.push_back({"micronet-kws-s-int4",
+                 models::build_ds_cnn(models::micronet_kws_int4(), bo), Shape{49, 10, 1}, 4});
+  zoo.push_back({"micronet-vww-s",
+                 models::build_mobilenet_v2(models::micronet_vww(MS::kS), bo),
+                 Shape{50, 50, 1}, 8});
+  zoo.push_back({"micronet-vww-m",
+                 models::build_mobilenet_v2(models::micronet_vww(MS::kM), bo),
+                 Shape{160, 160, 1}, 8});
+  zoo.push_back({"micronet-ad-s", models::build_ds_cnn(models::micronet_ad(MS::kS), bo),
+                 Shape{32, 32, 1}, 8});
+  zoo.push_back({"micronet-ad-m", models::build_ds_cnn(models::micronet_ad(MS::kM), bo),
+                 Shape{32, 32, 1}, 8});
+  zoo.push_back({"micronet-ad-l", models::build_ds_cnn(models::micronet_ad(MS::kL), bo),
+                 Shape{32, 32, 1}, 8});
+
+  for (Item& item : zoo) {
+    rt::ModelDef model = convert_calibrated(item.graph, item.input, item.name, item.bits);
+    const std::string path = dir + "/" + item.name + ".mnm";
+    model.save(path);
+    // Verify the round trip and report the footprint.
+    rt::Interpreter interp(rt::ModelDef::load(path));
+    const auto rep = interp.memory_report();
+    std::string targets;
+    for (const mcu::Device& dev : mcu::all_devices())
+      if (mcu::check_deployable(dev, rep).deployable())
+        targets += dev.size_class + std::string(" ");
+    if (targets.empty()) targets = "none";
+    std::printf("%-22s %-10lld %-10lld %-10.1f %-12s\n", item.name.c_str(),
+                static_cast<long long>(rep.model_flash() / 1024),
+                static_cast<long long>(rep.model_sram() / 1024),
+                static_cast<double>(interp.model().total_ops()) / 1e6, targets.c_str());
+  }
+  std::printf("\nwrote %zu models. Load with rt::ModelDef::load(path) and run\n"
+              "with rt::Interpreter.\n", zoo.size());
+  return 0;
+}

@@ -1,0 +1,221 @@
+#include "charac/charac.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mn::charac {
+
+namespace {
+
+// Random channel count, biased toward multiples of 4 (as real model zoos are)
+// but including odd sizes to produce the Fig. 3 spread.
+int64_t random_channels(Rng& rng, int64_t lo, int64_t hi) {
+  const int64_t c = rng.uniform_int(lo, hi);
+  if (rng.bernoulli(0.7)) return (c + 3) / 4 * 4;
+  return c;
+}
+
+// Backbone search spaces are restricted to SIMD-friendly widths (the paper
+// constrains searched channels to multiples of 4), so the whole-model
+// sampler always hits the fast conv path, unlike the free-form layer sweep.
+int64_t backbone_channels(Rng& rng, int64_t lo, int64_t hi) {
+  return (rng.uniform_int(lo, hi) + 3) / 4 * 4;
+}
+
+mcu::LayerDesc random_conv(Rng& rng) {
+  mcu::LayerDesc l;
+  l.kind = mcu::LayerKind::kConv2D;
+  l.in_ch = random_channels(rng, 4, 160);
+  l.out_ch = random_channels(rng, 4, 160);
+  l.kh = l.kw = rng.bernoulli(0.7) ? 3 : 1;
+  const int64_t hw = rng.uniform_int(4, 48);
+  l.out_h = l.out_w = hw;
+  l.ops = 2 * l.out_h * l.out_w * l.out_ch * l.kh * l.kw * l.in_ch;
+  return l;
+}
+
+mcu::LayerDesc random_dwconv(Rng& rng) {
+  mcu::LayerDesc l;
+  l.kind = mcu::LayerKind::kDepthwiseConv2D;
+  l.in_ch = l.out_ch = random_channels(rng, 8, 256);
+  l.kh = l.kw = 3;
+  const int64_t hw = rng.uniform_int(4, 48);
+  l.out_h = l.out_w = hw;
+  l.ops = 2 * l.out_h * l.out_w * l.out_ch * l.kh * l.kw;
+  return l;
+}
+
+mcu::LayerDesc random_fc(Rng& rng) {
+  mcu::LayerDesc l;
+  l.kind = mcu::LayerKind::kFullyConnected;
+  l.in_ch = rng.uniform_int(16, 2048);
+  l.out_ch = rng.uniform_int(8, 512);
+  l.ops = 2 * l.in_ch * l.out_ch;
+  return l;
+}
+
+}  // namespace
+
+std::vector<LayerSample> characterize_layers(const mcu::Device& dev, int count,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LayerSample> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    mcu::LayerDesc l;
+    const int kind = static_cast<int>(rng.uniform_int(0, 2));
+    if (kind == 0) l = random_conv(rng);
+    else if (kind == 1) l = random_dwconv(rng);
+    else l = random_fc(rng);
+    LayerSample s;
+    s.layer = l;
+    s.latency_s = mcu::layer_latency_s(dev, l);
+    s.mops_per_s = static_cast<double>(l.ops) / s.latency_s / 1e6;
+    out.push_back(s);
+  }
+  return out;
+}
+
+ChannelAnomalyResult channel_divisibility_anomaly(const mcu::Device& dev) {
+  auto make = [](int64_t ch) {
+    mcu::LayerDesc l;
+    l.kind = mcu::LayerKind::kConv2D;
+    l.in_ch = l.out_ch = ch;
+    l.kh = l.kw = 3;
+    l.out_h = l.out_w = 10;
+    l.ops = 2 * l.out_h * l.out_w * l.out_ch * l.kh * l.kw * l.in_ch;
+    return l;
+  };
+  ChannelAnomalyResult r;
+  r.latency_138_s = mcu::layer_latency_s(dev, make(138));
+  r.latency_140_s = mcu::layer_latency_s(dev, make(140));
+  r.speedup = r.latency_138_s / r.latency_140_s;
+  return r;
+}
+
+const char* backbone_name(Backbone b) {
+  return b == Backbone::kCifar10Cnn ? "CIFAR10-CNN" : "KWS-DSCNN";
+}
+
+RandomModel sample_backbone(Backbone b, Rng& rng) {
+  RandomModel m;
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  auto push = [&](mcu::LayerDesc l) {
+    m.layers.push_back(l);
+    m.total_ops += l.ops;
+    h = hash_combine(h, static_cast<uint64_t>(l.ops));
+  };
+
+  if (b == Backbone::kCifar10Cnn) {
+    // Plain CNN on 32x32 RGB: stem + 3 stages of convs with widths sampled
+    // from the supernet's (SIMD-friendly) option menu, stride-2 between
+    // stages, GAP + FC(10).
+    int64_t hres = 32;
+    int64_t in_ch = 3;
+    for (int s = 0; s < 3; ++s) {
+      const int convs = static_cast<int>(rng.uniform_int(1, 3));
+      const int64_t base = 16 << s;  // 16 / 32 / 64
+      for (int c = 0; c < convs; ++c) {
+        mcu::LayerDesc l;
+        l.kind = mcu::LayerKind::kConv2D;
+        l.in_ch = in_ch;
+        l.out_ch = backbone_channels(rng, base, base * 3);
+        l.kh = l.kw = 3;
+        l.out_h = l.out_w = hres;
+        l.ops = 2 * l.out_h * l.out_w * l.out_ch * l.kh * l.kw * l.in_ch;
+        push(l);
+        in_ch = l.out_ch;
+      }
+      hres = std::max<int64_t>(1, hres / 2);  // stride-2 transition
+    }
+    mcu::LayerDesc fc;
+    fc.kind = mcu::LayerKind::kFullyConnected;
+    fc.in_ch = in_ch;
+    fc.out_ch = 10;
+    fc.ops = 2 * fc.in_ch * fc.out_ch;
+    push(fc);
+  } else {
+    // DS-CNN-style KWS net on 49x10x1: conv stem + K depthwise-separable
+    // blocks of random width, GAP + FC(12).
+    int64_t th = 25, tw = 5;  // after the stride-2 stem
+    mcu::LayerDesc stem;
+    stem.kind = mcu::LayerKind::kConv2D;
+    stem.in_ch = 1;
+    stem.out_ch = backbone_channels(rng, 32, 128);
+    stem.kh = 10;
+    stem.kw = 4;
+    stem.out_h = th;
+    stem.out_w = tw;
+    stem.ops = 2 * th * tw * stem.out_ch * stem.kh * stem.kw * 1;
+    push(stem);
+    int64_t ch = stem.out_ch;
+    const int blocks = static_cast<int>(rng.uniform_int(3, 8));
+    for (int bidx = 0; bidx < blocks; ++bidx) {
+      const int64_t out_ch = backbone_channels(rng, 32, 276);
+      mcu::LayerDesc dw;
+      dw.kind = mcu::LayerKind::kDepthwiseConv2D;
+      dw.in_ch = dw.out_ch = ch;
+      dw.kh = dw.kw = 3;
+      dw.out_h = th;
+      dw.out_w = tw;
+      dw.ops = 2 * th * tw * ch * 9;
+      push(dw);
+      mcu::LayerDesc pw;
+      pw.kind = mcu::LayerKind::kConv2D;
+      pw.in_ch = ch;
+      pw.out_ch = out_ch;
+      pw.kh = pw.kw = 1;
+      pw.out_h = th;
+      pw.out_w = tw;
+      pw.ops = 2 * th * tw * out_ch * ch;
+      push(pw);
+      ch = out_ch;
+    }
+    mcu::LayerDesc fc;
+    fc.kind = mcu::LayerKind::kFullyConnected;
+    fc.in_ch = ch;
+    fc.out_ch = 12;
+    fc.ops = 2 * fc.in_ch * fc.out_ch;
+    push(fc);
+  }
+  m.structure_hash = h;
+  return m;
+}
+
+LatencySweep characterize_model_latency(const mcu::Device& dev, Backbone b,
+                                        int count, uint64_t seed) {
+  Rng rng(seed);
+  LatencySweep sweep;
+  std::vector<double> xs, ys;
+  for (int i = 0; i < count; ++i) {
+    const RandomModel m = sample_backbone(b, rng);
+    const double lat = mcu::model_latency_s(dev, m.layers);
+    sweep.points.push_back({m.total_ops, lat});
+    xs.push_back(static_cast<double>(m.total_ops));
+    ys.push_back(lat);
+  }
+  sweep.fit = fit_line(xs, ys);
+  sweep.mops_per_s = sweep.fit.slope > 0 ? 1.0 / sweep.fit.slope / 1e6 : 0.0;
+  return sweep;
+}
+
+EnergySweep characterize_energy(const mcu::Device& dev, Backbone b, int count,
+                                uint64_t seed) {
+  Rng rng(seed);
+  EnergySweep sweep;
+  std::vector<double> powers, xs, es;
+  for (int i = 0; i < count; ++i) {
+    const RandomModel m = sample_backbone(b, rng);
+    const double p = mcu::model_power_w(dev, m.structure_hash);
+    const double e = p * mcu::model_latency_s(dev, m.layers);
+    sweep.points.push_back({m.total_ops, p, e});
+    powers.push_back(p);
+    xs.push_back(static_cast<double>(m.total_ops));
+    es.push_back(e);
+  }
+  sweep.power = compute_moments(powers);
+  sweep.energy_fit = fit_line(xs, es);
+  return sweep;
+}
+
+}  // namespace mn::charac

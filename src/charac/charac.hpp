@@ -1,0 +1,81 @@
+// Hardware characterization harness reproducing §3 of the paper:
+// random layer sweeps (Fig. 3), random whole-model sweeps from two supernet
+// backbones (Fig. 4), and power/energy sweeps (Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcu/perf_model.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/stats.hpp"
+
+namespace mn::charac {
+
+// --- Random layers (Fig. 3) -------------------------------------------------
+
+struct LayerSample {
+  mcu::LayerDesc layer;
+  double latency_s = 0.0;
+  double mops_per_s = 0.0;
+};
+
+// Random conv2d / depthwise / fully-connected layers with realistic TinyML
+// dimensions, measured on the device model.
+std::vector<LayerSample> characterize_layers(const mcu::Device& dev, int count,
+                                             uint64_t seed);
+
+// The paper's §3.2 anomaly: latency of a 3x3 conv at 138/138 vs 140/140
+// input/output channels (the div-by-4 fast path).
+struct ChannelAnomalyResult {
+  double latency_138_s = 0.0;
+  double latency_140_s = 0.0;
+  double speedup = 0.0;  // latency_138 / latency_140
+};
+ChannelAnomalyResult channel_divisibility_anomaly(const mcu::Device& dev);
+
+// --- Random models from backbones (Figs. 4, 5) ------------------------------
+
+enum class Backbone { kCifar10Cnn, kKwsDsCnn };
+
+struct RandomModel {
+  std::vector<mcu::LayerDesc> layers;
+  int64_t total_ops = 0;
+  uint64_t structure_hash = 0;
+};
+
+// Samples a model from the given supernet backbone with random widths and
+// depth (uniform prior over the search space, as in §3.3).
+RandomModel sample_backbone(Backbone b, Rng& rng);
+
+struct ModelLatencyPoint {
+  int64_t ops = 0;
+  double latency_s = 0.0;
+};
+
+struct LatencySweep {
+  std::vector<ModelLatencyPoint> points;
+  LineFit fit;               // latency vs ops (expect r^2 > 0.95)
+  double mops_per_s = 0.0;   // 1/slope
+};
+LatencySweep characterize_model_latency(const mcu::Device& dev, Backbone b,
+                                        int count, uint64_t seed);
+
+struct EnergyPoint {
+  int64_t ops = 0;
+  double power_w = 0.0;
+  double energy_j = 0.0;
+};
+
+struct EnergySweep {
+  std::vector<EnergyPoint> points;
+  Moments power;   // expect cv ~ 0.0073 (power independent of model)
+  LineFit energy_fit;  // energy vs ops
+};
+EnergySweep characterize_energy(const mcu::Device& dev, Backbone b, int count,
+                                uint64_t seed);
+
+const char* backbone_name(Backbone b);
+
+}  // namespace mn::charac

@@ -1,0 +1,243 @@
+#include "core/blackbox.hpp"
+
+#include <algorithm>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mn::core {
+
+void apply_arch(Supernet& net, const ArchSample& arch) {
+  if (arch.width_choices.size() != net.width_decisions.size() ||
+      arch.skip_choices.size() != net.skip_decisions.size())
+    throw std::invalid_argument("apply_arch: arity mismatch with supernet");
+  net.ctx().arch_frozen = true;
+  for (size_t i = 0; i < net.width_decisions.size(); ++i) {
+    MaskFromLogits* d = net.width_decisions[i];
+    const int k = arch.width_choices[i];
+    if (k < 0 || k >= d->num_options())
+      throw std::invalid_argument("apply_arch: width choice out of range");
+    d->logits().value.fill(0.f);
+    d->logits().value[k] = 10.f;
+  }
+  for (size_t i = 0; i < net.skip_decisions.size(); ++i) {
+    BranchMix* d = net.skip_decisions[i];
+    const int k = arch.skip_choices[i];
+    if (k < 0 || k >= d->num_options())
+      throw std::invalid_argument("apply_arch: skip choice out of range");
+    d->logits().value.fill(0.f);
+    d->logits().value[k] = 10.f;
+  }
+}
+
+ArchSample random_arch(const Supernet& net, Rng& rng) {
+  ArchSample a;
+  for (const MaskFromLogits* d : net.width_decisions)
+    a.width_choices.push_back(static_cast<int>(rng.uniform_int(0, d->num_options() - 1)));
+  for (const BranchMix* d : net.skip_decisions)
+    a.skip_choices.push_back(static_cast<int>(rng.uniform_int(0, d->num_options() - 1)));
+  return a;
+}
+
+namespace {
+// Recomputes every decision node's stored weights for the frozen selection.
+void refresh_decisions(Supernet& net) {
+  for (MaskFromLogits* d : net.width_decisions) d->refresh();
+  for (BranchMix* d : net.skip_decisions) d->refresh();
+}
+}  // namespace
+
+CostBreakdown arch_cost(Supernet& net, const ArchSample& arch) {
+  apply_arch(net, arch);
+  refresh_decisions(net);
+  return evaluate_cost(net);
+}
+
+void train_supernet_one_shot(Supernet& net, const data::Dataset& train,
+                             const OneShotConfig& cfg) {
+  Rng rng(cfg.seed);
+  data::Dataset ds = train;
+  auto all_params = net.graph.params();
+  std::vector<nn::Param*> weight_params;
+  for (nn::Param* p : all_params)
+    if (p->group == nn::ParamGroup::kWeights) weight_params.push_back(p);
+  const int64_t steps_per_epoch =
+      std::max<int64_t>(1, (ds.size() + cfg.batch_size - 1) / cfg.batch_size);
+  nn::CosineSchedule sched(cfg.lr_start, cfg.lr_end, steps_per_epoch * cfg.epochs);
+  nn::SgdMomentum opt(0.9, cfg.weight_decay);
+  int64_t step = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    data::shuffle(ds, rng);
+    for (int64_t first = 0; first < ds.size(); first += cfg.batch_size) {
+      // Weight-sharing: a fresh random subnetwork per batch.
+      apply_arch(net, random_arch(net, rng));
+      const data::Batch batch = data::make_batch(ds, first, cfg.batch_size);
+      net.graph.zero_grads();
+      const TensorF logits = net.graph.forward(batch.inputs, /*training=*/true);
+      const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+      net.graph.backward(lr.grad);
+      opt.step(weight_params, sched.lr(step));
+      ++step;
+    }
+  }
+}
+
+double evaluate_arch(Supernet& net, const ArchSample& arch,
+                     const data::Dataset& val, int64_t batch_size) {
+  apply_arch(net, arch);
+  int64_t correct = 0;
+  for (int64_t first = 0; first < val.size(); first += batch_size) {
+    const data::Batch batch = data::make_batch(val, first, batch_size);
+    const TensorF logits = net.graph.forward(batch.inputs, /*training=*/false);
+    const int64_t n = logits.shape().dim(0);
+    correct += static_cast<int64_t>(
+        std::llround(nn::accuracy(logits, batch.labels) * static_cast<double>(n)));
+  }
+  return static_cast<double>(correct) / static_cast<double>(val.size());
+}
+
+bool is_feasible(Supernet& net, const ArchSample& arch,
+                 const DnasConstraints& cn) {
+  apply_arch(net, arch);
+  refresh_decisions(net);
+  const CostBreakdown cost = evaluate_cost(net);
+  if (cn.flash_budget_bytes > 0 &&
+      cost.expected_flash_bytes > static_cast<double>(cn.flash_budget_bytes))
+    return false;
+  if (cn.ops_budget > 0 && cost.expected_ops > static_cast<double>(cn.ops_budget))
+    return false;
+  if (cn.sram_budget_bytes > 0 &&
+      cost.peak_working_memory > static_cast<double>(cn.sram_budget_bytes))
+    return false;
+  return true;
+}
+
+namespace {
+
+// Shared helper: record an evaluated candidate into the running best.
+void consider(Supernet& net, const ArchSample& arch, const data::Dataset& val,
+              SearchResult* result) {
+  const double acc = evaluate_arch(net, arch, val);
+  ++result->evaluations_used;
+  if (!result->feasible || acc > result->best_accuracy) {
+    result->best = arch;
+    result->best_accuracy = acc;
+    refresh_decisions(net);
+    result->best_cost = evaluate_cost(net);
+    result->feasible = true;
+  }
+}
+
+ArchSample mutate(const ArchSample& a, const Supernet& net, double rate, Rng& rng) {
+  ArchSample out = a;
+  for (size_t i = 0; i < out.width_choices.size(); ++i)
+    if (rng.bernoulli(rate))
+      out.width_choices[i] = static_cast<int>(
+          rng.uniform_int(0, net.width_decisions[i]->num_options() - 1));
+  for (size_t i = 0; i < out.skip_choices.size(); ++i)
+    if (rng.bernoulli(rate))
+      out.skip_choices[i] = static_cast<int>(
+          rng.uniform_int(0, net.skip_decisions[i]->num_options() - 1));
+  return out;
+}
+
+ArchSample crossover(const ArchSample& a, const ArchSample& b, Rng& rng) {
+  ArchSample out = a;
+  for (size_t i = 0; i < out.width_choices.size(); ++i)
+    if (rng.bernoulli(0.5)) out.width_choices[i] = b.width_choices[i];
+  for (size_t i = 0; i < out.skip_choices.size(); ++i)
+    if (rng.bernoulli(0.5)) out.skip_choices[i] = b.skip_choices[i];
+  return out;
+}
+
+// Draws a feasible random architecture (bounded retries).
+bool feasible_random(Supernet& net, const DnasConstraints& cn, Rng& rng,
+                     ArchSample* out) {
+  for (int tries = 0; tries < 200; ++tries) {
+    ArchSample a = random_arch(net, rng);
+    if (is_feasible(net, a, cn)) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SearchResult evolutionary_search(Supernet& net, const data::Dataset& val,
+                                 const SearchConfig& cfg) {
+  Rng rng(cfg.seed);
+  SearchResult result;
+  // Seed a feasible population.
+  std::vector<std::pair<ArchSample, double>> population;
+  for (int i = 0; i < cfg.population; ++i) {
+    ArchSample a;
+    if (!feasible_random(net, cfg.constraints, rng, &a)) continue;
+    const double acc = evaluate_arch(net, a, val);
+    ++result.evaluations_used;
+    population.emplace_back(a, acc);
+  }
+  if (population.empty()) return result;  // infeasible space
+  for (const auto& [a, acc] : population)
+    if (!result.feasible || acc > result.best_accuracy) {
+      result.best = a;
+      result.best_accuracy = acc;
+      result.feasible = true;
+    }
+
+  for (int gen = 0; gen < cfg.generations; ++gen) {
+    // Tournament parents.
+    auto pick = [&]() -> const ArchSample& {
+      const auto& a = population[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(population.size()) - 1))];
+      const auto& b = population[static_cast<size_t>(
+          rng.uniform_int(0, static_cast<int64_t>(population.size()) - 1))];
+      return a.second >= b.second ? a.first : b.first;
+    };
+    std::vector<std::pair<ArchSample, double>> next = population;
+    for (int child = 0; child < cfg.population / 2; ++child) {
+      ArchSample c = mutate(crossover(pick(), pick(), rng), net,
+                            cfg.mutation_rate, rng);
+      if (!is_feasible(net, c, cfg.constraints)) continue;
+      const double acc = evaluate_arch(net, c, val);
+      ++result.evaluations_used;
+      next.emplace_back(c, acc);
+      if (acc > result.best_accuracy) {
+        result.best = c;
+        result.best_accuracy = acc;
+        result.feasible = true;
+      }
+    }
+    // Elitist truncation back to the population size.
+    std::sort(next.begin(), next.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    if (static_cast<int>(next.size()) > cfg.population)
+      next.resize(static_cast<size_t>(cfg.population));
+    population = std::move(next);
+  }
+  // Final cost snapshot for the winner.
+  apply_arch(net, result.best);
+  refresh_decisions(net);
+  result.best_cost = evaluate_cost(net);
+  return result;
+}
+
+SearchResult random_search(Supernet& net, const data::Dataset& val,
+                           const SearchConfig& cfg) {
+  Rng rng(cfg.seed ^ 0xBADC0DE);
+  SearchResult result;
+  for (int i = 0; i < cfg.evaluations; ++i) {
+    ArchSample a;
+    if (!feasible_random(net, cfg.constraints, rng, &a)) break;
+    consider(net, a, val, &result);
+  }
+  if (result.feasible) {
+    apply_arch(net, result.best);
+    refresh_decisions(net);
+    result.best_cost = evaluate_cost(net);
+  }
+  return result;
+}
+
+}  // namespace mn::core

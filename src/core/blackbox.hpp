@@ -1,0 +1,86 @@
+// Black-box architecture search baselines over the same supernets the DNAS
+// uses: one-shot (weight-sharing) supernet training followed by evolutionary
+// or random search with hard constraint filtering — the MCUNet-style
+// pipeline the paper contrasts DNAS against (§2, §6.5).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/dnas.hpp"
+#include "core/supernet.hpp"
+#include "datasets/dataset.hpp"
+
+namespace mn::core {
+
+// A concrete selection: one option index per width decision and per skip
+// decision of a supernet.
+struct ArchSample {
+  std::vector<int> width_choices;
+  std::vector<int> skip_choices;
+
+  bool operator==(const ArchSample&) const = default;
+};
+
+// Freezes the supernet's decision nodes to `arch` (logits one-hot, context
+// frozen): subsequent forwards evaluate exactly that architecture with the
+// shared supernet weights.
+void apply_arch(Supernet& net, const ArchSample& arch);
+
+// Uniformly random architecture from the search space.
+ArchSample random_arch(const Supernet& net, Rng& rng);
+
+// Cost of a frozen architecture (must be applied first; uses the decision
+// weights from the most recent forward).
+CostBreakdown arch_cost(Supernet& net, const ArchSample& arch);
+
+struct OneShotConfig {
+  int epochs = 10;
+  int64_t batch_size = 32;
+  double lr_start = 0.05;
+  double lr_end = 1e-4;
+  double weight_decay = 1e-3;
+  uint64_t seed = 1;
+};
+
+// One-shot supernet training: every batch samples a random architecture and
+// updates only the shared weights (the weight-sharing trick that makes
+// black-box search affordable).
+void train_supernet_one_shot(Supernet& net, const data::Dataset& train,
+                             const OneShotConfig& cfg);
+
+// Validation accuracy of an architecture under the shared weights.
+double evaluate_arch(Supernet& net, const ArchSample& arch,
+                     const data::Dataset& val, int64_t batch_size = 64);
+
+struct SearchConfig {
+  int population = 16;
+  int generations = 8;
+  double mutation_rate = 0.25;
+  int evaluations = 128;  // budget for random search
+  uint64_t seed = 1;
+  DnasConstraints constraints;  // hard feasibility filter (budgets only)
+};
+
+struct SearchResult {
+  ArchSample best;
+  double best_accuracy = 0.0;
+  CostBreakdown best_cost;
+  int evaluations_used = 0;
+  bool feasible = false;
+};
+
+// True if the architecture's expected cost fits every enabled budget.
+bool is_feasible(Supernet& net, const ArchSample& arch,
+                 const DnasConstraints& cn);
+
+// Evolutionary search (tournament selection + mutation + uniform crossover)
+// over feasible architectures, fitness = one-shot validation accuracy.
+SearchResult evolutionary_search(Supernet& net, const data::Dataset& val,
+                                 const SearchConfig& cfg);
+
+// Random search with the same feasibility filter and evaluation budget.
+SearchResult random_search(Supernet& net, const data::Dataset& val,
+                           const SearchConfig& cfg);
+
+}  // namespace mn::core

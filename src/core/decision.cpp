@@ -1,0 +1,149 @@
+#include "core/decision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mn::core {
+
+DecisionNode::DecisionNode(std::string name, int num_options, SearchContext* ctx)
+    : nn::Node(std::move(name)),
+      ctx_(ctx),
+      logits_(this->name() + "/logits", Shape{num_options}, nn::ParamGroup::kArch),
+      weights_(static_cast<size_t>(num_options), 1.0 / num_options) {
+  if (num_options < 2) throw std::invalid_argument("DecisionNode: need >= 2 options");
+  if (ctx == nullptr) throw std::invalid_argument("DecisionNode: null context");
+  logits_.value.fill(0.f);
+}
+
+int DecisionNode::selected_option() const {
+  int best = 0;
+  for (int k = 1; k < num_options(); ++k)
+    if (logits_.value[k] > logits_.value[best]) best = k;
+  return best;
+}
+
+void DecisionNode::refresh_weights(bool training) {
+  const int K = num_options();
+  if (ctx_->arch_frozen) {
+    std::fill(weights_.begin(), weights_.end(), 0.0);
+    weights_[static_cast<size_t>(selected_option())] = 1.0;
+    return;
+  }
+  const double tau = std::max(ctx_->temperature, 1e-3);
+  std::vector<double> z(static_cast<size_t>(K));
+  double mx = -1e300;
+  for (int k = 0; k < K; ++k) {
+    double v = logits_.value[k];
+    if (training && ctx_->gumbel_enabled) v += ctx_->rng.gumbel();
+    z[static_cast<size_t>(k)] = v / tau;
+    mx = std::max(mx, z[static_cast<size_t>(k)]);
+  }
+  double sum = 0.0;
+  for (int k = 0; k < K; ++k) {
+    weights_[static_cast<size_t>(k)] = std::exp(z[static_cast<size_t>(k)] - mx);
+    sum += weights_[static_cast<size_t>(k)];
+  }
+  for (int k = 0; k < K; ++k) weights_[static_cast<size_t>(k)] /= sum;
+}
+
+void DecisionNode::accumulate_arch_grad(std::span<const double> dL_da) {
+  if (static_cast<int>(dL_da.size()) != num_options())
+    throw std::invalid_argument("accumulate_arch_grad: size mismatch");
+  if (ctx_->arch_frozen) return;
+  const double tau = std::max(ctx_->temperature, 1e-3);
+  double dot = 0.0;
+  for (int k = 0; k < num_options(); ++k)
+    dot += weights_[static_cast<size_t>(k)] * dL_da[static_cast<size_t>(k)];
+  for (int k = 0; k < num_options(); ++k) {
+    const double g =
+        weights_[static_cast<size_t>(k)] * (dL_da[static_cast<size_t>(k)] - dot) / tau;
+    logits_.grad[k] += static_cast<float>(g);
+  }
+}
+
+// --------------------------------------------------------- MaskFromLogits --
+
+MaskFromLogits::MaskFromLogits(std::string name, std::vector<int64_t> widths,
+                               int64_t channels, SearchContext* ctx)
+    : DecisionNode(std::move(name), static_cast<int>(widths.size()), ctx),
+      widths_(std::move(widths)),
+      channels_(channels) {
+  for (int64_t w : widths_)
+    if (w <= 0 || w > channels_)
+      throw std::invalid_argument("MaskFromLogits: width out of range");
+}
+
+TensorF MaskFromLogits::forward(const std::vector<const TensorF*>&, bool training) {
+  refresh_weights(training);
+  TensorF mask(Shape{channels_}, 0.f);
+  // m_c = sum over options keeping channel c of a_k.
+  for (int k = 0; k < num_options(); ++k) {
+    const float a = static_cast<float>(weights_[static_cast<size_t>(k)]);
+    for (int64_t c = 0; c < widths_[static_cast<size_t>(k)]; ++c) mask[c] += a;
+  }
+  return mask;
+}
+
+std::vector<TensorF> MaskFromLogits::backward(const std::vector<const TensorF*>&,
+                                              const TensorF& g) {
+  // dL/da_k = sum_{c < width_k} dL/dm_c ; then through the softmax Jacobian.
+  std::vector<double> dL_da(static_cast<size_t>(num_options()), 0.0);
+  for (int k = 0; k < num_options(); ++k) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < widths_[static_cast<size_t>(k)]; ++c) acc += g[c];
+    dL_da[static_cast<size_t>(k)] = acc;
+  }
+  accumulate_arch_grad(dL_da);
+  return {};  // no graph inputs
+}
+
+double MaskFromLogits::expected_width() const {
+  double e = 0.0;
+  for (int k = 0; k < num_options(); ++k)
+    e += weights_[static_cast<size_t>(k)] * static_cast<double>(widths_[static_cast<size_t>(k)]);
+  return e;
+}
+
+// -------------------------------------------------------------- BranchMix --
+
+BranchMix::BranchMix(std::string name, int num_branches, SearchContext* ctx)
+    : DecisionNode(std::move(name), num_branches, ctx) {}
+
+TensorF BranchMix::forward(const std::vector<const TensorF*>& in, bool training) {
+  refresh_weights(training);
+  if (static_cast<int>(in.size()) != num_options())
+    throw std::invalid_argument(name() + ": branch count mismatch");
+  TensorF y(in[0]->shape(), 0.f);
+  for (int b = 0; b < num_options(); ++b) {
+    const TensorF& x = *in[static_cast<size_t>(b)];
+    if (x.shape() != y.shape())
+      throw std::invalid_argument(name() + ": branch shape mismatch");
+    const float a = static_cast<float>(weights_[static_cast<size_t>(b)]);
+    for (int64_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+  }
+  return y;
+}
+
+std::vector<TensorF> BranchMix::backward(const std::vector<const TensorF*>& in,
+                                         const TensorF& g) {
+  std::vector<double> dL_da(static_cast<size_t>(num_options()), 0.0);
+  std::vector<TensorF> grads;
+  grads.reserve(in.size());
+  for (int b = 0; b < num_options(); ++b) {
+    const TensorF& x = *in[static_cast<size_t>(b)];
+    const float a = static_cast<float>(weights_[static_cast<size_t>(b)]);
+    TensorF gx(x.shape());
+    double acc = 0.0;
+    for (int64_t i = 0; i < x.size(); ++i) {
+      gx[i] = a * g[i];
+      acc += static_cast<double>(g[i]) * x[i];
+    }
+    dL_da[static_cast<size_t>(b)] = acc;
+    grads.push_back(std::move(gx));
+  }
+  accumulate_arch_grad(dL_da);
+  return grads;
+}
+
+}  // namespace mn::core

@@ -1,0 +1,99 @@
+// DNAS decision nodes (§5.1, Eq. 1): differentiable selections among K
+// options, relaxed with a Gumbel-softmax over architecture logits.
+//
+//   y = sum_k z_k f_k(x),   z ~ one-hot  -->  y = sum_k a_k f_k(x),
+//   a = softmax((logits + gumbel_noise) / temperature).
+//
+// Two concrete nodes:
+//  - MaskFromLogits: emits a per-channel mask m = sum_k a_k M_k where M_k
+//    keeps the first width_k channels (FBNetV2-style width search). Feeds a
+//    ChannelMul node.
+//  - BranchMix: y = a_0 x_0 + ... + a_{K-1} x_{K-1} over K same-shaped
+//    branches (layer-skip decisions: block vs. shortcut).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/node.hpp"
+
+namespace mn::core {
+
+// Shared annealing/noise state for all decision nodes of one search.
+struct SearchContext {
+  double temperature = 5.0;
+  bool gumbel_enabled = true;
+  bool arch_frozen = false;  // freeze to argmax (used for extraction eval)
+  Rng rng{0xD1CE};
+};
+
+// Base for nodes parameterized by architecture logits.
+class DecisionNode : public nn::Node {
+ public:
+  DecisionNode(std::string name, int num_options, SearchContext* ctx);
+
+  int num_options() const { return static_cast<int>(logits_.value.size()); }
+  nn::Param& logits() { return logits_; }
+  std::vector<nn::Param*> params() override { return {&logits_}; }
+
+  // Softmax weights `a` from the most recent forward.
+  const std::vector<double>& weights() const { return weights_; }
+
+  // argmax over logits (the hard selection used at extraction time).
+  int selected_option() const;
+
+  // Adds dLoss/d(logits) for a given dLoss/d(a), through the softmax
+  // Jacobian at the stored weights (used by the analytic constraint
+  // penalties, which bypass the activation graph).
+  void accumulate_arch_grad(std::span<const double> dL_da);
+
+  // Recomputes the stored weights outside a graph forward (used by the
+  // black-box search helpers to snapshot costs of a frozen architecture).
+  void refresh(bool training = false) { refresh_weights(training); }
+
+ protected:
+  // Recomputes `weights_` (Gumbel-perturbed softmax, or hard one-hot when
+  // the context is frozen). Called at the start of each forward.
+  void refresh_weights(bool training);
+
+  SearchContext* ctx_;
+  nn::Param logits_;
+  std::vector<double> weights_;
+};
+
+class MaskFromLogits final : public DecisionNode {
+ public:
+  // `widths[k]` = number of leading channels kept by option k; channels =
+  // mask length (usually widths.back()).
+  MaskFromLogits(std::string name, std::vector<int64_t> widths, int64_t channels,
+                 SearchContext* ctx);
+
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+
+  const std::vector<int64_t>& widths() const { return widths_; }
+  int64_t channels() const { return channels_; }
+
+  // E[width] = sum_k a_k width_k under the current weights.
+  double expected_width() const;
+  int64_t selected_width() const { return widths_[static_cast<size_t>(selected_option())]; }
+
+ private:
+  std::vector<int64_t> widths_;
+  int64_t channels_;
+};
+
+class BranchMix final : public DecisionNode {
+ public:
+  BranchMix(std::string name, int num_branches, SearchContext* ctx);
+
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+
+  // P(branch b is selected) under the current relaxation.
+  double branch_probability(int b) const { return weights_[static_cast<size_t>(b)]; }
+};
+
+}  // namespace mn::core

@@ -1,0 +1,123 @@
+#include "core/dnas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mcu/perf_model.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mn::core {
+
+DnasConstraints constraints_for_device(const mcu::Device& dev,
+                                       double latency_target_s) {
+  DnasConstraints c;
+  c.flash_budget_bytes = mcu::model_flash_budget(dev);
+  // Working memory (Eq. 3) must fit the arena share of SRAM; reserve an
+  // estimated persistent-buffer share on top of the fixed runtime overhead.
+  c.sram_budget_bytes = mcu::model_sram_budget(dev) - 24 * 1024;
+  if (latency_target_s > 0.0) {
+    // ops <= latency * throughput (conv-dominated backbones).
+    c.ops_budget = static_cast<int64_t>(latency_target_s * dev.conv_mops * 1e6);
+  }
+  return c;
+}
+
+double constraint_penalty(const CostBreakdown& cost, const DnasConstraints& cn,
+                          double* d_flash, double* d_ops, double* d_wm,
+                          double* d_latency) {
+  double pen = 0.0;
+  *d_flash = *d_ops = *d_wm = 0.0;
+  if (d_latency != nullptr) *d_latency = 0.0;
+  auto hinge = [&pen](double u, double budget, double lambda, double* dc) {
+    if (budget <= 0) return;
+    const double over = u / budget - 1.0;
+    if (over > 0) {
+      pen += lambda * over * over;
+      *dc = lambda * 2.0 * over / budget;
+    }
+  };
+  hinge(cost.expected_flash_bytes, static_cast<double>(cn.flash_budget_bytes),
+        cn.lambda_flash, d_flash);
+  hinge(cost.expected_ops, static_cast<double>(cn.ops_budget), cn.lambda_ops,
+        d_ops);
+  hinge(cost.peak_working_memory, static_cast<double>(cn.sram_budget_bytes),
+        cn.lambda_sram, d_wm);
+  if (d_latency != nullptr && cn.latency_device != nullptr)
+    hinge(cost.expected_latency_s, cn.latency_budget_s, cn.lambda_latency,
+          d_latency);
+  return pen;
+}
+
+DnasResult run_dnas(Supernet& net, const data::Dataset& train,
+                    const DnasConfig& cfg) {
+  Rng rng(cfg.seed);
+  net.ctx().rng = rng.fork(0x6A5);
+  data::Dataset ds = train;
+
+  auto all_params = net.graph.params();
+  std::vector<nn::Param*> weight_params, arch_params;
+  for (nn::Param* p : all_params) {
+    if (p->group == nn::ParamGroup::kArch)
+      arch_params.push_back(p);
+    else
+      weight_params.push_back(p);
+  }
+
+  const int64_t steps_per_epoch =
+      std::max<int64_t>(1, (ds.size() + cfg.batch_size - 1) / cfg.batch_size);
+  nn::CosineSchedule w_sched(cfg.lr_w_start, cfg.lr_w_end,
+                             steps_per_epoch * cfg.epochs);
+  nn::SgdMomentum w_opt(0.9, cfg.weight_decay);
+  nn::Adam a_opt;
+
+  DnasResult result;
+  int64_t step = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Anneal the Gumbel-softmax temperature over the search.
+    const double frac = cfg.epochs > 1
+                            ? static_cast<double>(epoch) / (cfg.epochs - 1)
+                            : 1.0;
+    net.ctx().temperature =
+        cfg.temp_start * std::pow(cfg.temp_end / cfg.temp_start, frac);
+    const bool arch_active = epoch >= cfg.warmup_epochs;
+
+    data::shuffle(ds, rng);
+    double loss_sum = 0.0, acc_sum = 0.0, pen_sum = 0.0;
+    int64_t batches = 0;
+    for (int64_t first = 0; first < ds.size(); first += cfg.batch_size) {
+      const data::Batch batch = data::make_batch(ds, first, cfg.batch_size);
+      net.graph.zero_grads();
+      const TensorF logits = net.graph.forward(batch.inputs, /*training=*/true);
+      const nn::LossResult lr = nn::softmax_cross_entropy(logits, batch.labels);
+      net.graph.backward(lr.grad);
+
+      const CostBreakdown cost =
+          evaluate_cost(net, cfg.constraints.latency_device);
+      double d_flash, d_ops, d_wm, d_lat;
+      const double pen = constraint_penalty(cost, cfg.constraints, &d_flash,
+                                            &d_ops, &d_wm, &d_lat);
+      if (arch_active) {
+        accumulate_cost_gradients(net, d_flash, d_ops, d_wm, d_lat,
+                                  cfg.constraints.latency_device);
+        a_opt.step(arch_params, cfg.lr_arch);
+      }
+      w_opt.step(weight_params, w_sched.lr(step));
+      ++step;
+      loss_sum += lr.loss + pen;
+      pen_sum += pen;
+      acc_sum += nn::accuracy(logits, batch.labels);
+      ++batches;
+      result.final_cost = cost;
+      result.final_penalty = pen;
+    }
+    result.final_train_accuracy = acc_sum / static_cast<double>(batches);
+    if (cfg.on_epoch)
+      cfg.on_epoch(epoch, loss_sum / static_cast<double>(batches),
+                   result.final_train_accuracy,
+                   pen_sum / static_cast<double>(batches), result.final_cost);
+  }
+  return result;
+}
+
+}  // namespace mn::core

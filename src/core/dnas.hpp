@@ -1,0 +1,66 @@
+// DNAS search loop (§5): trains supernet weights and architecture logits
+// jointly by gradient descent, with differentiable penalties that push the
+// expected architecture inside the MCU eFlash / SRAM / op-count budgets.
+#pragma once
+
+#include <functional>
+
+#include "core/supernet.hpp"
+#include "datasets/dataset.hpp"
+#include "mcu/device.hpp"
+
+namespace mn::core {
+
+struct DnasConstraints {
+  // 0 disables a constraint.
+  int64_t flash_budget_bytes = 0;  // model weights + graph def (eFlash)
+  int64_t sram_budget_bytes = 0;   // peak working memory (Eq. 3)
+  int64_t ops_budget = 0;          // op-count proxy for the latency target
+  double lambda_flash = 4.0;
+  double lambda_sram = 4.0;
+  double lambda_ops = 4.0;
+  // Direct-latency alternative to the op-count proxy: constrain the
+  // differentiable end-to-end latency estimate on a concrete device.
+  double latency_budget_s = 0.0;   // 0 disables
+  double lambda_latency = 4.0;
+  const mcu::Device* latency_device = nullptr;
+};
+
+// Budgets for targeting a device, mirroring §5.1.1: available memory minus
+// expected TFLM overheads (and persistent-buffer headroom for SRAM).
+DnasConstraints constraints_for_device(const mcu::Device& dev,
+                                       double latency_target_s = 0.0);
+
+struct DnasConfig {
+  int epochs = 30;
+  int64_t batch_size = 32;
+  double lr_w_start = 0.05;
+  double lr_w_end = 1e-4;
+  double weight_decay = 1e-3;
+  double lr_arch = 0.05;
+  double temp_start = 5.0;
+  double temp_end = 0.5;
+  int warmup_epochs = 5;  // train weights only before arch updates begin
+  uint64_t seed = 1;
+  DnasConstraints constraints;
+  std::function<void(int, double /*loss*/, double /*acc*/, double /*penalty*/,
+                     const CostBreakdown&)>
+      on_epoch;
+};
+
+struct DnasResult {
+  CostBreakdown final_cost;
+  double final_train_accuracy = 0.0;
+  double final_penalty = 0.0;
+};
+
+// Penalty value and its derivative coefficients w.r.t. each cost term
+// (normalized quadratic hinge: lambda * max(0, u/B - 1)^2).
+double constraint_penalty(const CostBreakdown& cost, const DnasConstraints& cn,
+                          double* d_flash, double* d_ops, double* d_wm,
+                          double* d_latency = nullptr);
+
+DnasResult run_dnas(Supernet& net, const data::Dataset& train,
+                    const DnasConfig& cfg);
+
+}  // namespace mn::core

@@ -1,0 +1,537 @@
+#include "core/supernet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mn::core {
+
+// ---------------------------------------------------------------- ConvCost --
+
+double ConvCost::expected_in() const {
+  return in_dec != nullptr ? in_dec->expected_width()
+                           : static_cast<double>(in_ch_max);
+}
+
+double ConvCost::expected_out() const {
+  return out_dec != nullptr ? out_dec->expected_width()
+                            : static_cast<double>(out_ch_max);
+}
+
+double ConvCost::gate_probability() const {
+  return gate != nullptr ? gate->branch_probability(0) : 1.0;
+}
+
+double ConvCost::expected_macs() const {
+  const double spatial = static_cast<double>(out_h * out_w);
+  const double kk = static_cast<double>(kh * kw);
+  const double macs = depthwise ? spatial * kk * expected_in()
+                                : spatial * kk * expected_in() * expected_out();
+  return gate_probability() * macs;
+}
+
+double ConvCost::expected_params() const {
+  const double kk = static_cast<double>(kh * kw);
+  const double p = depthwise ? kk * expected_in() : kk * expected_in() * expected_out();
+  return gate_probability() * p;
+}
+
+double ConvCost::expected_working_memory() const {
+  const double bytes_per = bits == 4 ? 0.5 : 1.0;
+  const double in_b = static_cast<double>(in_h * in_w) * expected_in() * bytes_per;
+  const double out_b = static_cast<double>(out_h * out_w) * expected_out() * bytes_per;
+  return in_b + out_b;
+}
+
+double ConvCost::smooth_mops(const mcu::Device& dev) const {
+  if (depthwise) return dev.dwconv_mops;
+  // Dense layers appear as 1x1 "convs" on a 1x1 spatial grid.
+  if (in_h == 1 && in_w == 1 && kh * kw == 1) return dev.fc_mops;
+  if (kh * kw == 1) return dev.conv_mops * 1.14;  // pointwise GEMM path
+  return dev.conv_mops * 0.86;                    // IM2COL 3x3+ path
+}
+
+// ----------------------------------------------------------- cost snapshot --
+
+CostBreakdown evaluate_cost(const Supernet& net, const mcu::Device* latency_device) {
+  CostBreakdown c;
+  // Fixed per-inference and per-layer dispatch costs of the interpreter
+  // (matching the mcu latency model's overheads); constant w.r.t. the
+  // architecture parameters so they carry no gradient.
+  if (latency_device != nullptr)
+    c.expected_latency_s =
+        150e-6 + 40e-6 * (2.0 * static_cast<double>(net.conv_costs.size()) + 2.0);
+  for (size_t i = 0; i < net.conv_costs.size(); ++i) {
+    const ConvCost& cc = net.conv_costs[i];
+    c.expected_params += cc.expected_params();
+    c.expected_ops += 2.0 * cc.expected_macs();
+    if (latency_device != nullptr)
+      c.expected_latency_s +=
+          2.0 * cc.expected_macs() / (cc.smooth_mops(*latency_device) * 1e6);
+    const double wm = cc.expected_working_memory();
+    if (wm > c.peak_working_memory) {
+      c.peak_working_memory = wm;
+      c.peak_conv_index = static_cast<int>(i);
+    }
+  }
+  // Flash estimate: quantized weights (+per-channel bias/scale overhead and
+  // graph-def metadata, roughly proportional to layer count).
+  double bytes_per_weight = 1.0;
+  if (!net.conv_costs.empty() && net.conv_costs.front().bits == 4)
+    bytes_per_weight = 0.5;
+  c.expected_flash_bytes = c.expected_params * bytes_per_weight +
+                           static_cast<double>(net.conv_costs.size()) * 640.0 + 2048.0;
+  return c;
+}
+
+void accumulate_cost_gradients(Supernet& net, double d_flash, double d_ops,
+                               double d_wm, double d_latency,
+                               const mcu::Device* latency_device) {
+  const CostBreakdown snap = evaluate_cost(net, latency_device);
+  double bytes_per_weight = 1.0;
+  if (!net.conv_costs.empty() && net.conv_costs.front().bits == 4)
+    bytes_per_weight = 0.5;
+
+  for (size_t i = 0; i < net.conv_costs.size(); ++i) {
+    const ConvCost& cc = net.conv_costs[i];
+    const double spatial = static_cast<double>(cc.out_h * cc.out_w);
+    const double kk = static_cast<double>(cc.kh * cc.kw);
+    const double e_in = cc.expected_in();
+    const double e_out = cc.expected_out();
+    const double p = cc.gate_probability();
+    const bool is_peak = static_cast<int>(i) == snap.peak_conv_index;
+    const double bytes_per_act = cc.bits == 4 ? 0.5 : 1.0;
+    // Latency is ops-shaped with a per-layer throughput divisor: fold its
+    // chain coefficient into the op-count coefficient for this entry.
+    double d_ops_local = d_ops;
+    if (latency_device != nullptr && d_latency != 0.0)
+      d_ops_local += d_latency / (cc.smooth_mops(*latency_device) * 1e6);
+
+    // d(cost)/d(E_in), d(E_out), d(p) for the three cost terms combined.
+    double d_e_in = 0.0, d_e_out = 0.0, d_p = 0.0;
+    if (cc.depthwise) {
+      const double macs_per_ch = spatial * kk;
+      d_e_in += d_ops_local * 2.0 * p * macs_per_ch;
+      d_p += d_ops_local * 2.0 * macs_per_ch * e_in;
+      d_e_in += d_flash * bytes_per_weight * p * kk;
+      d_p += d_flash * bytes_per_weight * kk * e_in;
+    } else {
+      d_e_in += d_ops_local * 2.0 * p * spatial * kk * e_out;
+      d_e_out += d_ops_local * 2.0 * p * spatial * kk * e_in;
+      d_p += d_ops_local * 2.0 * spatial * kk * e_in * e_out;
+      d_e_in += d_flash * bytes_per_weight * p * kk * e_out;
+      d_e_out += d_flash * bytes_per_weight * p * kk * e_in;
+      d_p += d_flash * bytes_per_weight * kk * e_in * e_out;
+    }
+    if (is_peak) {
+      // Subgradient of the max through the peak node only.
+      d_e_in += d_wm * static_cast<double>(cc.in_h * cc.in_w) * bytes_per_act;
+      d_e_out += d_wm * static_cast<double>(cc.out_h * cc.out_w) * bytes_per_act;
+    }
+
+    // Chain into decision weights: E_width = sum_k a_k width_k, so
+    // d/d a_k = width_k * d/d(E).
+    if (cc.in_dec != nullptr && d_e_in != 0.0) {
+      std::vector<double> da(cc.in_dec->widths().size());
+      for (size_t k = 0; k < da.size(); ++k)
+        da[k] = d_e_in * static_cast<double>(cc.in_dec->widths()[k]);
+      cc.in_dec->accumulate_arch_grad(da);
+    }
+    if (cc.out_dec != nullptr && d_e_out != 0.0) {
+      std::vector<double> da(cc.out_dec->widths().size());
+      for (size_t k = 0; k < da.size(); ++k)
+        da[k] = d_e_out * static_cast<double>(cc.out_dec->widths()[k]);
+      cc.out_dec->accumulate_arch_grad(da);
+    }
+    if (cc.gate != nullptr && d_p != 0.0) {
+      std::vector<double> da(static_cast<size_t>(cc.gate->num_options()), 0.0);
+      da[0] = d_p;  // branch 0 = layer present
+      cc.gate->accumulate_arch_grad(da);
+    }
+  }
+}
+
+// ---------------------------------------------------------- width options --
+
+std::vector<int64_t> width_options(int64_t max_channels,
+                                   std::span<const double> fracs) {
+  std::vector<int64_t> w;
+  for (double f : fracs) {
+    int64_t c = static_cast<int64_t>(std::lround(f * static_cast<double>(max_channels) / 4.0)) * 4;
+    c = std::clamp<int64_t>(c, 4, max_channels);
+    w.push_back(c);
+  }
+  std::sort(w.begin(), w.end());
+  w.erase(std::unique(w.begin(), w.end()), w.end());
+  if (w.size() < 2)
+    throw std::invalid_argument("width_options: search space collapsed");
+  return w;
+}
+
+// ------------------------------------------------------ DS-CNN supernet ----
+
+Supernet build_ds_cnn_supernet(const DsCnnSearchSpace& space,
+                               const models::BuildOptions& opt) {
+  Supernet net;
+  net.input_shape = space.input;
+  net.num_classes = space.num_classes;
+  nn::GraphBuilder b(opt.seed);
+  b.set_qat(opt.qat, opt.weight_bits, opt.act_bits);
+
+  int x = b.input(space.input);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  Shape cur = b.shape(x);
+
+  auto add_mask = [&](int64_t max_ch, const std::string& tag) {
+    auto node = std::make_unique<MaskFromLogits>(
+        tag, width_options(max_ch, space.width_fracs), max_ch, &net.ctx());
+    MaskFromLogits* raw = node.get();
+    const int id = b.custom(std::move(node), {}, Shape{max_ch});
+    net.width_decisions.push_back(raw);
+    return std::pair<int, MaskFromLogits*>{id, raw};
+  };
+
+  // Stem.
+  nn::Conv2DOptions stem;
+  stem.out_channels = space.stem_max;
+  stem.kh = space.stem_kh;
+  stem.kw = space.stem_kw;
+  stem.stride = space.stem_stride;
+  const Shape in_shape = cur;
+  x = b.conv_bn_relu(x, stem);
+  auto [stem_mask_id, stem_mask] = add_mask(space.stem_max, "mask_stem");
+  x = b.channel_mul(x, stem_mask_id);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  cur = b.shape(x);
+  {
+    ConvCost cc;
+    cc.kh = stem.kh;
+    cc.kw = stem.kw;
+    cc.in_h = in_shape.dim(0);
+    cc.in_w = in_shape.dim(1);
+    cc.in_ch_max = in_shape.dim(2);
+    cc.out_h = cur.dim(0);
+    cc.out_w = cur.dim(1);
+    cc.out_ch_max = space.stem_max;
+    cc.out_dec = stem_mask;
+    cc.bits = opt.act_bits;
+    net.conv_costs.push_back(cc);
+  }
+
+  MaskFromLogits* prev_mask = stem_mask;
+  for (size_t bi = 0; bi < space.blocks.size(); ++bi) {
+    const auto& blk = space.blocks[bi];
+    if (blk.max_channels != cur.dim(2))
+      throw std::invalid_argument(
+          "build_ds_cnn_supernet: block max width must match previous stage "
+          "(widths are realized by masks)");
+    const Shape block_in = cur;
+    const int block_input = x;
+
+    nn::DepthwiseConv2DOptions dw;
+    dw.kh = dw.kw = 3;
+    dw.stride = blk.stride;
+    int y = b.dwconv_bn_relu(x, dw);
+    const Shape dw_out = b.shape(y);
+    nn::Conv2DOptions pw;
+    pw.out_channels = blk.max_channels;
+    pw.kh = pw.kw = 1;
+    y = b.conv_bn_relu(y, pw);
+
+    // Skip branch: identity (or average pooling when downsampling).
+    int skip = block_input;
+    if (blk.stride != 1) {
+      nn::Pool2DOptions po;
+      po.kh = po.kw = blk.stride;
+      po.stride = blk.stride;
+      po.padding = nn::Padding::kSame;
+      skip = b.avg_pool(block_input, po);
+    }
+
+    BranchMix* gate = nullptr;
+    if (blk.searchable_skip) {
+      auto mix = std::make_unique<BranchMix>("skip_" + std::to_string(bi), 2,
+                                             &net.ctx());
+      gate = mix.get();
+      net.skip_decisions.push_back(gate);
+      y = b.custom(std::move(mix), {y, skip}, b.shape(y));
+    }
+
+    auto [mask_id, mask] = add_mask(blk.max_channels, "mask_" + std::to_string(bi));
+    y = b.channel_mul(y, mask_id);
+    if (opt.qat) y = b.fake_quant(y, opt.act_bits);
+    cur = b.shape(y);
+    x = y;
+
+    // Cost entries: depthwise (width follows the previous mask) and
+    // pointwise (in = previous mask, out = this block's mask).
+    ConvCost dwc;
+    dwc.depthwise = true;
+    dwc.kh = dwc.kw = 3;
+    dwc.in_h = block_in.dim(0);
+    dwc.in_w = block_in.dim(1);
+    dwc.in_ch_max = block_in.dim(2);
+    dwc.out_h = dw_out.dim(0);
+    dwc.out_w = dw_out.dim(1);
+    dwc.out_ch_max = block_in.dim(2);
+    dwc.in_dec = prev_mask;
+    dwc.out_dec = prev_mask;
+    dwc.gate = gate;
+    dwc.bits = opt.act_bits;
+    net.conv_costs.push_back(dwc);
+
+    ConvCost pwc;
+    pwc.kh = pwc.kw = 1;
+    pwc.in_h = dw_out.dim(0);
+    pwc.in_w = dw_out.dim(1);
+    pwc.in_ch_max = block_in.dim(2);
+    pwc.out_h = cur.dim(0);
+    pwc.out_w = cur.dim(1);
+    pwc.out_ch_max = blk.max_channels;
+    pwc.in_dec = prev_mask;
+    pwc.out_dec = mask;
+    pwc.gate = gate;
+    pwc.bits = opt.act_bits;
+    net.conv_costs.push_back(pwc);
+
+    prev_mask = mask;
+  }
+
+  x = b.global_avg_pool(x);
+  x = b.dense(x, space.num_classes);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  {
+    ConvCost fc;
+    fc.kh = fc.kw = 1;
+    fc.in_h = fc.in_w = 1;
+    fc.in_ch_max = cur.dim(2);
+    fc.out_h = fc.out_w = 1;
+    fc.out_ch_max = space.num_classes;
+    fc.in_dec = prev_mask;
+    fc.bits = opt.act_bits;
+    net.conv_costs.push_back(fc);
+  }
+
+  net.graph = b.build(x);
+  return net;
+}
+
+// ------------------------------------------------------- MBv2 supernet ----
+
+MbV2SearchSpace mbv2_search_space(double width_mult, Shape input, int num_classes) {
+  const models::MobileNetV2Config ref =
+      models::mobilenet_v2(width_mult, input, num_classes);
+  MbV2SearchSpace s;
+  s.input = input;
+  s.num_classes = num_classes;
+  s.stem_max = ref.stem_channels;
+  s.stem_stride = ref.stem_stride;
+  for (const models::IbnBlock& blk : ref.blocks)
+    s.blocks.push_back({blk.expansion_channels, blk.out_channels, blk.stride});
+  s.head_max = ref.head_channels;
+  return s;
+}
+
+Supernet build_mbv2_supernet(const MbV2SearchSpace& space,
+                             const models::BuildOptions& opt) {
+  Supernet net;
+  net.input_shape = space.input;
+  net.num_classes = space.num_classes;
+  nn::GraphBuilder b(opt.seed);
+  b.set_qat(opt.qat, opt.weight_bits, opt.act_bits);
+
+  int x = b.input(space.input);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  Shape cur = b.shape(x);
+
+  auto add_mask = [&](int64_t max_ch, const std::string& tag) {
+    auto node = std::make_unique<MaskFromLogits>(
+        tag, width_options(max_ch, space.width_fracs), max_ch, &net.ctx());
+    MaskFromLogits* raw = node.get();
+    const int id = b.custom(std::move(node), {}, Shape{max_ch});
+    net.width_decisions.push_back(raw);
+    return std::pair<int, MaskFromLogits*>{id, raw};
+  };
+
+  auto add_conv_cost = [&](const Shape& in_s, const Shape& out_s, int64_t kh,
+                           int64_t kw, bool depthwise, MaskFromLogits* in_dec,
+                           MaskFromLogits* out_dec) {
+    ConvCost cc;
+    cc.depthwise = depthwise;
+    cc.kh = kh;
+    cc.kw = kw;
+    cc.in_h = in_s.dim(0);
+    cc.in_w = in_s.dim(1);
+    cc.in_ch_max = in_s.dim(2);
+    cc.out_h = out_s.dim(0);
+    cc.out_w = out_s.dim(1);
+    cc.out_ch_max = out_s.dim(2);
+    cc.in_dec = in_dec;
+    cc.out_dec = out_dec;
+    cc.bits = opt.act_bits;
+    net.conv_costs.push_back(cc);
+  };
+
+  // Stem (searchable width).
+  nn::Conv2DOptions stem;
+  stem.out_channels = space.stem_max;
+  stem.kh = stem.kw = 3;
+  stem.stride = space.stem_stride;
+  Shape in_s = cur;
+  x = b.conv_bn_relu(x, stem);
+  auto [stem_mask_id, stem_mask] = add_mask(space.stem_max, "mask_stem");
+  x = b.channel_mul(x, stem_mask_id);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  cur = b.shape(x);
+  add_conv_cost(in_s, cur, 3, 3, false, nullptr, stem_mask);
+
+  MaskFromLogits* prev_mask = stem_mask;
+  for (size_t bi = 0; bi < space.blocks.size(); ++bi) {
+    const auto& blk = space.blocks[bi];
+    const Shape block_in = cur;
+    int y = x;
+    MaskFromLogits* exp_mask = prev_mask;
+    Shape exp_shape = block_in;
+    if (blk.expansion_max != block_in.dim(2)) {
+      nn::Conv2DOptions e;
+      e.out_channels = blk.expansion_max;
+      e.kh = e.kw = 1;
+      y = b.conv_bn_relu(y, e);
+      auto [mid, m] = add_mask(blk.expansion_max, "mask_exp_" + std::to_string(bi));
+      y = b.channel_mul(y, mid);
+      if (opt.qat) y = b.fake_quant(y, opt.act_bits);
+      exp_mask = m;
+      exp_shape = b.shape(y);
+      add_conv_cost(block_in, exp_shape, 1, 1, false, prev_mask, m);
+    }
+    nn::DepthwiseConv2DOptions dw;
+    dw.kh = dw.kw = 3;
+    dw.stride = blk.stride;
+    y = b.dwconv_bn_relu(y, dw);
+    const Shape dw_out = b.shape(y);
+    {
+      ConvCost cc;
+      cc.depthwise = true;
+      cc.kh = cc.kw = 3;
+      cc.in_h = exp_shape.dim(0);
+      cc.in_w = exp_shape.dim(1);
+      cc.in_ch_max = exp_shape.dim(2);
+      cc.out_h = dw_out.dim(0);
+      cc.out_w = dw_out.dim(1);
+      cc.out_ch_max = exp_shape.dim(2);
+      cc.in_dec = exp_mask;
+      cc.out_dec = exp_mask;
+      cc.bits = opt.act_bits;
+      net.conv_costs.push_back(cc);
+    }
+    // Linear projection (searchable width).
+    nn::Conv2DOptions p;
+    p.out_channels = blk.out_max;
+    p.kh = p.kw = 1;
+    p.use_bias = false;
+    y = b.conv2d(y, p);
+    y = b.batch_norm(y);
+    auto [proj_id, proj_mask] = add_mask(blk.out_max, "mask_proj_" + std::to_string(bi));
+    y = b.channel_mul(y, proj_id);
+    if (opt.qat) y = b.fake_quant(y, opt.act_bits);
+    cur = b.shape(y);
+    x = y;
+    add_conv_cost(dw_out, cur, 1, 1, false, exp_mask, proj_mask);
+    prev_mask = proj_mask;
+  }
+
+  if (space.head_max > 0) {
+    nn::Conv2DOptions head;
+    head.out_channels = space.head_max;
+    head.kh = head.kw = 1;
+    const Shape hin = cur;
+    x = b.conv_bn_relu(x, head);
+    auto [hid, hmask] = add_mask(space.head_max, "mask_head");
+    x = b.channel_mul(x, hid);
+    if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+    cur = b.shape(x);
+    add_conv_cost(hin, cur, 1, 1, false, prev_mask, hmask);
+    prev_mask = hmask;
+  }
+
+  x = b.global_avg_pool(x);
+  x = b.dense(x, space.num_classes);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  {
+    ConvCost fc;
+    fc.kh = fc.kw = 1;
+    fc.in_h = fc.in_w = 1;
+    fc.in_ch_max = cur.dim(2);
+    fc.out_h = fc.out_w = 1;
+    fc.out_ch_max = space.num_classes;
+    fc.in_dec = prev_mask;
+    fc.bits = opt.act_bits;
+    net.conv_costs.push_back(fc);
+  }
+
+  net.graph = b.build(x);
+  return net;
+}
+
+// -------------------------------------------------------------- extraction --
+
+models::DsCnnConfig extract_ds_cnn(const Supernet& net,
+                                   const DsCnnSearchSpace& space) {
+  models::DsCnnConfig cfg;
+  cfg.input = space.input;
+  cfg.num_classes = space.num_classes;
+  cfg.stem_kh = space.stem_kh;
+  cfg.stem_kw = space.stem_kw;
+  cfg.stem_stride = space.stem_stride;
+  size_t mask_idx = 0;
+  size_t skip_idx = 0;
+  cfg.stem_channels = net.width_decisions.at(mask_idx++)->selected_width();
+  for (const auto& blk : space.blocks) {
+    const int64_t w = net.width_decisions.at(mask_idx++)->selected_width();
+    bool keep = true;
+    if (blk.searchable_skip) {
+      // Branch 0 = block present; branch 1 = skip (drop the layer).
+      keep = net.skip_decisions.at(skip_idx++)->selected_option() == 0;
+    }
+    if (keep || blk.stride != 1) {
+      // A downsampling block is kept even if skipped in favour of pooling;
+      // approximating the pooled shortcut with a thin block keeps the
+      // extracted model a plain DS-CNN.
+      cfg.blocks.push_back({w, blk.stride});
+    }
+  }
+  if (cfg.blocks.empty()) cfg.blocks.push_back({cfg.stem_channels, 1});
+  return cfg;
+}
+
+models::MobileNetV2Config extract_mbv2(const Supernet& net,
+                                       const MbV2SearchSpace& space) {
+  models::MobileNetV2Config cfg;
+  cfg.input = space.input;
+  cfg.num_classes = space.num_classes;
+  cfg.stem_stride = space.stem_stride;
+  size_t mask_idx = 0;
+  cfg.stem_channels = net.width_decisions.at(mask_idx++)->selected_width();
+  int64_t in_ch = cfg.stem_channels;
+  // Mirror the builder's structure: an expansion conv (and its mask) exists
+  // iff expansion_max differs from the previous stage's *max* width.
+  int64_t prev_max = space.stem_max;
+  for (const auto& blk : space.blocks) {
+    models::IbnBlock out;
+    if (blk.expansion_max != prev_max /* had an expansion conv + mask */) {
+      out.expansion_channels = net.width_decisions.at(mask_idx++)->selected_width();
+    } else {
+      out.expansion_channels = in_ch;
+    }
+    prev_max = blk.out_max;
+    out.out_channels = net.width_decisions.at(mask_idx++)->selected_width();
+    out.stride = blk.stride;
+    cfg.blocks.push_back(out);
+    in_ch = out.out_channels;
+  }
+  cfg.head_channels =
+      space.head_max > 0 ? net.width_decisions.at(mask_idx++)->selected_width() : 0;
+  return cfg;
+}
+
+}  // namespace mn::core

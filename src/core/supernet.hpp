@@ -1,0 +1,137 @@
+// Supernet construction for DNAS (§5.2): width-searchable DS-CNN backbones
+// (KWS, AD) and width-searchable sequential-IBN MobileNetV2 backbones (VWW),
+// plus the differentiable cost model used by the MCU constraints (§5.1.1-2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "mcu/device.hpp"
+#include "models/backbones.hpp"
+#include "nn/graph.hpp"
+
+namespace mn::core {
+
+// Cost-model entry for one searchable (or fixed) MAC layer of the supernet.
+struct ConvCost {
+  bool depthwise = false;
+  int64_t kh = 1, kw = 1;
+  int64_t in_h = 1, in_w = 1;
+  int64_t out_h = 1, out_w = 1;
+  int64_t in_ch_max = 0, out_ch_max = 0;
+  MaskFromLogits* in_dec = nullptr;   // null = fixed at in_ch_max
+  MaskFromLogits* out_dec = nullptr;  // null = fixed at out_ch_max
+  BranchMix* gate = nullptr;  // block-skip decision; branch 0 = layer present
+  int bits = 8;
+
+  double expected_in() const;
+  double expected_out() const;
+  double gate_probability() const;  // P(layer present)
+  double expected_macs() const;
+  double expected_params() const;       // weights only (bias excluded)
+  double expected_working_memory() const;  // bytes: inputs + outputs (Eq. 3)
+  // Smooth per-family throughput used by the differentiable direct-latency
+  // constraint (no measurement wobble / alignment effects: those are not
+  // differentiable and average out per Fig. 4).
+  double smooth_mops(const mcu::Device& dev) const;
+};
+
+class Supernet {
+ public:
+  Supernet() : ctx_(std::make_unique<SearchContext>()) {}
+  Supernet(Supernet&&) = default;
+  Supernet& operator=(Supernet&&) = default;
+
+  SearchContext& ctx() { return *ctx_; }
+  nn::Graph graph;
+  std::vector<MaskFromLogits*> width_decisions;  // owned by graph
+  std::vector<BranchMix*> skip_decisions;        // owned by graph
+  std::vector<ConvCost> conv_costs;
+  Shape input_shape;
+  int num_classes = 0;
+
+ private:
+  std::unique_ptr<SearchContext> ctx_;  // stable address for graph nodes
+};
+
+// Differentiable cost snapshot under the decision weights stored by the most
+// recent forward pass.
+struct CostBreakdown {
+  double expected_params = 0.0;       // scalar weight count
+  double expected_flash_bytes = 0.0;  // params*bytes + bias/graph-def estimate
+  double expected_ops = 0.0;          // 1 MAC = 2 ops
+  double peak_working_memory = 0.0;   // max over nodes of Eq. 3, bytes
+  int peak_conv_index = -1;           // which cost entry attains the max
+  // Filled when a latency device is supplied: differentiable end-to-end
+  // latency estimate (seconds) from the smooth throughput model.
+  double expected_latency_s = 0.0;
+};
+CostBreakdown evaluate_cost(const Supernet& net,
+                            const mcu::Device* latency_device = nullptr);
+
+// Accumulates d(penalty)/d(logits) for linear penalty coefficients on each
+// cost term: dP/d(flash_bytes), dP/d(ops), dP/d(peak_wm) and, when a device
+// is given, dP/d(latency_s). Uses the same decision weights as the last
+// forward.
+void accumulate_cost_gradients(Supernet& net, double d_flash, double d_ops,
+                               double d_wm, double d_latency = 0.0,
+                               const mcu::Device* latency_device = nullptr);
+
+// --- Search spaces ----------------------------------------------------------
+
+struct DsCnnSearchSpace {
+  Shape input{49, 10, 1};
+  int num_classes = 12;
+  int64_t stem_max = 276;
+  int64_t stem_kh = 10, stem_kw = 4, stem_stride = 2;
+  struct Block {
+    int64_t max_channels = 276;
+    int64_t stride = 1;
+    bool searchable_skip = true;  // paper: parallel skip to choose depth
+  };
+  std::vector<Block> blocks;
+  // Width options as fractions of max (paper: 10%..100% in 10% steps);
+  // realized widths are rounded to multiples of 4 (§5.2.2).
+  std::vector<double> width_fracs{0.1, 0.2, 0.3, 0.4, 0.5,
+                                  0.6, 0.7, 0.8, 0.9, 1.0};
+};
+
+Supernet build_ds_cnn_supernet(const DsCnnSearchSpace& space,
+                               const models::BuildOptions& opt);
+
+struct MbV2SearchSpace {
+  Shape input{50, 50, 1};
+  int num_classes = 2;
+  int64_t stem_max = 32;
+  int64_t stem_stride = 2;
+  struct Block {
+    int64_t expansion_max = 0;
+    int64_t out_max = 0;
+    int64_t stride = 1;
+  };
+  std::vector<Block> blocks;
+  int64_t head_max = 0;  // 0 = no head conv
+  std::vector<double> width_fracs{0.1, 0.2, 0.3, 0.4, 0.5,
+                                  0.6, 0.7, 0.8, 0.9, 1.0};
+};
+
+// The paper's VWW search space: MobileNetV2 with searchable widths on the
+// expansion and projection convs of each IBN plus the stem/head convs.
+MbV2SearchSpace mbv2_search_space(double width_mult, Shape input, int num_classes);
+
+Supernet build_mbv2_supernet(const MbV2SearchSpace& space,
+                             const models::BuildOptions& opt);
+
+// --- Extraction ---------------------------------------------------------------
+
+// Reads argmax decisions into a concrete (deployable) model configuration.
+models::DsCnnConfig extract_ds_cnn(const Supernet& net, const DsCnnSearchSpace& space);
+models::MobileNetV2Config extract_mbv2(const Supernet& net, const MbV2SearchSpace& space);
+
+// Width options for a given max channel count: fractions rounded to
+// multiples of 4, deduplicated, ascending.
+std::vector<int64_t> width_options(int64_t max_channels,
+                                   std::span<const double> fracs);
+
+}  // namespace mn::core

@@ -1,0 +1,75 @@
+#include "datasets/audio_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mn::data {
+
+namespace {
+// Raised-cosine attack/decay envelope over a segment of length n.
+double segment_env(size_t i, size_t n) {
+  if (n == 0) return 0.0;
+  const double x = static_cast<double>(i) / static_cast<double>(n);
+  const double ramp = 0.1;  // 10% attack, 10% decay
+  if (x < ramp) return 0.5 - 0.5 * std::cos(M_PI * x / ramp);
+  if (x > 1.0 - ramp) return 0.5 - 0.5 * std::cos(M_PI * (1.0 - x) / ramp);
+  return 1.0;
+}
+}  // namespace
+
+void add_noise(std::span<float> signal, float amplitude, Rng& rng) {
+  for (float& s : signal)
+    s += amplitude * static_cast<float>(rng.normal());
+}
+
+void add_tone(std::span<float> signal, double freq_hz, float amp, int sample_rate,
+              size_t start, size_t length, double phase) {
+  const size_t end = std::min(signal.size(), start + length);
+  const double w = 2.0 * M_PI * freq_hz / sample_rate;
+  for (size_t i = start; i < end; ++i) {
+    const double env = segment_env(i - start, length);
+    signal[i] += amp * static_cast<float>(env * std::sin(w * static_cast<double>(i) + phase));
+  }
+}
+
+void add_chirp(std::span<float> signal, double f0_hz, double f1_hz, float amp,
+               int sample_rate, size_t start, size_t length) {
+  const size_t end = std::min(signal.size(), start + length);
+  for (size_t i = start; i < end; ++i) {
+    const double t = static_cast<double>(i - start) / sample_rate;
+    const double dur = static_cast<double>(length) / sample_rate;
+    const double f = f0_hz + (f1_hz - f0_hz) * (t / dur) * 0.5;  // instantaneous phase integral
+    const double env = segment_env(i - start, length);
+    signal[i] += amp * static_cast<float>(env * std::sin(2.0 * M_PI * f * t));
+  }
+}
+
+void add_harmonics(std::span<float> signal, double f0_hz,
+                   std::span<const float> amps, int sample_rate, double phase) {
+  for (size_t k = 0; k < amps.size(); ++k) {
+    const double w = 2.0 * M_PI * f0_hz * static_cast<double>(k + 1) / sample_rate;
+    for (size_t i = 0; i < signal.size(); ++i)
+      signal[i] += amps[k] * static_cast<float>(std::sin(w * static_cast<double>(i) + phase * static_cast<double>(k + 1)));
+  }
+}
+
+void add_impulse_train(std::span<float> signal, size_t period, float amp,
+                       size_t burst_len, Rng& rng) {
+  if (period == 0) return;
+  for (size_t t = period / 2; t < signal.size(); t += period) {
+    for (size_t j = 0; j < burst_len && t + j < signal.size(); ++j) {
+      const double decay = std::exp(-3.0 * static_cast<double>(j) / static_cast<double>(burst_len));
+      signal[t + j] += amp * static_cast<float>(decay * rng.normal());
+    }
+  }
+}
+
+void normalize_peak(std::span<float> signal, float peak) {
+  float m = 0.f;
+  for (float s : signal) m = std::max(m, std::abs(s));
+  if (m <= 0.f) return;
+  const float g = peak / m;
+  for (float& s : signal) s *= g;
+}
+
+}  // namespace mn::data

@@ -1,0 +1,41 @@
+// Synthetic audio building blocks: tones, chirps, envelopes, noise.
+//
+// Used to synthesize Google-Speech-Commands-like keywords and MIMII-like
+// machine sounds (see DESIGN.md §1 for the substitution rationale).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace mn::data {
+
+// Add white Gaussian noise of the given amplitude in place.
+void add_noise(std::span<float> signal, float amplitude, Rng& rng);
+
+// Add a sine tone: signal[i] += amp * env(i) * sin(2*pi*f*i/sr + phase),
+// restricted to [start, start+length) samples. `env` is an attack/decay
+// envelope (raised cosine) over the segment.
+void add_tone(std::span<float> signal, double freq_hz, float amp, int sample_rate,
+              size_t start, size_t length, double phase = 0.0);
+
+// Add a linear chirp from f0 to f1 over [start, start+length).
+void add_chirp(std::span<float> signal, double f0_hz, double f1_hz, float amp,
+               int sample_rate, size_t start, size_t length);
+
+// Add amplitude-modulated harmonics of a base rotation frequency:
+// sum_k amps[k] * sin(2*pi*(k+1)*f0*t). Models steady machine hum.
+void add_harmonics(std::span<float> signal, double f0_hz,
+                   std::span<const float> amps, int sample_rate,
+                   double phase = 0.0);
+
+// Add periodic impulsive bursts (bearing-fault-like clicks): every
+// `period` samples, an exponentially decaying noise burst of given amplitude.
+void add_impulse_train(std::span<float> signal, size_t period, float amp,
+                       size_t burst_len, Rng& rng);
+
+// Peak-normalize to the given maximum absolute value (no-op on silence).
+void normalize_peak(std::span<float> signal, float peak = 0.9f);
+
+}  // namespace mn::data

@@ -1,0 +1,53 @@
+#include "datasets/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mn::data {
+
+void shuffle(Dataset& ds, Rng& rng) {
+  for (int64_t i = ds.size() - 1; i > 0; --i) {
+    const int64_t j = rng.uniform_int(0, i);
+    std::swap(ds.examples[static_cast<size_t>(i)], ds.examples[static_cast<size_t>(j)]);
+  }
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& ds, double test_fraction) {
+  if (test_fraction < 0.0 || test_fraction > 1.0)
+    throw std::invalid_argument("split: fraction out of range");
+  const int64_t n_test = static_cast<int64_t>(static_cast<double>(ds.size()) * test_fraction);
+  const int64_t n_train = ds.size() - n_test;
+  Dataset train{{}, ds.input_shape, ds.num_classes};
+  Dataset test{{}, ds.input_shape, ds.num_classes};
+  train.examples.assign(ds.examples.begin(), ds.examples.begin() + n_train);
+  test.examples.assign(ds.examples.begin() + n_train, ds.examples.end());
+  return {std::move(train), std::move(test)};
+}
+
+Batch make_batch(const Dataset& ds, int64_t first, int64_t count) {
+  if (first < 0 || first >= ds.size())
+    throw std::out_of_range("make_batch: first out of range");
+  count = std::min(count, ds.size() - first);
+  const Shape& s = ds.input_shape;
+  Batch b;
+  // Prepend the batch dimension to the per-example feature shape (rank-3
+  // NHWC images or rank-1 vectors).
+  if (s.rank() == 3)
+    b.inputs = TensorF(Shape{count, s.dim(0), s.dim(1), s.dim(2)});
+  else if (s.rank() == 1)
+    b.inputs = TensorF(Shape{count, s.dim(0)});
+  else
+    throw std::invalid_argument("make_batch: unsupported feature rank");
+  b.labels.resize(static_cast<size_t>(count));
+  const int64_t per = s.elements();
+  for (int64_t i = 0; i < count; ++i) {
+    const Example& e = ds.examples[static_cast<size_t>(first + i)];
+    if (e.input.shape() != s)
+      throw std::invalid_argument("make_batch: example shape mismatch");
+    std::copy(e.input.data(), e.input.data() + per, b.inputs.data() + i * per);
+    b.labels[static_cast<size_t>(i)] = e.label;
+  }
+  return b;
+}
+
+}  // namespace mn::data

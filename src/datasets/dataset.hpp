@@ -1,0 +1,40 @@
+// Labeled example container and dataset utilities shared by all three tasks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mn::data {
+
+struct Example {
+  TensorF input;       // NHWC without batch dim: [h, w, c] (rank treated as 4 with n=1 downstream)
+  int label = 0;       // class index (machine ID for AD)
+  bool anomaly = false;  // AD only: ground-truth anomaly flag for test clips
+};
+
+struct Dataset {
+  std::vector<Example> examples;
+  Shape input_shape;   // [h, w, c]
+  int num_classes = 0;
+
+  int64_t size() const { return static_cast<int64_t>(examples.size()); }
+};
+
+// Fisher-Yates shuffle with an explicit seed.
+void shuffle(Dataset& ds, Rng& rng);
+
+// Split off the last `fraction` of examples as a second dataset.
+std::pair<Dataset, Dataset> split(const Dataset& ds, double test_fraction);
+
+// Stack examples[first, first+count) into a rank-4 NHWC batch tensor and a
+// label vector. Count is clamped to the dataset end.
+struct Batch {
+  TensorF inputs;             // [n, h, w, c]
+  std::vector<int> labels;    // n
+};
+Batch make_batch(const Dataset& ds, int64_t first, int64_t count);
+
+}  // namespace mn::data

@@ -1,0 +1,104 @@
+#include "datasets/kws.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "datasets/audio_synth.hpp"
+
+namespace mn::data {
+
+namespace {
+
+// Deterministic per-word signature: two formant-like segments whose
+// frequencies and a final chirp direction are derived from the word id.
+struct WordSignature {
+  double f1, f2;    // segment base frequencies (Hz)
+  double f3_start, f3_end;  // closing chirp
+  double seg_split;  // fraction of word duration in segment 1
+};
+
+WordSignature word_signature(int word_id) {
+  // Spread signatures over 300..3500 Hz with a low-discrepancy pattern so
+  // classes are acoustically distinct but overlap in band (keeps the task
+  // non-trivial, like real speech).
+  const double a = hash_unit(static_cast<uint64_t>(word_id) * 7919 + 13);
+  const double b = hash_unit(static_cast<uint64_t>(word_id) * 104729 + 101);
+  const double c = hash_unit(static_cast<uint64_t>(word_id) * 1299709 + 997);
+  WordSignature s;
+  s.f1 = 300.0 + 1500.0 * a;
+  s.f2 = 800.0 + 2200.0 * b;
+  s.f3_start = s.f2;
+  s.f3_end = c > 0.5 ? s.f2 * 1.6 : s.f2 * 0.6;
+  s.seg_split = 0.35 + 0.3 * c;
+  return s;
+}
+
+}  // namespace
+
+std::vector<float> synth_keyword_waveform(const KwsConfig& cfg, int word_id,
+                                          Rng& rng) {
+  const size_t n = static_cast<size_t>(cfg.sample_rate * cfg.clip_seconds);
+  std::vector<float> sig(n, 0.f);
+  const WordSignature w = word_signature(word_id);
+  // Word occupies ~60% of the clip, shifted by random jitter.
+  const size_t word_len = static_cast<size_t>(0.6 * static_cast<double>(n));
+  const int max_jit = cfg.max_jitter_ms * cfg.sample_rate / 1000;
+  const int64_t base_start = static_cast<int64_t>((n - word_len) / 2);
+  const int64_t jit = rng.uniform_int(-max_jit, max_jit);
+  const size_t start = static_cast<size_t>(
+      std::clamp<int64_t>(base_start + jit, 0, static_cast<int64_t>(n - word_len)));
+  const size_t seg1 = static_cast<size_t>(w.seg_split * static_cast<double>(word_len));
+  const size_t seg2 = word_len - seg1;
+  // Small per-utterance pitch variation (speaker variation analog).
+  const double pitch = 1.0 + 0.05 * rng.normal();
+  add_tone(sig, w.f1 * pitch, 0.8f, cfg.sample_rate, start, seg1, rng.uniform(0, 6.28));
+  add_tone(sig, w.f1 * pitch * 2.1, 0.3f, cfg.sample_rate, start, seg1);
+  add_tone(sig, w.f2 * pitch, 0.7f, cfg.sample_rate, start + seg1, seg2 / 2);
+  add_chirp(sig, w.f3_start * pitch, w.f3_end * pitch, 0.6f, cfg.sample_rate,
+            start + seg1 + seg2 / 2, seg2 - seg2 / 2);
+  add_noise(sig, cfg.noise_amplitude * static_cast<float>(0.5 + rng.uniform()), rng);
+  normalize_peak(sig);
+  return sig;
+}
+
+TensorF kws_features(const KwsConfig& cfg, std::span<const float> waveform) {
+  TensorF m = dsp::mfcc(waveform, cfg.mel);
+  const int64_t frames = m.shape().dim(0);
+  const int64_t coeffs = m.shape().dim(1);
+  return m.reshaped(Shape{frames, coeffs, 1});
+}
+
+Dataset make_kws_dataset(const KwsConfig& cfg, int examples_per_class,
+                         uint64_t seed) {
+  if (examples_per_class <= 0)
+    throw std::invalid_argument("make_kws_dataset: examples_per_class");
+  Rng rng(seed);
+  Dataset ds;
+  ds.num_classes = cfg.num_classes();
+  for (int cls = 0; cls < ds.num_classes; ++cls) {
+    for (int e = 0; e < examples_per_class; ++e) {
+      Rng erng = rng.fork(static_cast<uint64_t>(cls) * 100003 + static_cast<uint64_t>(e));
+      std::vector<float> sig;
+      if (cls == cfg.silence_label()) {
+        sig.assign(static_cast<size_t>(cfg.sample_rate * cfg.clip_seconds), 0.f);
+        add_noise(sig, cfg.noise_amplitude * 2.f * static_cast<float>(0.2 + erng.uniform()), erng);
+      } else if (cls == cfg.unknown_label()) {
+        const int unk = cfg.num_keywords +
+                        static_cast<int>(erng.uniform_int(0, cfg.num_unknown_words - 1));
+        sig = synth_keyword_waveform(cfg, unk, erng);
+      } else {
+        sig = synth_keyword_waveform(cfg, cls, erng);
+      }
+      Example ex;
+      ex.input = kws_features(cfg, sig);
+      ex.label = cls;
+      ds.examples.push_back(std::move(ex));
+    }
+  }
+  ds.input_shape = ds.examples.front().input.shape();
+  shuffle(ds, rng);
+  return ds;
+}
+
+}  // namespace mn::data

@@ -1,0 +1,43 @@
+// Synthetic keyword-spotting dataset (Google Speech Commands v2 analog).
+//
+// 12 classes: 10 keywords + "silence" + "unknown" (25 held-out word
+// signatures), matching the TinyMLPerf KWS task. Each keyword is a
+// deterministic two-segment formant signature; examples add background noise
+// and random timing jitter (the paper's augmentations). The waveform is
+// converted to MFCC features with the paper's front-end (40 ms frames, 20 ms
+// stride, 10 coefficients), giving a [49, 10, 1] input for 1 s @ 16 kHz.
+#pragma once
+
+#include "datasets/dataset.hpp"
+#include "dsp/mel.hpp"
+
+namespace mn::data {
+
+struct KwsConfig {
+  int sample_rate = 16000;
+  double clip_seconds = 1.0;
+  int num_keywords = 10;       // dedicated classes
+  int num_unknown_words = 25;  // folded into the single "unknown" class
+  float noise_amplitude = 0.05f;
+  int max_jitter_ms = 100;     // random time shift of the word
+  dsp::MelConfig mel{16000, 640, 320, 40, 10, 20.0, 7600.0, 1e-12};
+
+  int num_classes() const { return num_keywords + 2; }  // + silence + unknown
+  int silence_label() const { return num_keywords; }
+  int unknown_label() const { return num_keywords + 1; }
+};
+
+// Synthesize the raw waveform for keyword `word_id` (0..num_keywords +
+// num_unknown_words - 1; ids >= num_keywords are "unknown" words).
+std::vector<float> synth_keyword_waveform(const KwsConfig& cfg, int word_id,
+                                          Rng& rng);
+
+// Feature extraction used by both dataset generation and the examples:
+// waveform -> MFCC image [frames, num_mfcc, 1].
+TensorF kws_features(const KwsConfig& cfg, std::span<const float> waveform);
+
+// Generate a balanced dataset of `examples_per_class` examples per class.
+Dataset make_kws_dataset(const KwsConfig& cfg, int examples_per_class,
+                         uint64_t seed);
+
+}  // namespace mn::data

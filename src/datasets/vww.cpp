@@ -1,0 +1,123 @@
+#include "datasets/vww.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mn::data {
+
+namespace {
+
+void fill_rect(TensorF& img, int y0, int x0, int h, int w, float v) {
+  const int H = static_cast<int>(img.shape().dim(0));
+  const int W = static_cast<int>(img.shape().dim(1));
+  for (int y = std::max(0, y0); y < std::min(H, y0 + h); ++y)
+    for (int x = std::max(0, x0); x < std::min(W, x0 + w); ++x)
+      img.at2(y, x) = v;
+}
+
+void fill_circle(TensorF& img, double cy, double cx, double r, float v) {
+  const int H = static_cast<int>(img.shape().dim(0));
+  const int W = static_cast<int>(img.shape().dim(1));
+  const int y0 = std::max(0, static_cast<int>(cy - r - 1));
+  const int y1 = std::min(H, static_cast<int>(cy + r + 2));
+  const int x0 = std::max(0, static_cast<int>(cx - r - 1));
+  const int x1 = std::min(W, static_cast<int>(cx + r + 2));
+  for (int y = y0; y < y1; ++y)
+    for (int x = x0; x < x1; ++x)
+      if ((y - cy) * (y - cy) + (x - cx) * (x - cx) <= r * r) img.at2(y, x) = v;
+}
+
+// An articulated person: head circle, torso rect, two legs, two arms.
+// Height `ph` pixels, anchored at top-left (y, x), brightness `v`.
+void draw_person(TensorF& img, int y, int x, int ph, float v, Rng& rng) {
+  const int head_r = std::max(1, ph / 8);
+  const int torso_h = ph * 2 / 5;
+  const int torso_w = std::max(2, ph / 4);
+  const int leg_h = ph - 2 * head_r - torso_h;
+  const int leg_w = std::max(1, torso_w / 3);
+  const double lean = rng.uniform(-0.15, 0.15);  // slight pose variation
+  const int cx = x + torso_w / 2;
+  fill_circle(img, y + head_r, cx + lean * ph, head_r, v);
+  fill_rect(img, y + 2 * head_r, x, torso_h, torso_w, v);
+  // Arms: thin rects from shoulders.
+  const int arm_l = torso_h * 3 / 4;
+  fill_rect(img, y + 2 * head_r + 1, x - leg_w, arm_l, leg_w, v);
+  fill_rect(img, y + 2 * head_r + 1, x + torso_w, arm_l, leg_w, v);
+  // Legs: two rects with a gap.
+  fill_rect(img, y + 2 * head_r + torso_h, x, leg_h, leg_w, v);
+  fill_rect(img, y + 2 * head_r + torso_h, x + torso_w - leg_w, leg_h, leg_w, v);
+}
+
+void draw_distractor(TensorF& img, Rng& rng) {
+  const int H = static_cast<int>(img.shape().dim(0));
+  const int W = static_cast<int>(img.shape().dim(1));
+  const float v = static_cast<float>(rng.uniform(0.2, 0.95));
+  const int kind = static_cast<int>(rng.uniform_int(0, 2));
+  const int size = std::max(2, static_cast<int>(rng.uniform(0.05, 0.3) * H));
+  const int y = static_cast<int>(rng.uniform_int(0, std::max(0, H - size)));
+  const int x = static_cast<int>(rng.uniform_int(0, std::max(0, W - size)));
+  switch (kind) {
+    case 0:  // box
+      fill_rect(img, y, x, size, size, v);
+      break;
+    case 1:  // circle (no body attached: distinguishes from head+torso)
+      fill_circle(img, y + size / 2.0, x + size / 2.0, size / 2.0, v);
+      break;
+    default:  // horizontal bar
+      fill_rect(img, y, x, std::max(1, size / 4), size, v);
+      break;
+  }
+}
+
+}  // namespace
+
+TensorF render_vww_image(const VwwConfig& cfg, bool person, Rng& rng) {
+  const int R = cfg.resolution;
+  TensorF img(Shape{R, R});
+  // Smooth gradient background with random orientation.
+  const double gx = rng.uniform(-0.3, 0.3), gy = rng.uniform(-0.3, 0.3);
+  const float base = static_cast<float>(rng.uniform(0.25, 0.6));
+  for (int y = 0; y < R; ++y)
+    for (int x = 0; x < R; ++x)
+      img.at2(y, x) = base + static_cast<float>(gx * x / R + gy * y / R);
+  const int nd = static_cast<int>(rng.uniform_int(1, cfg.max_distractors));
+  for (int i = 0; i < nd; ++i) draw_distractor(img, rng);
+  if (person) {
+    // Person height chosen so area fraction >= min_person_frac.
+    const double min_h = std::sqrt(cfg.min_person_frac * R * R / 0.35);
+    const int ph = std::max(6, static_cast<int>(rng.uniform(std::max(min_h, 6.0), R * 0.8)));
+    const int tw = std::max(2, ph / 4);
+    const int y = static_cast<int>(rng.uniform_int(0, std::max(0, R - ph)));
+    const int x = static_cast<int>(rng.uniform_int(tw, std::max(tw, R - 2 * tw)));
+    const float v = rng.bernoulli(0.5) ? 0.05f : 0.98f;  // dark or bright clothing
+    draw_person(img, y, x, ph, v, rng);
+  }
+  // Sensor noise.
+  for (int64_t i = 0; i < img.size(); ++i) {
+    img[i] += cfg.noise_amplitude * static_cast<float>(rng.normal());
+    img[i] = std::clamp(img[i], 0.f, 1.f);
+  }
+  return img;
+}
+
+Dataset make_vww_dataset(const VwwConfig& cfg, int examples_per_class,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.num_classes = 2;
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int e = 0; e < examples_per_class; ++e) {
+      Rng erng = rng.fork(static_cast<uint64_t>(cls) * 1000003 + static_cast<uint64_t>(e));
+      Example ex;
+      ex.input = render_vww_image(cfg, cls == 1, erng)
+                     .reshaped(Shape{cfg.resolution, cfg.resolution, 1});
+      ex.label = cls;
+      ds.examples.push_back(std::move(ex));
+    }
+  }
+  ds.input_shape = Shape{cfg.resolution, cfg.resolution, 1};
+  shuffle(ds, rng);
+  return ds;
+}
+
+}  // namespace mn::data

@@ -1,0 +1,27 @@
+// Synthetic Visual-Wake-Words dataset (binary person / no-person).
+//
+// Positive images contain an articulated "person" figure (head + torso +
+// limbs) occupying at least ~0.5% of the frame, composited over a textured
+// background with distractor shapes; negatives contain distractors only.
+// Grayscale (the paper trades color for spatial resolution) in [0, 1].
+#pragma once
+
+#include "datasets/dataset.hpp"
+
+namespace mn::data {
+
+struct VwwConfig {
+  int resolution = 50;          // paper: 50 (small MCU) or 160 (medium MCU)
+  int max_distractors = 4;
+  float noise_amplitude = 0.04f;
+  double min_person_frac = 0.005;  // minimum person area fraction (paper: 0.5%)
+};
+
+// Render one image; `person` selects the positive class.
+TensorF render_vww_image(const VwwConfig& cfg, bool person, Rng& rng);
+
+// Balanced dataset: `examples_per_class` positives and negatives.
+Dataset make_vww_dataset(const VwwConfig& cfg, int examples_per_class,
+                         uint64_t seed);
+
+}  // namespace mn::data

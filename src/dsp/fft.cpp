@@ -1,0 +1,55 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mn::dsp {
+
+bool is_pow2(size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+size_t next_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::span<std::complex<double>> x, bool inverse) {
+  const size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be power of 2");
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> power_spectrum(std::span<const float> frame, size_t nfft) {
+  if (!is_pow2(nfft)) throw std::invalid_argument("power_spectrum: nfft not pow2");
+  if (frame.size() > nfft)
+    throw std::invalid_argument("power_spectrum: frame longer than nfft");
+  std::vector<std::complex<double>> buf(nfft, {0.0, 0.0});
+  for (size_t i = 0; i < frame.size(); ++i) buf[i] = {static_cast<double>(frame[i]), 0.0};
+  fft(buf);
+  std::vector<double> out(nfft / 2 + 1);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::norm(buf[i]);
+  return out;
+}
+
+}  // namespace mn::dsp

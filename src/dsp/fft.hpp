@@ -1,0 +1,24 @@
+// Radix-2 FFT and real-signal power spectrum.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace mn::dsp {
+
+// In-place iterative radix-2 Cooley-Tukey FFT. `x.size()` must be a power of
+// two. Set `inverse` for the unscaled inverse transform (caller divides by N).
+void fft(std::span<std::complex<double>> x, bool inverse = false);
+
+// True if n is a power of two (n > 0).
+bool is_pow2(size_t n);
+
+// Smallest power of two >= n.
+size_t next_pow2(size_t n);
+
+// Power spectrum |FFT(x)|^2 of a real frame, zero-padded to `nfft`
+// (power of two). Returns nfft/2 + 1 bins (DC..Nyquist).
+std::vector<double> power_spectrum(std::span<const float> frame, size_t nfft);
+
+}  // namespace mn::dsp

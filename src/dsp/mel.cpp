@@ -1,0 +1,145 @@
+#include "dsp/mel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace mn::dsp {
+
+double hz_to_mel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+double mel_to_hz(double mel) { return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0); }
+
+std::vector<double> hann_window(size_t n) {
+  std::vector<double> w(n);
+  if (n == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  for (size_t i = 0; i < n; ++i)
+    w[i] = 0.5 - 0.5 * std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                static_cast<double>(n - 1));
+  return w;
+}
+
+std::vector<double> mel_filterbank(int num_bins, size_t nfft, int sample_rate,
+                                   double low_freq, double high_freq) {
+  if (num_bins <= 0) throw std::invalid_argument("mel_filterbank: num_bins");
+  const size_t spec_bins = nfft / 2 + 1;
+  const double mel_lo = hz_to_mel(low_freq);
+  const double mel_hi = hz_to_mel(high_freq);
+  // num_bins + 2 edge points uniformly spaced in mel.
+  std::vector<double> edges(num_bins + 2);
+  for (int i = 0; i < num_bins + 2; ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * i / (num_bins + 1);
+    edges[i] = mel_to_hz(mel);
+  }
+  std::vector<double> fb(static_cast<size_t>(num_bins) * spec_bins, 0.0);
+  const double hz_per_bin = static_cast<double>(sample_rate) / static_cast<double>(nfft);
+  for (int b = 0; b < num_bins; ++b) {
+    const double f_lo = edges[b], f_c = edges[b + 1], f_hi = edges[b + 2];
+    for (size_t k = 0; k < spec_bins; ++k) {
+      const double f = hz_per_bin * static_cast<double>(k);
+      double w = 0.0;
+      if (f > f_lo && f < f_c)
+        w = (f - f_lo) / (f_c - f_lo);
+      else if (f >= f_c && f < f_hi)
+        w = (f_hi - f) / (f_hi - f_c);
+      fb[static_cast<size_t>(b) * spec_bins + k] = w;
+    }
+  }
+  return fb;
+}
+
+std::vector<double> dct2_matrix(int num_coeffs, int num_inputs) {
+  std::vector<double> m(static_cast<size_t>(num_coeffs) * num_inputs);
+  const double norm0 = std::sqrt(1.0 / num_inputs);
+  const double norm = std::sqrt(2.0 / num_inputs);
+  for (int k = 0; k < num_coeffs; ++k) {
+    for (int n = 0; n < num_inputs; ++n) {
+      m[static_cast<size_t>(k) * num_inputs + n] =
+          (k == 0 ? norm0 : norm) *
+          std::cos(M_PI / num_inputs * (n + 0.5) * k);
+    }
+  }
+  return m;
+}
+
+int num_frames(int64_t num_samples, const MelConfig& cfg) {
+  if (num_samples < cfg.frame_length) return 0;
+  return static_cast<int>((num_samples - cfg.frame_length) / cfg.frame_stride) + 1;
+}
+
+TensorF log_mel_spectrogram(std::span<const float> signal, const MelConfig& cfg) {
+  const int frames = num_frames(static_cast<int64_t>(signal.size()), cfg);
+  if (frames <= 0)
+    throw std::invalid_argument("log_mel_spectrogram: signal shorter than frame");
+  const size_t nfft = next_pow2(static_cast<size_t>(cfg.frame_length));
+  const size_t spec_bins = nfft / 2 + 1;
+  const auto window = hann_window(static_cast<size_t>(cfg.frame_length));
+  const auto fb = mel_filterbank(cfg.num_mel_bins, nfft, cfg.sample_rate,
+                                 cfg.low_freq, cfg.high_freq);
+  TensorF out(Shape{frames, cfg.num_mel_bins});
+  std::vector<float> frame(static_cast<size_t>(cfg.frame_length));
+  for (int t = 0; t < frames; ++t) {
+    const size_t off = static_cast<size_t>(t) * cfg.frame_stride;
+    for (int i = 0; i < cfg.frame_length; ++i)
+      frame[static_cast<size_t>(i)] =
+          signal[off + static_cast<size_t>(i)] * static_cast<float>(window[static_cast<size_t>(i)]);
+    const auto spec = power_spectrum(frame, nfft);
+    for (int b = 0; b < cfg.num_mel_bins; ++b) {
+      double acc = 0.0;
+      const double* row = fb.data() + static_cast<size_t>(b) * spec_bins;
+      for (size_t k = 0; k < spec_bins; ++k) acc += row[k] * spec[k];
+      out.at2(t, b) = static_cast<float>(std::log(std::max(acc, cfg.log_floor)));
+    }
+  }
+  return out;
+}
+
+TensorF mfcc(std::span<const float> signal, const MelConfig& cfg) {
+  if (cfg.num_mfcc <= 0 || cfg.num_mfcc > cfg.num_mel_bins)
+    throw std::invalid_argument("mfcc: num_mfcc out of range");
+  const TensorF logmel = log_mel_spectrogram(signal, cfg);
+  const int frames = static_cast<int>(logmel.shape().dim(0));
+  const auto dct = dct2_matrix(cfg.num_mfcc, cfg.num_mel_bins);
+  TensorF out(Shape{frames, cfg.num_mfcc});
+  for (int t = 0; t < frames; ++t) {
+    for (int k = 0; k < cfg.num_mfcc; ++k) {
+      double acc = 0.0;
+      for (int b = 0; b < cfg.num_mel_bins; ++b)
+        acc += dct[static_cast<size_t>(k) * cfg.num_mel_bins + b] * logmel.at2(t, b);
+      out.at2(t, k) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TensorF bilinear_resize(const TensorF& img, int64_t out_h, int64_t out_w) {
+  if (img.shape().rank() != 2)
+    throw std::invalid_argument("bilinear_resize: expects rank-2 [h, w]");
+  const int64_t in_h = img.shape().dim(0), in_w = img.shape().dim(1);
+  TensorF out(Shape{out_h, out_w});
+  // Align-corners=false convention (matches TF bilinear default).
+  const double sy = static_cast<double>(in_h) / static_cast<double>(out_h);
+  const double sx = static_cast<double>(in_w) / static_cast<double>(out_w);
+  for (int64_t y = 0; y < out_h; ++y) {
+    const double fy = (static_cast<double>(y) + 0.5) * sy - 0.5;
+    const int64_t y0 = std::clamp<int64_t>(static_cast<int64_t>(std::floor(fy)), 0, in_h - 1);
+    const int64_t y1 = std::min(y0 + 1, in_h - 1);
+    const double wy = std::clamp(fy - static_cast<double>(y0), 0.0, 1.0);
+    for (int64_t x = 0; x < out_w; ++x) {
+      const double fx = (static_cast<double>(x) + 0.5) * sx - 0.5;
+      const int64_t x0 = std::clamp<int64_t>(static_cast<int64_t>(std::floor(fx)), 0, in_w - 1);
+      const int64_t x1 = std::min(x0 + 1, in_w - 1);
+      const double wx = std::clamp(fx - static_cast<double>(x0), 0.0, 1.0);
+      const double v = (1 - wy) * ((1 - wx) * img.at2(y0, x0) + wx * img.at2(y0, x1)) +
+                       wy * ((1 - wx) * img.at2(y1, x0) + wx * img.at2(y1, x1));
+      out.at2(y, x) = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace mn::dsp

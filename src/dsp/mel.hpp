@@ -1,0 +1,52 @@
+// Mel-scale filterbanks, log-mel spectrograms and MFCC extraction.
+//
+// Implements the audio front-end the paper uses for KWS (40 MFCCs from 40 ms
+// frames / 20 ms stride, 49x10 input) and AD (64 log-mel bins from 64 ms
+// frames / 32 ms stride, stacked into 64x64 images downsampled to 32x32).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mn::dsp {
+
+struct MelConfig {
+  int sample_rate = 16000;
+  int frame_length = 640;    // samples per analysis frame (40 ms @ 16 kHz)
+  int frame_stride = 320;    // hop between frames (20 ms @ 16 kHz)
+  int num_mel_bins = 40;     // triangular mel filters
+  int num_mfcc = 10;         // DCT-II coefficients kept (0 = keep log-mel)
+  double low_freq = 20.0;    // filterbank lower edge (Hz)
+  double high_freq = 7600.0; // filterbank upper edge (Hz)
+  double log_floor = 1e-12;  // floor before log to avoid -inf
+};
+
+double hz_to_mel(double hz);
+double mel_to_hz(double mel);
+
+// Triangular mel filterbank: `num_bins` rows over `nfft/2+1` spectrum bins.
+// Row-major [num_bins, nfft/2+1].
+std::vector<double> mel_filterbank(int num_bins, size_t nfft, int sample_rate,
+                                   double low_freq, double high_freq);
+
+// Hann window of length n.
+std::vector<double> hann_window(size_t n);
+
+// Orthonormal DCT-II matrix [num_coeffs, num_inputs].
+std::vector<double> dct2_matrix(int num_coeffs, int num_inputs);
+
+// Number of frames produced for a signal of `num_samples`.
+int num_frames(int64_t num_samples, const MelConfig& cfg);
+
+// Log-mel spectrogram: returns [frames, num_mel_bins] (rank-2 Tensor).
+TensorF log_mel_spectrogram(std::span<const float> signal, const MelConfig& cfg);
+
+// MFCC features: DCT-II of the log-mel spectrogram, [frames, num_mfcc].
+TensorF mfcc(std::span<const float> signal, const MelConfig& cfg);
+
+// Bilinear resize of a [h, w] rank-2 tensor to [out_h, out_w].
+TensorF bilinear_resize(const TensorF& img, int64_t out_h, int64_t out_w);
+
+}  // namespace mn::dsp

@@ -1,0 +1,124 @@
+#include "dsp/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace mn::dsp {
+
+StreamingMfcc::StreamingMfcc(const MelConfig& cfg)
+    : cfg_(cfg), nfft_(next_pow2(static_cast<size_t>(cfg.frame_length))) {
+  if (cfg.num_mfcc <= 0 || cfg.num_mfcc > cfg.num_mel_bins)
+    throw std::invalid_argument("StreamingMfcc: num_mfcc out of range");
+  window_fn_ = hann_window(static_cast<size_t>(cfg.frame_length));
+  filterbank_ = mel_filterbank(cfg.num_mel_bins, nfft_, cfg.sample_rate,
+                               cfg.low_freq, cfg.high_freq);
+  dct_ = dct2_matrix(cfg.num_mfcc, cfg.num_mel_bins);
+  buffer_.reserve(static_cast<size_t>(cfg.frame_length + cfg.frame_stride));
+}
+
+void StreamingMfcc::reset() {
+  buffer_.clear();
+  history_.clear();
+  frames_emitted_ = 0;
+}
+
+void StreamingMfcc::emit_frame() {
+  const size_t spec_bins = nfft_ / 2 + 1;
+  std::vector<float> frame(static_cast<size_t>(cfg_.frame_length));
+  for (int i = 0; i < cfg_.frame_length; ++i)
+    frame[static_cast<size_t>(i)] =
+        buffer_[static_cast<size_t>(i)] * static_cast<float>(window_fn_[static_cast<size_t>(i)]);
+  const auto spec = power_spectrum(frame, nfft_);
+  std::vector<double> logmel(static_cast<size_t>(cfg_.num_mel_bins));
+  for (int b = 0; b < cfg_.num_mel_bins; ++b) {
+    double acc = 0.0;
+    const double* row = filterbank_.data() + static_cast<size_t>(b) * spec_bins;
+    for (size_t k = 0; k < spec_bins; ++k) acc += row[k] * spec[k];
+    logmel[static_cast<size_t>(b)] = std::log(std::max(acc, cfg_.log_floor));
+  }
+  std::vector<float> mfcc_row(static_cast<size_t>(cfg_.num_mfcc));
+  for (int k = 0; k < cfg_.num_mfcc; ++k) {
+    double acc = 0.0;
+    for (int b = 0; b < cfg_.num_mel_bins; ++b)
+      acc += dct_[static_cast<size_t>(k) * cfg_.num_mel_bins + b] *
+             logmel[static_cast<size_t>(b)];
+    mfcc_row[static_cast<size_t>(k)] = static_cast<float>(acc);
+  }
+  history_.push_back(std::move(mfcc_row));
+  while (history_.size() > history_cap_) history_.pop_front();
+  ++frames_emitted_;
+  // Advance by the hop: keep the overlap tail.
+  buffer_.erase(buffer_.begin(), buffer_.begin() + cfg_.frame_stride);
+}
+
+std::vector<std::vector<float>> StreamingMfcc::push(std::span<const float> samples) {
+  std::vector<std::vector<float>> out;
+  buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  while (static_cast<int>(buffer_.size()) >= cfg_.frame_length) {
+    emit_frame();
+    out.push_back(history_.back());
+  }
+  return out;
+}
+
+std::optional<TensorF> StreamingMfcc::window(int frames) const {
+  if (frames <= 0 || static_cast<size_t>(frames) > history_.size()) return std::nullopt;
+  TensorF t(Shape{frames, cfg_.num_mfcc, 1});
+  const size_t first = history_.size() - static_cast<size_t>(frames);
+  for (int f = 0; f < frames; ++f)
+    for (int k = 0; k < cfg_.num_mfcc; ++k)
+      t[static_cast<int64_t>(f) * cfg_.num_mfcc + k] =
+          history_[first + static_cast<size_t>(f)][static_cast<size_t>(k)];
+  return t;
+}
+
+// ------------------------------------------------------ PosteriorSmoother --
+
+PosteriorSmoother::PosteriorSmoother(int num_classes, int window, float threshold,
+                                     int refractory_steps, int background_class)
+    : num_classes_(num_classes),
+      window_(window),
+      threshold_(threshold),
+      refractory_steps_(refractory_steps),
+      background_class_(background_class) {
+  if (num_classes < 2 || window < 1)
+    throw std::invalid_argument("PosteriorSmoother: bad configuration");
+}
+
+void PosteriorSmoother::reset() {
+  history_.clear();
+  cooldown_ = 0;
+}
+
+float PosteriorSmoother::smoothed(int cls) const {
+  if (history_.empty()) return 0.f;
+  double acc = 0.0;
+  for (const auto& p : history_) acc += p[static_cast<size_t>(cls)];
+  return static_cast<float>(acc / static_cast<double>(history_.size()));
+}
+
+int PosteriorSmoother::push(std::span<const float> probs) {
+  if (static_cast<int>(probs.size()) != num_classes_)
+    throw std::invalid_argument("PosteriorSmoother: class count mismatch");
+  history_.emplace_back(probs.begin(), probs.end());
+  while (static_cast<int>(history_.size()) > window_) history_.pop_front();
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return -1;
+  }
+  int best = -1;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (c == background_class_) continue;
+    if (best < 0 || smoothed(c) > smoothed(best)) best = c;
+  }
+  if (best >= 0 && smoothed(best) >= threshold_) {
+    cooldown_ = refractory_steps_;
+    return best;
+  }
+  return -1;
+}
+
+}  // namespace mn::dsp

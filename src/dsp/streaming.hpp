@@ -1,0 +1,79 @@
+// Streaming audio front-end: incremental MFCC extraction over a ring buffer
+// (how a deployed always-on KWS system consumes its microphone), plus
+// posterior smoothing over a sliding window of model outputs (the standard
+// wake-word decision layer from Hello Edge / the KWS literature).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "dsp/mel.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mn::dsp {
+
+// Push audio samples in arbitrary chunk sizes; complete analysis frames are
+// emitted as MFCC rows identical to the batch mfcc() pipeline.
+class StreamingMfcc {
+ public:
+  explicit StreamingMfcc(const MelConfig& cfg);
+
+  // Feeds samples; returns the MFCC rows completed by this chunk
+  // (each of size cfg.num_mfcc).
+  std::vector<std::vector<float>> push(std::span<const float> samples);
+
+  // Frames emitted since construction/reset.
+  int64_t frames_emitted() const { return frames_emitted_; }
+
+  // Most recent `frames` MFCC rows stacked into a [frames, num_mfcc, 1]
+  // model input; empty optional until enough frames have accumulated.
+  std::optional<TensorF> window(int frames) const;
+
+  void reset();
+
+  const MelConfig& config() const { return cfg_; }
+
+ private:
+  void emit_frame();
+
+  MelConfig cfg_;
+  size_t nfft_;
+  std::vector<double> window_fn_;
+  std::vector<double> filterbank_;
+  std::vector<double> dct_;
+  std::vector<float> buffer_;       // pending samples (< frame_length + stride)
+  std::deque<std::vector<float>> history_;  // recent MFCC rows
+  size_t history_cap_ = 256;
+  int64_t frames_emitted_ = 0;
+};
+
+// Smooths per-class posteriors over the last `window` inferences and fires a
+// detection when a keyword's smoothed posterior crosses `threshold`; a
+// refractory period suppresses repeated triggers for the same utterance.
+class PosteriorSmoother {
+ public:
+  // `background_class` (e.g. "silence"/"unknown") never triggers a
+  // detection; pass -1 to allow every class.
+  PosteriorSmoother(int num_classes, int window, float threshold,
+                    int refractory_steps = 10, int background_class = 0);
+
+  // Feeds one posterior vector; returns the detected class or -1.
+  int push(std::span<const float> probs);
+
+  // Smoothed posterior for a class under the current window.
+  float smoothed(int cls) const;
+
+  void reset();
+
+ private:
+  int num_classes_;
+  int window_;
+  float threshold_;
+  int refractory_steps_;
+  int background_class_;
+  int cooldown_ = 0;
+  std::deque<std::vector<float>> history_;
+};
+
+}  // namespace mn::dsp

@@ -1,0 +1,45 @@
+// MCU device models: the three STM32 targets from the paper (Table 1), with
+// memory capacities and the calibrated performance/power constants used by
+// the latency and energy models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::mcu {
+
+enum class CoreType { kCortexM4, kCortexM7 };
+
+struct Device {
+  std::string name;       // e.g. "STM32F446RE"
+  std::string size_class; // "S", "M", "L" as used in the paper's tables
+  CoreType core = CoreType::kCortexM4;
+  int64_t sram_bytes = 0;
+  int64_t flash_bytes = 0;
+  double clock_mhz = 0.0;
+  double active_power_w = 0.0;  // measured whole-board inference power
+  double sleep_power_w = 0.0;   // deep-sleep power between inferences
+  double nominal_power_w = 0.0; // datasheet figure quoted in Table 1
+  double price_usd = 0.0;
+  double supply_voltage = 3.3;
+
+  // Calibrated peak throughputs (Mops/s, 1 MAC = 2 ops) per kernel family,
+  // for channel counts divisible by 4 (the fast CMSIS-NN path).
+  double conv_mops = 0.0;
+  double dwconv_mops = 0.0;
+  double fc_mops = 0.0;
+  double elementwise_mops = 0.0;
+};
+
+// The paper's three targets.
+const Device& stm32f446re();  // small:  M4, 128 KB SRAM, 512 KB flash
+const Device& stm32f746zg();  // medium: M7, 320 KB SRAM, 1 MB flash
+const Device& stm32f767zi();  // large:  M7, 512 KB SRAM, 2 MB flash
+
+const std::vector<Device>& all_devices();
+
+// Lookup by size class ("S"/"M"/"L"); throws on unknown class.
+const Device& device_by_class(const std::string& size_class);
+
+}  // namespace mn::mcu

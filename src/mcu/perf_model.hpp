@@ -1,0 +1,106 @@
+// Analytical MCU performance and energy model (the paper's §3, simulated).
+//
+// Per-layer latency = ops / effective_throughput + fixed dispatch overhead,
+// where effective throughput depends on the kernel family, the CMSIS-NN
+// channel-divisibility-by-4 fast path, and a deterministic per-configuration
+// perturbation (hash-seeded) that reproduces the latency spread of Fig. 3.
+// Whole-model latency is the sum over layers; because a backbone's op count
+// is dominated by one layer family, the sum is near-linear in total ops
+// (Fig. 4) — the paper's central observation.
+//
+// Power is constant per device with ~0.7% deterministic per-model variation
+// (Fig. 5), so energy = power x latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcu/device.hpp"
+#include "runtime/interpreter.hpp"
+#include "runtime/model.hpp"
+
+namespace mn::mcu {
+
+enum class LayerKind {
+  kConv2D,
+  kDepthwiseConv2D,
+  kFullyConnected,
+  kPool,
+  kAdd,
+  kSoftmax,
+};
+
+// Everything the latency model needs to know about one layer.
+struct LayerDesc {
+  LayerKind kind = LayerKind::kConv2D;
+  int64_t ops = 0;       // 1 MAC = 2 ops
+  int64_t in_ch = 0;
+  int64_t out_ch = 0;
+  int64_t kh = 1, kw = 1;
+  int64_t out_h = 1, out_w = 1;
+  int bits = 8;          // 4 adds the sub-byte emulation overhead
+  // False when the op falls back to TFLM reference kernels instead of the
+  // optimized CMSIS-NN path (e.g. operators CMSIS-NN does not cover, as for
+  // the mobile-NAS VWW baselines); roughly an order of magnitude slower.
+  bool optimized = true;
+};
+
+// Latency of a single layer on a device, in seconds.
+double layer_latency_s(const Device& dev, const LayerDesc& layer);
+
+// Layer descriptions for every op of a runtime model.
+std::vector<LayerDesc> layers_of(const rt::ModelDef& model);
+
+// End-to-end single-inference latency (sum of layers + interpreter dispatch).
+double model_latency_s(const Device& dev, const rt::ModelDef& model);
+double model_latency_s(const Device& dev, const std::vector<LayerDesc>& layers);
+
+// Latency when every MAC layer runs on reference kernels (no CMSIS-NN) —
+// how the paper's closed-graph mobile baselines behave under TFLM.
+double model_latency_reference_kernels_s(const Device& dev,
+                                         const rt::ModelDef& model);
+
+// Active power while running `model` (near-constant; tiny deterministic
+// per-model wobble reproducing the paper's sigma/mu = 0.0073).
+double model_power_w(const Device& dev, uint64_t model_hash);
+
+// Energy of one inference, joules.
+double model_energy_j(const Device& dev, const rt::ModelDef& model);
+double model_energy_j(const Device& dev, const std::vector<LayerDesc>& layers,
+                      uint64_t model_hash);
+
+// Deployability: does the model fit the device under TFLM overheads?
+struct DeployCheck {
+  bool sram_ok = false;
+  bool flash_ok = false;
+  int64_t sram_required = 0;   // arena + persistent + runtime
+  int64_t flash_required = 0;  // model + runtime code
+  bool deployable() const { return sram_ok && flash_ok; }
+};
+DeployCheck check_deployable(const Device& dev, const rt::MemoryReport& report);
+
+// Budgets available to a model on this device after TFLM overheads — the
+// constraint values handed to the DNAS (§5.1.1).
+int64_t model_sram_budget(const Device& dev);
+int64_t model_flash_budget(const Device& dev);
+
+// --- Power trace (Fig. 9) ---------------------------------------------------
+
+struct TracePoint {
+  double t_s = 0.0;
+  double current_a = 0.0;
+};
+
+// Simulated current trace over one duty cycle: inference of `latency_s`
+// followed by deep sleep until `period_s` (e.g. one frame per second).
+std::vector<TracePoint> power_trace(const Device& dev, double latency_s,
+                                    double period_s, double dt_s = 1e-3);
+
+// Mean power over a full period (joules per period / period).
+double average_power_w(const Device& dev, double latency_s, double period_s);
+
+// FNV-style hash of a model's layer structure (stable model identity for the
+// deterministic power wobble).
+uint64_t model_structure_hash(const rt::ModelDef& model);
+
+}  // namespace mn::mcu

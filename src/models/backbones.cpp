@@ -1,0 +1,386 @@
+#include "models/backbones.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mn::models {
+
+void set_graph_quantization(nn::Graph& graph, int weight_bits, int act_bits) {
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    nn::Node& node = graph.node(id);
+    if (auto* fq = dynamic_cast<nn::FakeQuant*>(&node)) fq->set_bits(act_bits);
+    else if (auto* cv = dynamic_cast<nn::Conv2D*>(&node)) cv->set_weight_bits(weight_bits);
+    else if (auto* dw = dynamic_cast<nn::DepthwiseConv2D*>(&node)) dw->set_weight_bits(weight_bits);
+    else if (auto* fc = dynamic_cast<nn::Dense*>(&node)) fc->set_weight_bits(weight_bits);
+  }
+}
+
+const char* size_name(ModelSize s) {
+  switch (s) {
+    case ModelSize::kS: return "S";
+    case ModelSize::kM: return "M";
+    case ModelSize::kL: return "L";
+  }
+  return "?";
+}
+
+namespace {
+
+// Round to the nearest multiple of 4 (the CMSIS-NN fast-path constraint the
+// paper imposes on searched channel counts).
+int64_t round4(double c) {
+  return std::max<int64_t>(4, static_cast<int64_t>(std::lround(c / 4.0)) * 4);
+}
+
+int quantized_input(nn::GraphBuilder& b, Shape input, const BuildOptions& opt) {
+  int x = b.input(input);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  return x;
+}
+
+int logits_head(nn::GraphBuilder& b, int x, int num_classes,
+                const BuildOptions& opt) {
+  x = b.global_avg_pool(x);
+  x = b.dense(x, num_classes);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  return x;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- DS-CNN ----
+
+nn::Graph build_ds_cnn(const DsCnnConfig& cfg, const BuildOptions& opt) {
+  nn::GraphBuilder b(opt.seed);
+  b.set_qat(opt.qat, opt.weight_bits, opt.act_bits);
+  int x = quantized_input(b, cfg.input, opt);
+  nn::Conv2DOptions stem;
+  stem.out_channels = cfg.stem_channels;
+  stem.kh = cfg.stem_kh;
+  stem.kw = cfg.stem_kw;
+  stem.stride = cfg.stem_stride;
+  x = b.conv_bn_relu(x, stem);
+  for (const DsCnnBlock& blk : cfg.blocks) {
+    nn::DepthwiseConv2DOptions dw;
+    dw.kh = dw.kw = 3;
+    dw.stride = blk.stride;
+    x = b.dwconv_bn_relu(x, dw);
+    nn::Conv2DOptions pw;
+    pw.out_channels = blk.channels;
+    pw.kh = pw.kw = 1;
+    x = b.conv_bn_relu(x, pw);
+  }
+  x = logits_head(b, x, cfg.num_classes, opt);
+  return b.build(x);
+}
+
+DsCnnConfig ds_cnn_s() {
+  DsCnnConfig c;
+  c.stem_channels = 64;
+  c.blocks = {{64, 1}, {64, 1}, {64, 1}, {64, 1}};
+  return c;
+}
+
+DsCnnConfig ds_cnn_m() {
+  DsCnnConfig c;
+  c.stem_channels = 172;
+  c.blocks = {{172, 1}, {172, 1}, {172, 1}, {172, 1}};
+  return c;
+}
+
+DsCnnConfig ds_cnn_l() {
+  DsCnnConfig c;
+  c.stem_channels = 276;
+  c.blocks = {{276, 1}, {276, 1}, {276, 1}, {276, 1}, {276, 1}};
+  return c;
+}
+
+// --------------------------------------------------------- MobileNetV2 ----
+
+nn::Graph build_mobilenet_v2(const MobileNetV2Config& cfg, const BuildOptions& opt) {
+  nn::GraphBuilder b(opt.seed);
+  b.set_qat(opt.qat, opt.weight_bits, opt.act_bits);
+  int x = quantized_input(b, cfg.input, opt);
+  nn::Conv2DOptions stem;
+  stem.out_channels = cfg.stem_channels;
+  stem.kh = stem.kw = 3;
+  stem.stride = cfg.stem_stride;
+  x = b.conv_bn_relu(x, stem);
+  for (const IbnBlock& blk : cfg.blocks) {
+    const Shape in_shape = b.shape(x);
+    const int64_t in_ch = in_shape.dim(2);
+    int y = x;
+    // 1x1 expansion (skipped when expansion == in_ch, i.e. expand ratio 1).
+    if (blk.expansion_channels != in_ch) {
+      nn::Conv2DOptions e;
+      e.out_channels = blk.expansion_channels;
+      e.kh = e.kw = 1;
+      y = b.conv_bn_relu(y, e);
+    }
+    nn::DepthwiseConv2DOptions dw;
+    dw.kh = dw.kw = 3;
+    dw.stride = blk.stride;
+    y = b.dwconv_bn_relu(y, dw);
+    // Linear 1x1 projection (no activation).
+    nn::Conv2DOptions p;
+    p.out_channels = blk.out_channels;
+    p.kh = p.kw = 1;
+    p.use_bias = false;
+    y = b.conv2d(y, p);
+    y = b.batch_norm(y);
+    if (opt.qat) y = b.fake_quant(y, opt.act_bits);
+    if (blk.stride == 1 && blk.out_channels == in_ch) {
+      y = b.add(x, y);
+      if (opt.qat) y = b.fake_quant(y, opt.act_bits);
+    }
+    x = y;
+  }
+  if (cfg.head_channels > 0) {
+    nn::Conv2DOptions head;
+    head.out_channels = cfg.head_channels;
+    head.kh = head.kw = 1;
+    x = b.conv_bn_relu(x, head);
+  }
+  x = logits_head(b, x, cfg.num_classes, opt);
+  return b.build(x);
+}
+
+MobileNetV2Config mobilenet_v2(double width_mult, Shape input, int num_classes) {
+  MobileNetV2Config c;
+  c.input = input;
+  c.num_classes = num_classes;
+  c.stem_channels = round4(32 * width_mult);
+  // (expansion ratio, out channels, repeats, first stride) per the paper.
+  struct Stage {
+    int t;
+    int ch;
+    int n;
+    int s;
+  };
+  const Stage stages[] = {{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2},
+                          {6, 64, 4, 2}, {6, 96, 3, 1}, {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+  int64_t in_ch = c.stem_channels;
+  for (const Stage& st : stages) {
+    const int64_t out = round4(st.ch * width_mult);
+    for (int i = 0; i < st.n; ++i) {
+      IbnBlock blk;
+      blk.expansion_channels = st.t == 1 ? in_ch : round4(static_cast<double>(in_ch) * st.t);
+      blk.out_channels = out;
+      blk.stride = i == 0 ? st.s : 1;
+      c.blocks.push_back(blk);
+      in_ch = out;
+    }
+  }
+  c.head_channels = width_mult >= 1.0 ? round4(1280 * width_mult) : 1280;
+  return c;
+}
+
+MobileNetV2Config mbv2_kws(ModelSize size) {
+  // IBN stacks at full 49x10 resolution in the early stages: accurate but
+  // memory-hungry (the paper's Fig. 7 shows them dominated by MicroNets on
+  // SRAM; the L variant does not fit any target MCU).
+  MobileNetV2Config c;
+  c.input = Shape{49, 10, 1};
+  c.num_classes = 12;
+  c.stem_stride = 1;
+  switch (size) {
+    case ModelSize::kS:
+      c.stem_channels = 32;
+      c.blocks = {{32, 24, 1}, {144, 24, 1}, {144, 32, 2}, {192, 32, 1}, {192, 48, 2}};
+      c.head_channels = 256;
+      break;
+    case ModelSize::kM:
+      c.stem_channels = 40;
+      c.blocks = {{40, 28, 1},  {168, 40, 1}, {240, 40, 1},
+                  {240, 56, 2}, {336, 56, 1}, {336, 80, 2}},
+      c.head_channels = 384;
+      break;
+    case ModelSize::kL:
+      c.stem_channels = 96;
+      c.blocks = {{96, 64, 1},  {576, 96, 1}, {576, 128, 2}, {768, 128, 1},
+                  {768, 160, 2}, {960, 160, 1}},
+      c.head_channels = 512;
+      break;
+  }
+  return c;
+}
+
+// --------------------------------------------------------- MobileNetV1 ----
+
+nn::Graph build_mobilenet_v1(const MobileNetV1Config& cfg, const BuildOptions& opt) {
+  nn::GraphBuilder b(opt.seed);
+  b.set_qat(opt.qat, opt.weight_bits, opt.act_bits);
+  int x = quantized_input(b, cfg.input, opt);
+  auto ch = [&](int base) { return round4(base * cfg.width_mult); };
+  nn::Conv2DOptions stem;
+  stem.out_channels = ch(32);
+  stem.kh = stem.kw = 3;
+  stem.stride = 2;
+  x = b.conv_bn_relu(x, stem);
+  struct Blk {
+    int out;
+    int stride;
+  };
+  const Blk blocks[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                        {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                        {512, 1}, {1024, 2}, {1024, 1}};
+  for (const Blk& blk : blocks) {
+    nn::DepthwiseConv2DOptions dw;
+    dw.kh = dw.kw = 3;
+    dw.stride = blk.stride;
+    x = b.dwconv_bn_relu(x, dw);
+    nn::Conv2DOptions pw;
+    pw.out_channels = ch(blk.out);
+    pw.kh = pw.kw = 1;
+    x = b.conv_bn_relu(x, pw);
+  }
+  x = logits_head(b, x, cfg.num_classes, opt);
+  return b.build(x);
+}
+
+// ------------------------------------------------ FC autoencoder (AD) -----
+
+nn::Graph build_fc_autoencoder(const FcAeConfig& cfg, const BuildOptions& opt) {
+  nn::GraphBuilder b(opt.seed);
+  b.set_qat(opt.qat, opt.weight_bits, opt.act_bits);
+  int x = quantized_input(b, Shape{cfg.input_dim}, opt);
+  auto hidden = [&](int i, int64_t units) {
+    (void)i;
+    x = b.dense(x, units);
+    x = b.relu(x);
+    if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  };
+  for (int i = 0; i < cfg.num_hidden_layers; ++i) hidden(i, cfg.hidden);
+  hidden(-1, cfg.bottleneck);
+  for (int i = 0; i < cfg.num_hidden_layers; ++i) hidden(i, cfg.hidden);
+  x = b.dense(x, cfg.input_dim);
+  if (opt.qat) x = b.fake_quant(x, opt.act_bits);
+  return b.build(x);
+}
+
+// ------------------------------------------------ MicroNet instantiations --
+
+DsCnnConfig micronet_kws(ModelSize size) {
+  // Width-searched DS-CNN backbones; channel configurations calibrated to
+  // the footprints in Table 4 (flash 102/163/612 KB, SRAM 53/103/208 KB).
+  DsCnnConfig c;
+  switch (size) {
+    case ModelSize::kS:
+      c.stem_channels = 112;
+      c.blocks = {{112, 1}, {116, 1}, {128, 1}, {140, 1}, {120, 1}};
+      break;
+    case ModelSize::kM:
+      c.stem_channels = 128;
+      c.blocks = {{132, 1}, {144, 1}, {152, 1}, {160, 1}, {160, 1}, {128, 1}};
+      break;
+    case ModelSize::kL:
+      c.stem_channels = 276;
+      c.blocks = {{276, 1}, {276, 1}, {276, 1}, {276, 1},
+                  {300, 2}, {300, 1}, {300, 1}};
+      break;
+  }
+  return c;
+}
+
+DsCnnConfig micronet_kws_int4() {
+  // Table 2: the 4-bit model is larger than KWS-M in parameters (290 KB at
+  // 4 bits ~= 580 K weights) yet still fits the small MCU.
+  DsCnnConfig c;
+  c.stem_channels = 212;
+  c.blocks = {{212, 1}, {240, 1}, {264, 1}, {264, 1}, {280, 1}, {280, 1}, {244, 1}};
+  return c;
+}
+
+MobileNetV2Config mbv2_ad_baseline() {
+  MobileNetV2Config c = mobilenet_v2(0.6, Shape{64, 64, 1}, 4);
+  c.stem_stride = 1;  // 64x64 spectrogram input, hum detail kept at full res
+  return c;
+}
+
+MobileNetV2Config proxylessnas_vww() {
+  // 224x224 RGB input (the standard VWW preprocessing for mobile models):
+  // the early high-resolution stages blow past small-MCU SRAM even though
+  // the weights are modest.
+  MobileNetV2Config c = mobilenet_v2(0.3, Shape{224, 224, 3}, 2);
+  c.head_channels = 512;
+  return c;
+}
+
+MobileNetV2Config msnet_vww() {
+  MobileNetV2Config c = mobilenet_v2(0.3, Shape{224, 224, 3}, 2);
+  // MSNet's wired cells carry wider early feature maps than ProxylessNAS,
+  // pushing its activation peak above the F746ZG but inside the F767ZI.
+  c.stem_channels = 12;
+  c.head_channels = 384;
+  return c;
+}
+
+MobileNetV2Config micronet_vww(ModelSize size) {
+  switch (size) {
+    case ModelSize::kS: {
+      // Fig. 6(a): 50x50x1 input, slim IBN stack kept at full resolution in
+      // the stem (flash ~217 KB, SRAM ~70 KB, ~16 Mops).
+      MobileNetV2Config c = mobilenet_v2(0.25, Shape{50, 50, 1}, 2);
+      c.stem_stride = 1;
+      c.head_channels = 320;
+      return c;
+    }
+    case ModelSize::kM: {
+      // Fig. 6(b): 160x160x1 input; thin early stages keep the 80x80
+      // buffers inside the F746ZG arena, widths grow with depth
+      // (flash ~855 KB, SRAM ~285 KB, ~230 Mops).
+      MobileNetV2Config c;
+      c.input = Shape{160, 160, 1};
+      c.num_classes = 2;
+      c.stem_channels = 12;
+      c.stem_stride = 2;
+      c.blocks = {{12, 16, 1},   {16, 24, 2},  {56, 32, 1},  {96, 56, 2},
+                  {288, 56, 1},  {288, 64, 1}, {384, 96, 2}, {576, 96, 1},
+                  {576, 160, 1}, {960, 160, 2}};
+      c.head_channels = 640;
+      return c;
+    }
+    case ModelSize::kL:
+      throw std::invalid_argument(
+          "micronet_vww: no L variant (the paper's medium model already "
+          "matches MobileNetV2 accuracy, obviating a large-MCU search)");
+  }
+  throw std::invalid_argument("micronet_vww: bad size");
+}
+
+DsCnnConfig micronet_ad(ModelSize size) {
+  // AD backbone (§5.2.3): DS-CNN on 32x32 log-mel patches; the final two
+  // blocks use stride 2 so the patch reaches 4x4 before pooling. Calibrated
+  // to Table 4 (flash 247/453/442 KB).
+  DsCnnConfig c;
+  c.input = Shape{32, 32, 1};
+  c.num_classes = 4;
+  c.stem_kh = 3;
+  c.stem_kw = 3;
+  switch (size) {
+    case ModelSize::kS:
+      // Stride-2 stem; moderate widths (flash ~247 KB, SRAM ~114 KB).
+      c.stem_stride = 2;
+      c.stem_channels = 160;
+      c.blocks = {{160, 1}, {160, 1}, {224, 2}, {256, 2}, {256, 1}};
+      break;
+    case ModelSize::kM:
+      // Full-resolution stem: the 32x32 buffers dominate SRAM (~274 KB),
+      // widths grow with depth (flash ~453 KB, ~125 Mops).
+      c.stem_stride = 1;
+      c.stem_channels = 128;
+      c.blocks = {{128, 1}, {192, 2}, {256, 1}, {288, 2}, {320, 1}, {320, 2}};
+      break;
+    case ModelSize::kL:
+      // Wider full-resolution stem (SRAM ~383 KB, flash ~442 KB).
+      c.stem_stride = 1;
+      c.stem_channels = 160;
+      c.blocks = {{160, 1}, {192, 2}, {256, 1}, {288, 2}, {320, 1}, {320, 2}};
+      break;
+  }
+  return c;
+}
+
+}  // namespace mn::models

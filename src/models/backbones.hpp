@@ -1,0 +1,127 @@
+// Model family builders: the paper's baselines (DS-CNN S/M/L, MobileNetV2,
+// MobileNetV1 person-detection reference, FC autoencoders) and the fixed
+// MicroNet instantiations used by the result benches. Every builder produces
+// an nn::Graph ready for training (optionally with QAT fake-quant nodes) and
+// convertible by rt::convert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace mn::models {
+
+enum class ModelSize { kS, kM, kL };
+const char* size_name(ModelSize s);
+
+struct BuildOptions {
+  uint64_t seed = 1;
+  bool qat = true;
+  int weight_bits = 8;
+  int act_bits = 8;
+};
+
+// --- DS-CNN (Zhang et al. 2017, "Hello Edge") --------------------------------
+
+struct DsCnnBlock {
+  int64_t channels = 64;
+  int64_t stride = 1;
+};
+
+struct DsCnnConfig {
+  Shape input{49, 10, 1};
+  int num_classes = 12;
+  int64_t stem_channels = 64;
+  int64_t stem_kh = 10, stem_kw = 4, stem_stride = 2;
+  std::vector<DsCnnBlock> blocks;
+};
+
+nn::Graph build_ds_cnn(const DsCnnConfig& cfg, const BuildOptions& opt);
+
+// Published S/M/L variants for the KWS task.
+DsCnnConfig ds_cnn_s();
+DsCnnConfig ds_cnn_m();
+DsCnnConfig ds_cnn_l();
+
+// --- MobileNetV2 (Sandler et al. 2018) ---------------------------------------
+
+struct IbnBlock {
+  int64_t expansion_channels = 0;  // width of the 1x1 expansion
+  int64_t out_channels = 0;        // width of the 1x1 projection
+  int64_t stride = 1;
+};
+
+struct MobileNetV2Config {
+  Shape input{50, 50, 1};
+  int num_classes = 2;
+  int64_t stem_channels = 32;
+  int64_t stem_stride = 2;
+  std::vector<IbnBlock> blocks;
+  int64_t head_channels = 1280;  // final 1x1 conv before pooling (0 = none)
+};
+
+nn::Graph build_mobilenet_v2(const MobileNetV2Config& cfg, const BuildOptions& opt);
+
+// Standard MobileNetV2 scaled by a width multiplier.
+MobileNetV2Config mobilenet_v2(double width_mult, Shape input, int num_classes);
+
+// KWS baselines built by stacking IBN blocks (paper Fig. 7).
+MobileNetV2Config mbv2_kws(ModelSize size);
+
+// --- MobileNetV1 (TFLM person-detection reference) ---------------------------
+
+struct MobileNetV1Config {
+  Shape input{96, 96, 1};
+  int num_classes = 2;
+  double width_mult = 0.25;
+};
+
+nn::Graph build_mobilenet_v1(const MobileNetV1Config& cfg, const BuildOptions& opt);
+
+// --- Fully-connected autoencoder (AD baseline, Purohit et al. 2019) ----------
+
+struct FcAeConfig {
+  int64_t input_dim = 640;  // 10 frames x 64 mel bins
+  int64_t hidden = 128;     // 512 for the "wide" variant
+  int64_t bottleneck = 8;
+  int num_hidden_layers = 4;  // on each side of the bottleneck
+};
+
+// Autoencoder graph: output feature = input_dim reconstruction (train with
+// MSE via nn::Graph::backward on the squared-error gradient).
+nn::Graph build_fc_autoencoder(const FcAeConfig& cfg, const BuildOptions& opt);
+
+// --- MicroNet instantiations -------------------------------------------------
+// Architectures in the shape our DNAS discovers (width-searched DS-CNN /
+// MobileNetV2 backbones), with channel configurations calibrated to the
+// footprints reported in the paper's Table 4.
+
+DsCnnConfig micronet_kws(ModelSize size);
+MobileNetV2Config micronet_vww(ModelSize size);  // S and M only (paper Fig. 6)
+DsCnnConfig micronet_ad(ModelSize size);
+
+// The 4-bit KWS MicroNet (Table 2): larger than KWS-S but deployable on the
+// small MCU thanks to int4 weights/activations.
+DsCnnConfig micronet_kws_int4();
+
+// MobileNetV2-0.5 anomaly-detection baseline (Giri et al. 2020): consumes
+// 64x64 spectrograms (pre-downsampling resolution), full-resolution stem.
+MobileNetV2Config mbv2_ad_baseline();
+
+// VWW comparison models. The originals are not open in a buildable form, so
+// these are IBN-stack stand-ins calibrated to the footprints the paper
+// measured (Table 4): small flash but activation-hungry, hence deployable
+// only on the largest MCU — the failure mode Fig. 8 highlights.
+MobileNetV2Config proxylessnas_vww();  // ~309 KB flash / ~350 KB SRAM
+MobileNetV2Config msnet_vww();         // ~264 KB flash / ~413 KB SRAM
+
+// AD configs downsample to 4x4 before pooling (strides on the last blocks).
+// All AD models take 32x32x1 inputs and emit 4 machine-ID classes.
+
+// Retargets every quantizer in a QAT graph to new bit widths (progressive
+// quantization: train at 8 bits, then finetune at 4). Touches FakeQuant
+// nodes and the weight quantizers of conv / depthwise / dense layers.
+void set_graph_quantization(nn::Graph& graph, int weight_bits, int act_bits);
+
+}  // namespace mn::models

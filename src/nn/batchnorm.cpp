@@ -1,0 +1,167 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace mn::nn {
+
+BatchNorm::BatchNorm(std::string name, int64_t channels, float momentum,
+                     float eps)
+    : Node(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(this->name() + "/gamma", Shape{channels}),
+      beta_(this->name() + "/beta", Shape{channels}),
+      running_mean_(Shape{channels}, 0.f),
+      running_var_(Shape{channels}, 1.f),
+      batch_mean_(Shape{channels}, 0.f),
+      batch_inv_std_(Shape{channels}, 1.f) {
+  gamma_.value.fill(1.f);
+  beta_.value.fill(0.f);
+}
+
+std::vector<Param*> BatchNorm::params() { return {&gamma_, &beta_}; }
+
+TensorF BatchNorm::forward(const std::vector<const TensorF*>& in, bool training) {
+  const TensorF& x = *in.at(0);
+  const int64_t C = x.shape().dim(x.shape().rank() - 1);
+  if (C != channels_) throw std::invalid_argument(name() + ": channel mismatch");
+  const int64_t rows = x.size() / C;
+  TensorF y(x.shape());
+  if (training) {
+    // Batch statistics over all non-channel axes.
+    for (int64_t c = 0; c < C; ++c) batch_mean_[c] = 0.f;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xr = x.data() + r * C;
+      for (int64_t c = 0; c < C; ++c) batch_mean_[c] += xr[c];
+    }
+    const float inv_rows = 1.f / static_cast<float>(rows);
+    for (int64_t c = 0; c < C; ++c) batch_mean_[c] *= inv_rows;
+    TensorF var(Shape{C}, 0.f);
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xr = x.data() + r * C;
+      for (int64_t c = 0; c < C; ++c) {
+        const float d = xr[c] - batch_mean_[c];
+        var[c] += d * d;
+      }
+    }
+    for (int64_t c = 0; c < C; ++c) {
+      var[c] *= inv_rows;
+      batch_inv_std_[c] = 1.f / std::sqrt(var[c] + eps_);
+      running_mean_[c] = momentum_ * running_mean_[c] + (1.f - momentum_) * batch_mean_[c];
+      running_var_[c] = momentum_ * running_var_[c] + (1.f - momentum_) * var[c];
+    }
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xr = x.data() + r * C;
+      float* yr = y.data() + r * C;
+      for (int64_t c = 0; c < C; ++c)
+        yr[c] = gamma_.value[c] * (xr[c] - batch_mean_[c]) * batch_inv_std_[c] +
+                beta_.value[c];
+    }
+  } else {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xr = x.data() + r * C;
+      float* yr = y.data() + r * C;
+      for (int64_t c = 0; c < C; ++c) {
+        const float inv_std = 1.f / std::sqrt(running_var_[c] + eps_);
+        yr[c] = gamma_.value[c] * (xr[c] - running_mean_[c]) * inv_std + beta_.value[c];
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<TensorF> BatchNorm::backward(const std::vector<const TensorF*>& in,
+                                         const TensorF& g) {
+  // Standard batch-norm backward through batch statistics.
+  const TensorF& x = *in.at(0);
+  const int64_t C = channels_;
+  const int64_t rows = x.size() / C;
+  const float inv_rows = 1.f / static_cast<float>(rows);
+  TensorF sum_g(Shape{C}, 0.f), sum_gx(Shape{C}, 0.f);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * C;
+    const float* gr = g.data() + r * C;
+    for (int64_t c = 0; c < C; ++c) {
+      const float xhat = (xr[c] - batch_mean_[c]) * batch_inv_std_[c];
+      sum_g[c] += gr[c];
+      sum_gx[c] += gr[c] * xhat;
+    }
+  }
+  for (int64_t c = 0; c < C; ++c) {
+    beta_.grad[c] += sum_g[c];
+    gamma_.grad[c] += sum_gx[c];
+  }
+  TensorF gx(x.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * C;
+    const float* gr = g.data() + r * C;
+    float* gxr = gx.data() + r * C;
+    for (int64_t c = 0; c < C; ++c) {
+      const float xhat = (xr[c] - batch_mean_[c]) * batch_inv_std_[c];
+      gxr[c] = gamma_.value[c] * batch_inv_std_[c] *
+               (gr[c] - inv_rows * sum_g[c] - xhat * inv_rows * sum_gx[c]);
+    }
+  }
+  std::vector<TensorF> grads;
+  grads.push_back(std::move(gx));
+  return grads;
+}
+
+// ------------------------------------------------------------- FakeQuant --
+
+FakeQuant::FakeQuant(std::string name, int bits, float ema_momentum)
+    : Node(std::move(name)), bits_(bits), ema_momentum_(ema_momentum) {
+  if (bits < 2 || bits > 16) throw std::invalid_argument("FakeQuant: bits");
+}
+
+TensorF FakeQuant::forward(const std::vector<const TensorF*>& in, bool training) {
+  const TensorF& x = *in.at(0);
+  if (training) {
+    float lo = x.size() > 0 ? x[0] : 0.f, hi = lo;
+    for (int64_t i = 0; i < x.size(); ++i) {
+      lo = std::min(lo, x[i]);
+      hi = std::max(hi, x[i]);
+    }
+    if (!calibrated_) {
+      ema_min_ = lo;
+      ema_max_ = hi;
+      calibrated_ = true;
+    } else {
+      ema_min_ = ema_momentum_ * ema_min_ + (1.f - ema_momentum_) * lo;
+      ema_max_ = ema_momentum_ * ema_max_ + (1.f - ema_momentum_) * hi;
+    }
+  }
+  // Nudged range always containing zero (TFLite convention).
+  float rmin = std::min(ema_min_, 0.f);
+  float rmax = std::max(ema_max_, 0.f);
+  if (rmax - rmin < 1e-8f) rmax = rmin + 1e-8f;
+  const int levels = (1 << bits_) - 1;
+  const float scale = (rmax - rmin) / static_cast<float>(levels);
+  const float zp = std::round(-rmin / scale);
+  TensorF y(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    float q = std::round(x[i] / scale + zp);
+    q = std::clamp(q, 0.f, static_cast<float>(levels));
+    y[i] = (q - zp) * scale;
+  }
+  return y;
+}
+
+std::vector<TensorF> FakeQuant::backward(const std::vector<const TensorF*>& in,
+                                         const TensorF& g) {
+  // Straight-through estimator: pass gradient inside the clip range.
+  const TensorF& x = *in.at(0);
+  const float rmin = std::min(ema_min_, 0.f);
+  const float rmax = std::max(ema_max_, 0.f);
+  TensorF gx(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i)
+    gx[i] = (x[i] >= rmin && x[i] <= rmax) ? g[i] : 0.f;
+  std::vector<TensorF> grads;
+  grads.push_back(std::move(gx));
+  return grads;
+}
+
+}  // namespace mn::nn

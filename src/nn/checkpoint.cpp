@@ -1,0 +1,159 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mn::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x31504B43;  // "CKP1"
+
+struct Entry {
+  std::string name;
+  TensorF* tensor;
+};
+
+// Named tensors of a graph in a stable order: every Param value plus
+// BatchNorm running statistics.
+std::vector<Entry> named_tensors(Graph& g) {
+  std::vector<Entry> out;
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    Node& node = g.node(id);
+    for (Param* p : node.params()) out.push_back({p->name, &p->value});
+    if (auto* bn = dynamic_cast<BatchNorm*>(&node)) {
+      // const_cast: running stats are training state, mutably restored here.
+      out.push_back({bn->name() + "/running_mean",
+                     const_cast<TensorF*>(&bn->running_mean())});
+      out.push_back({bn->name() + "/running_var",
+                     const_cast<TensorF*>(&bn->running_var())});
+    }
+  }
+  return out;
+}
+
+// FakeQuant EMA ranges are also training state (the converter reads them);
+// they are serialized as (min, max, calibrated) triples after the tensors.
+std::vector<FakeQuant*> fake_quants(Graph& g) {
+  std::vector<FakeQuant*> out;
+  for (int id = 0; id < g.num_nodes(); ++id)
+    if (auto* fq = dynamic_cast<FakeQuant*>(&g.node(id))) out.push_back(fq);
+  return out;
+}
+
+void put_u32(std::vector<uint8_t>& buf, uint32_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  buf.insert(buf.end(), b, b + 4);
+}
+
+void put_str(std::vector<uint8_t>& buf, const std::string& s) {
+  put_u32(buf, static_cast<uint32_t>(s.size()));
+  buf.insert(buf.end(), s.begin(), s.end());
+}
+
+struct Reader {
+  const std::vector<uint8_t>& buf;
+  size_t pos = 0;
+  uint32_t u32() {
+    if (pos + 4 > buf.size()) throw std::runtime_error("checkpoint: truncated");
+    uint32_t v;
+    std::memcpy(&v, buf.data() + pos, 4);
+    pos += 4;
+    return v;
+  }
+  std::string str() {
+    const uint32_t n = u32();
+    if (pos + n > buf.size()) throw std::runtime_error("checkpoint: truncated");
+    std::string s(reinterpret_cast<const char*>(buf.data() + pos), n);
+    pos += n;
+    return s;
+  }
+  void floats(float* dst, size_t n) {
+    if (pos + n * 4 > buf.size()) throw std::runtime_error("checkpoint: truncated");
+    std::memcpy(dst, buf.data() + pos, n * 4);
+    pos += n * 4;
+  }
+};
+
+}  // namespace
+
+std::vector<uint8_t> save_checkpoint(Graph& graph) {
+  const auto entries = named_tensors(graph);
+  std::vector<uint8_t> buf;
+  put_u32(buf, kMagic);
+  put_u32(buf, static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    put_str(buf, e.name);
+    put_u32(buf, static_cast<uint32_t>(e.tensor->size()));
+    const auto* b = reinterpret_cast<const uint8_t*>(e.tensor->data());
+    buf.insert(buf.end(), b, b + e.tensor->size() * 4);
+  }
+  const auto fqs = fake_quants(graph);
+  put_u32(buf, static_cast<uint32_t>(fqs.size()));
+  for (FakeQuant* fq : fqs) {
+    put_str(buf, fq->name());
+    const float lo = fq->range_min(), hi = fq->range_max();
+    const auto* bl = reinterpret_cast<const uint8_t*>(&lo);
+    const auto* bh = reinterpret_cast<const uint8_t*>(&hi);
+    buf.insert(buf.end(), bl, bl + 4);
+    buf.insert(buf.end(), bh, bh + 4);
+    put_u32(buf, fq->calibrated() ? 1 : 0);
+  }
+  return buf;
+}
+
+void save_checkpoint(Graph& graph, const std::string& path) {
+  const auto bytes = save_checkpoint(graph);
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+void load_checkpoint(Graph& graph, const std::vector<uint8_t>& bytes) {
+  Reader r{bytes};
+  if (r.u32() != kMagic) throw std::runtime_error("checkpoint: bad magic");
+  const uint32_t count = r.u32();
+  const auto entries = named_tensors(graph);
+  if (count != entries.size())
+    throw std::runtime_error("checkpoint: parameter count mismatch");
+  for (const Entry& e : entries) {
+    const std::string name = r.str();
+    if (name != e.name)
+      throw std::runtime_error("checkpoint: expected param '" + e.name +
+                               "', file has '" + name + "'");
+    const uint32_t n = r.u32();
+    if (static_cast<int64_t>(n) != e.tensor->size())
+      throw std::runtime_error("checkpoint: size mismatch for " + name);
+    r.floats(e.tensor->data(), n);
+  }
+  const auto fqs = fake_quants(graph);
+  const uint32_t nfq = r.u32();
+  if (nfq != fqs.size())
+    throw std::runtime_error("checkpoint: FakeQuant count mismatch");
+  for (FakeQuant* fq : fqs) {
+    const std::string name = r.str();
+    if (name != fq->name())
+      throw std::runtime_error("checkpoint: FakeQuant name mismatch: " + name);
+    float lo, hi;
+    r.floats(&lo, 1);
+    r.floats(&hi, 1);
+    const bool calibrated = r.u32() != 0;
+    if (calibrated) fq->set_range(lo, hi);
+  }
+}
+
+void load_checkpoint(Graph& graph, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+  load_checkpoint(graph, bytes);
+}
+
+void copy_parameters(Graph& from, Graph& to) {
+  load_checkpoint(to, save_checkpoint(from));
+}
+
+}  // namespace mn::nn

@@ -1,0 +1,29 @@
+// Training checkpoints: save/load all graph parameters (and BatchNorm
+// running statistics) to a binary file, keyed by parameter name so a
+// checkpoint can only be restored into a structurally identical graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace mn::nn {
+
+// Serializes every Param (value only, not gradients) plus BatchNorm running
+// mean/variance buffers.
+std::vector<uint8_t> save_checkpoint(Graph& graph);
+void save_checkpoint(Graph& graph, const std::string& path);
+
+// Restores parameters into `graph`. Throws if any name or shape mismatches
+// (the graph must have been built from the same configuration and seed
+// discipline; values are overwritten, so the init seed need not match).
+void load_checkpoint(Graph& graph, const std::vector<uint8_t>& bytes);
+void load_checkpoint(Graph& graph, const std::string& path);
+
+// Copies parameters between two graphs built from the same configuration
+// (used for progressive quantization: train an 8-bit graph, copy into a
+// 4-bit one). Throws on any structural mismatch.
+void copy_parameters(Graph& from, Graph& to);
+
+}  // namespace mn::nn

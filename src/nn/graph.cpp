@@ -1,0 +1,205 @@
+#include "nn/graph.hpp"
+
+#include <stdexcept>
+
+namespace mn::nn {
+
+int Graph::add_node(std::unique_ptr<Node> node, std::vector<int> inputs,
+                    Shape feature_shape) {
+  const int id = static_cast<int>(nodes_.size());
+  for (int in : inputs)
+    if (in < 0 || in >= id)
+      throw std::invalid_argument("Graph::add_node: input not yet added");
+  node->set_inputs(std::move(inputs));
+  nodes_.push_back(std::move(node));
+  feature_shapes_.push_back(feature_shape);
+  return id;
+}
+
+TensorF Graph::forward(const TensorF& batch, bool training) {
+  if (input_id_ < 0 || output_id_ < 0)
+    throw std::logic_error("Graph::forward: input/output not set");
+  auto* in_node = dynamic_cast<InputNode*>(nodes_[static_cast<size_t>(input_id_)].get());
+  if (in_node == nullptr) throw std::logic_error("Graph: input node wrong type");
+  in_node->bind(batch);
+  activations_.assign(nodes_.size(), TensorF{});
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    std::vector<const TensorF*> ins;
+    ins.reserve(nodes_[i]->inputs().size());
+    for (int in : nodes_[i]->inputs())
+      ins.push_back(&activations_[static_cast<size_t>(in)]);
+    activations_[i] = nodes_[i]->forward(ins, training);
+  }
+  return activations_[static_cast<size_t>(output_id_)];
+}
+
+void Graph::backward(const TensorF& grad_at_output) {
+  if (activations_.empty())
+    throw std::logic_error("Graph::backward: no cached forward");
+  std::vector<TensorF> grads(nodes_.size());
+  grads[static_cast<size_t>(output_id_)] = grad_at_output;
+  for (int i = static_cast<int>(nodes_.size()) - 1; i >= 0; --i) {
+    TensorF& g = grads[static_cast<size_t>(i)];
+    if (g.empty()) continue;  // node does not influence the loss
+    std::vector<const TensorF*> ins;
+    ins.reserve(nodes_[static_cast<size_t>(i)]->inputs().size());
+    for (int in : nodes_[static_cast<size_t>(i)]->inputs())
+      ins.push_back(&activations_[static_cast<size_t>(in)]);
+    auto in_grads = nodes_[static_cast<size_t>(i)]->backward(ins, g);
+    const auto& in_ids = nodes_[static_cast<size_t>(i)]->inputs();
+    if (!in_grads.empty() && in_grads.size() != in_ids.size())
+      throw std::logic_error("Graph::backward: grad count mismatch at " +
+                             nodes_[static_cast<size_t>(i)]->name());
+    for (size_t k = 0; k < in_grads.size(); ++k) {
+      TensorF& dst = grads[static_cast<size_t>(in_ids[k])];
+      if (dst.empty()) {
+        dst = std::move(in_grads[k]);
+      } else {
+        for (int64_t j = 0; j < dst.size(); ++j) dst[j] += in_grads[k][j];
+      }
+    }
+  }
+}
+
+std::vector<Param*> Graph::params() {
+  std::vector<Param*> out;
+  for (auto& n : nodes_)
+    for (Param* p : n->params()) out.push_back(p);
+  return out;
+}
+
+void Graph::zero_grads() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+int64_t Graph::num_weight_params() {
+  int64_t n = 0;
+  for (Param* p : params())
+    if (p->group == ParamGroup::kWeights) n += p->value.size();
+  return n;
+}
+
+// ---------------------------------------------------------- GraphBuilder --
+
+std::string GraphBuilder::uniq(const std::string& base) {
+  return base + "_" + std::to_string(next_id_++);
+}
+
+int GraphBuilder::input(Shape feature_shape) {
+  auto node = std::make_unique<InputNode>(uniq("input"), feature_shape);
+  const int id = graph_.add_node(std::move(node), {}, feature_shape);
+  graph_.set_input(id);
+  return id;
+}
+
+int GraphBuilder::conv2d(int x, Conv2DOptions opt) {
+  const Shape& in = shape(x);
+  if (qat_) {
+    opt.quantize_weights = true;
+    opt.weight_bits = weight_bits_;
+  }
+  const int64_t in_ch = in.dim(in.rank() - 1);
+  Shape out{conv_out_dim(in.dim(0), opt.kh, opt.stride, opt.padding),
+            conv_out_dim(in.dim(1), opt.kw, opt.stride, opt.padding),
+            opt.out_channels};
+  auto node = std::make_unique<Conv2D>(uniq("conv2d"), in_ch, opt, rng_);
+  return graph_.add_node(std::move(node), {x}, out);
+}
+
+int GraphBuilder::depthwise_conv2d(int x, DepthwiseConv2DOptions opt) {
+  const Shape& in = shape(x);
+  if (qat_) {
+    opt.quantize_weights = true;
+    opt.weight_bits = weight_bits_;
+  }
+  const int64_t ch = in.dim(in.rank() - 1);
+  Shape out{conv_out_dim(in.dim(0), opt.kh, opt.stride, opt.padding),
+            conv_out_dim(in.dim(1), opt.kw, opt.stride, opt.padding), ch};
+  auto node = std::make_unique<DepthwiseConv2D>(uniq("dwconv"), ch, opt, rng_);
+  return graph_.add_node(std::move(node), {x}, out);
+}
+
+int GraphBuilder::dense(int x, int64_t out_features, bool use_bias) {
+  const Shape& in = shape(x);
+  const int64_t in_features = in.elements();
+  auto node = std::make_unique<Dense>(uniq("dense"), in_features, out_features,
+                                      rng_, use_bias, qat_, weight_bits_);
+  return graph_.add_node(std::move(node), {x}, Shape{out_features});
+}
+
+int GraphBuilder::relu(int x, float cap) {
+  return graph_.add_node(std::make_unique<Relu>(uniq("relu"), cap), {x}, shape(x));
+}
+
+int GraphBuilder::add(int a, int b) {
+  if (shape(a) != shape(b))
+    throw std::invalid_argument("GraphBuilder::add: shape mismatch");
+  return graph_.add_node(std::make_unique<Add>(uniq("add")), {a, b}, shape(a));
+}
+
+int GraphBuilder::channel_mul(int x, int mask) {
+  return graph_.add_node(std::make_unique<ChannelMul>(uniq("chmul")), {x, mask},
+                         shape(x));
+}
+
+int GraphBuilder::avg_pool(int x, Pool2DOptions opt) {
+  const Shape& in = shape(x);
+  Shape out{conv_out_dim(in.dim(0), opt.kh, opt.stride, opt.padding),
+            conv_out_dim(in.dim(1), opt.kw, opt.stride, opt.padding), in.dim(2)};
+  return graph_.add_node(std::make_unique<AvgPool2D>(uniq("avgpool"), opt), {x}, out);
+}
+
+int GraphBuilder::max_pool(int x, Pool2DOptions opt) {
+  const Shape& in = shape(x);
+  Shape out{conv_out_dim(in.dim(0), opt.kh, opt.stride, opt.padding),
+            conv_out_dim(in.dim(1), opt.kw, opt.stride, opt.padding), in.dim(2)};
+  return graph_.add_node(std::make_unique<MaxPool2D>(uniq("maxpool"), opt), {x}, out);
+}
+
+int GraphBuilder::global_avg_pool(int x) {
+  const Shape& in = shape(x);
+  return graph_.add_node(std::make_unique<GlobalAvgPool>(uniq("gap")), {x},
+                         Shape{1, 1, in.dim(in.rank() - 1)});
+}
+
+int GraphBuilder::batch_norm(int x) {
+  const Shape& in = shape(x);
+  const int64_t ch = in.dim(in.rank() - 1);
+  return graph_.add_node(std::make_unique<BatchNorm>(uniq("bn"), ch), {x}, in);
+}
+
+int GraphBuilder::fake_quant(int x, int bits) {
+  return graph_.add_node(std::make_unique<FakeQuant>(uniq("fq"), bits), {x},
+                         shape(x));
+}
+
+int GraphBuilder::conv_bn_relu(int x, Conv2DOptions opt, float relu_cap) {
+  opt.use_bias = false;  // bias folds into BN
+  int y = conv2d(x, opt);
+  y = batch_norm(y);
+  y = relu(y, relu_cap);
+  if (qat_) y = fake_quant(y, act_bits_);
+  return y;
+}
+
+int GraphBuilder::dwconv_bn_relu(int x, DepthwiseConv2DOptions opt,
+                                 float relu_cap) {
+  opt.use_bias = false;
+  int y = depthwise_conv2d(x, opt);
+  y = batch_norm(y);
+  y = relu(y, relu_cap);
+  if (qat_) y = fake_quant(y, act_bits_);
+  return y;
+}
+
+int GraphBuilder::custom(std::unique_ptr<Node> node, std::vector<int> inputs,
+                         Shape out) {
+  return graph_.add_node(std::move(node), std::move(inputs), out);
+}
+
+Graph GraphBuilder::build(int output) {
+  graph_.set_output(output);
+  return std::move(graph_);
+}
+
+}  // namespace mn::nn

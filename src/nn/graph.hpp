@@ -1,0 +1,118 @@
+// Graph: a DAG of autodiff Nodes executed in construction (topological)
+// order, and GraphBuilder: a convenience API that tracks static per-node
+// feature shapes (batch dimension excluded) while the network is assembled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/node.hpp"
+
+namespace mn::nn {
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // Appends a node; inputs must reference already-added nodes (this enforces
+  // topological construction order). Returns the node id.
+  int add_node(std::unique_ptr<Node> node, std::vector<int> inputs,
+               Shape feature_shape);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int id) { return *nodes_.at(static_cast<size_t>(id)); }
+  const Node& node(int id) const { return *nodes_.at(static_cast<size_t>(id)); }
+
+  // Static output feature shape of a node (no batch dimension).
+  const Shape& feature_shape(int id) const {
+    return feature_shapes_.at(static_cast<size_t>(id));
+  }
+
+  void set_input(int id) { input_id_ = id; }
+  void set_output(int id) { output_id_ = id; }
+  int input_id() const { return input_id_; }
+  int output_id() const { return output_id_; }
+
+  // Runs all nodes; `batch` is bound to the input node. Returns the output
+  // node's tensor. Activations are cached for backward.
+  TensorF forward(const TensorF& batch, bool training);
+
+  // Backpropagates from the output node; accumulates Param::grad everywhere.
+  // Must follow a forward(training=true) call.
+  void backward(const TensorF& grad_at_output);
+
+  // Activation of node `id` from the most recent forward.
+  const TensorF& activation(int id) const {
+    return activations_.at(static_cast<size_t>(id));
+  }
+
+  std::vector<Param*> params();
+  void zero_grads();
+
+  // Total number of trainable scalar parameters (weights group).
+  int64_t num_weight_params();
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Shape> feature_shapes_;
+  std::vector<TensorF> activations_;
+  int input_id_ = -1;
+  int output_id_ = -1;
+};
+
+// Fluent graph construction with static shape inference.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(uint64_t seed) : rng_(seed) {}
+
+  // QAT configuration applied by the *_bn_relu composites and weight quant.
+  void set_qat(bool enable, int weight_bits = 8, int act_bits = 8) {
+    qat_ = enable;
+    weight_bits_ = weight_bits;
+    act_bits_ = act_bits;
+  }
+  bool qat() const { return qat_; }
+  int act_bits() const { return act_bits_; }
+
+  // Primitive nodes; all return the new node id.
+  int input(Shape feature_shape);  // [h, w, c]
+  int conv2d(int x, Conv2DOptions opt);
+  int depthwise_conv2d(int x, DepthwiseConv2DOptions opt);
+  int dense(int x, int64_t out_features, bool use_bias = true);
+  int relu(int x, float cap = 0.f);
+  int add(int a, int b);
+  int channel_mul(int x, int mask);
+  int avg_pool(int x, Pool2DOptions opt);
+  int max_pool(int x, Pool2DOptions opt);
+  int global_avg_pool(int x);
+  int batch_norm(int x);
+  int fake_quant(int x, int bits);
+
+  // Composite: conv -> BN -> ReLU6 -> (fake quant if QAT).
+  int conv_bn_relu(int x, Conv2DOptions opt, float relu_cap = 6.f);
+  int dwconv_bn_relu(int x, DepthwiseConv2DOptions opt, float relu_cap = 6.f);
+
+  // Adds an arbitrary custom node (used by the DNAS supernet for decision
+  // nodes); caller supplies the output feature shape.
+  int custom(std::unique_ptr<Node> node, std::vector<int> inputs, Shape out);
+
+  const Shape& shape(int id) const { return graph_.feature_shape(id); }
+  Rng& rng() { return rng_; }
+
+  // Finalizes: `output` becomes the graph output.
+  Graph build(int output);
+
+ private:
+  Graph graph_;
+  Rng rng_;
+  bool qat_ = false;
+  int weight_bits_ = 8;
+  int act_bits_ = 8;
+  int next_id_ = 0;
+  std::string uniq(const std::string& base);
+};
+
+}  // namespace mn::nn

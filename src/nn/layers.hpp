@@ -1,0 +1,249 @@
+// Concrete autodiff graph nodes: convolutions, dense, pooling, activations,
+// batch norm, fake quantization, and elementwise ops.
+#pragma once
+
+#include "nn/node.hpp"
+
+namespace mn::nn {
+
+enum class Padding { kSame, kValid };
+
+// Spatial output size for one dimension under TF padding conventions.
+int64_t conv_out_dim(int64_t in, int64_t k, int64_t stride, Padding p);
+// Total padding applied to one dimension (SAME); 0 for VALID.
+int64_t conv_pad_total(int64_t in, int64_t k, int64_t stride, Padding p);
+
+struct Conv2DOptions {
+  int64_t out_channels = 0;
+  int64_t kh = 3, kw = 3;
+  int64_t stride = 1;
+  Padding padding = Padding::kSame;
+  bool use_bias = true;
+  bool quantize_weights = false;  // QAT: symmetric fake-quant on weights
+  int weight_bits = 8;
+};
+
+// Standard 2-D convolution, NHWC activations, [out_ch, kh, kw, in_ch] weights.
+class Conv2D final : public Node {
+ public:
+  Conv2D(std::string name, int64_t in_channels, const Conv2DOptions& opt, Rng& rng);
+
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+  std::vector<Param*> params() override;
+
+  const Conv2DOptions& options() const { return opt_; }
+  void set_weight_bits(int bits) { opt_.weight_bits = bits; }
+  Param& weight() { return weight_; }
+  Param* bias() { return opt_.use_bias ? &bias_ : nullptr; }
+  int64_t in_channels() const { return in_channels_; }
+
+ private:
+  TensorF effective_weight() const;  // fake-quantized if enabled
+  Conv2DOptions opt_;
+  int64_t in_channels_;
+  Param weight_;
+  Param bias_;
+};
+
+struct DepthwiseConv2DOptions {
+  int64_t kh = 3, kw = 3;
+  int64_t stride = 1;
+  Padding padding = Padding::kSame;
+  bool use_bias = true;
+  bool quantize_weights = false;
+  int weight_bits = 8;
+};
+
+// Depthwise 2-D convolution (channel multiplier 1), weights [1, kh, kw, ch].
+class DepthwiseConv2D final : public Node {
+ public:
+  DepthwiseConv2D(std::string name, int64_t channels,
+                  const DepthwiseConv2DOptions& opt, Rng& rng);
+
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+  std::vector<Param*> params() override;
+
+  const DepthwiseConv2DOptions& options() const { return opt_; }
+  void set_weight_bits(int bits) { opt_.weight_bits = bits; }
+  Param& weight() { return weight_; }
+  Param* bias() { return opt_.use_bias ? &bias_ : nullptr; }
+  int64_t channels() const { return channels_; }
+
+ private:
+  TensorF effective_weight() const;
+  DepthwiseConv2DOptions opt_;
+  int64_t channels_;
+  Param weight_;
+  Param bias_;
+};
+
+// Fully connected layer; flattens any input to [N, features].
+class Dense final : public Node {
+ public:
+  Dense(std::string name, int64_t in_features, int64_t out_features, Rng& rng,
+        bool use_bias = true, bool quantize_weights = false, int weight_bits = 8);
+
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+  std::vector<Param*> params() override;
+
+  void set_weight_bits(int bits) { weight_bits_ = bits; }
+  Param& weight() { return weight_; }
+  Param* bias() { return use_bias_ ? &bias_ : nullptr; }
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  TensorF effective_weight() const;
+  int64_t in_features_, out_features_;
+  bool use_bias_;
+  bool quantize_weights_;
+  int weight_bits_;
+  Param weight_;
+  Param bias_;
+};
+
+// ReLU with an optional cap (ReLU6 when cap = 6).
+class Relu final : public Node {
+ public:
+  Relu(std::string name, float cap = 0.f) : Node(std::move(name)), cap_(cap) {}
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+  float cap() const { return cap_; }
+
+ private:
+  float cap_;
+};
+
+// Elementwise residual addition of two same-shaped tensors.
+class Add final : public Node {
+ public:
+  explicit Add(std::string name) : Node(std::move(name)) {}
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+};
+
+// Multiply an NHWC tensor by a per-channel rank-1 mask (input 1). Used by the
+// DNAS channel-width decision nodes.
+class ChannelMul final : public Node {
+ public:
+  explicit ChannelMul(std::string name) : Node(std::move(name)) {}
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+};
+
+struct Pool2DOptions {
+  int64_t kh = 2, kw = 2;
+  int64_t stride = 2;
+  Padding padding = Padding::kValid;
+};
+
+class AvgPool2D final : public Node {
+ public:
+  AvgPool2D(std::string name, const Pool2DOptions& opt)
+      : Node(std::move(name)), opt_(opt) {}
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+  const Pool2DOptions& options() const { return opt_; }
+
+ private:
+  Pool2DOptions opt_;
+};
+
+class MaxPool2D final : public Node {
+ public:
+  MaxPool2D(std::string name, const Pool2DOptions& opt)
+      : Node(std::move(name)), opt_(opt) {}
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+  const Pool2DOptions& options() const { return opt_; }
+
+ private:
+  Pool2DOptions opt_;
+  std::vector<int64_t> argmax_;  // flat input index per output element
+};
+
+// Global average pooling: [N,H,W,C] -> [N,1,1,C].
+class GlobalAvgPool final : public Node {
+ public:
+  explicit GlobalAvgPool(std::string name) : Node(std::move(name)) {}
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+};
+
+// Per-channel batch normalization over (N, H, W) with running statistics.
+class BatchNorm final : public Node {
+ public:
+  BatchNorm(std::string name, int64_t channels, float momentum = 0.9f,
+            float eps = 1e-3f);
+
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+  std::vector<Param*> params() override;
+
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  const TensorF& running_mean() const { return running_mean_; }
+  const TensorF& running_var() const { return running_var_; }
+  float eps() const { return eps_; }
+
+ private:
+  int64_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  TensorF running_mean_, running_var_;
+  // Saved batch statistics for backward.
+  TensorF batch_mean_, batch_inv_std_;
+};
+
+// Per-tensor asymmetric fake quantization with EMA range tracking and a
+// straight-through gradient estimator. Simulates int-N deployment during
+// training (QAT) and records the activation range for the converter.
+class FakeQuant final : public Node {
+ public:
+  FakeQuant(std::string name, int bits = 8, float ema_momentum = 0.99f);
+
+  TensorF forward(const std::vector<const TensorF*>& in, bool training) override;
+  std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                const TensorF& grad_out) override;
+
+  int bits() const { return bits_; }
+  // Progressive quantization: retarget the simulated bit width mid-training
+  // (e.g. 8-bit warmup before a 4-bit finetune).
+  void set_bits(int bits) {
+    if (bits < 2 || bits > 16) throw std::invalid_argument("FakeQuant: bits");
+    bits_ = bits;
+  }
+  float range_min() const { return ema_min_; }
+  float range_max() const { return ema_max_; }
+  bool calibrated() const { return calibrated_; }
+  void set_range(float lo, float hi) {
+    ema_min_ = lo;
+    ema_max_ = hi;
+    calibrated_ = true;
+  }
+
+ private:
+  int bits_;
+  float ema_momentum_;
+  float ema_min_ = 0.f, ema_max_ = 0.f;
+  bool calibrated_ = false;
+};
+
+// Symmetric per-tensor fake quantization of a weight tensor (shared helper
+// for Conv2D / DepthwiseConv2D / Dense QAT); straight-through estimator.
+TensorF fake_quant_weights(const TensorF& w, int bits);
+
+}  // namespace mn::nn

@@ -1,0 +1,107 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mn::nn {
+
+TensorF softmax(const TensorF& logits) {
+  const int64_t N = logits.shape().dim(0), C = logits.shape().dim(1);
+  TensorF p(logits.shape());
+  for (int64_t n = 0; n < N; ++n) {
+    const float* lr = logits.data() + n * C;
+    float* pr = p.data() + n * C;
+    float mx = lr[0];
+    for (int64_t c = 1; c < C; ++c) mx = std::max(mx, lr[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < C; ++c) {
+      pr[c] = std::exp(lr[c] - mx);
+      sum += pr[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < C; ++c) pr[c] *= inv;
+  }
+  return p;
+}
+
+LossResult soft_cross_entropy(const TensorF& logits, const TensorF& targets) {
+  if (logits.shape() != targets.shape())
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
+  const int64_t N = logits.shape().dim(0), C = logits.shape().dim(1);
+  const TensorF p = softmax(logits);
+  LossResult r;
+  r.grad = TensorF(logits.shape());
+  double loss = 0.0;
+  const float invN = 1.f / static_cast<float>(N);
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float t = targets.at2(n, c);
+      const float pv = std::max(p.at2(n, c), 1e-12f);
+      if (t > 0.f) loss -= static_cast<double>(t) * std::log(pv);
+      r.grad.at2(n, c) = (p.at2(n, c) - t) * invN;
+    }
+  }
+  r.loss = loss / static_cast<double>(N);
+  return r;
+}
+
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 std::span<const int> labels,
+                                 float label_smoothing) {
+  const int64_t N = logits.shape().dim(0), C = logits.shape().dim(1);
+  if (static_cast<int64_t>(labels.size()) != N)
+    throw std::invalid_argument("softmax_cross_entropy: label count");
+  TensorF targets(logits.shape(), label_smoothing / static_cast<float>(C));
+  for (int64_t n = 0; n < N; ++n) {
+    const int y = labels[static_cast<size_t>(n)];
+    if (y < 0 || y >= C) throw std::invalid_argument("label out of range");
+    targets.at2(n, y) += 1.f - label_smoothing;
+  }
+  return soft_cross_entropy(logits, targets);
+}
+
+LossResult distillation_loss(const TensorF& student_logits,
+                             const TensorF& teacher_logits,
+                             std::span<const int> labels, float alpha,
+                             float temperature) {
+  if (student_logits.shape() != teacher_logits.shape())
+    throw std::invalid_argument("distillation_loss: shape mismatch");
+  const LossResult hard = softmax_cross_entropy(student_logits, labels);
+  // Soft term: CE between teacher and student distributions at temperature T.
+  const int64_t N = student_logits.shape().dim(0), C = student_logits.shape().dim(1);
+  TensorF s_t(student_logits.shape()), t_t(student_logits.shape());
+  const float invT = 1.f / temperature;
+  for (int64_t i = 0; i < s_t.size(); ++i) {
+    s_t[i] = student_logits[i] * invT;
+    t_t[i] = teacher_logits[i] * invT;
+  }
+  const TensorF teacher_probs = softmax(t_t);
+  LossResult soft = soft_cross_entropy(s_t, teacher_probs);
+  // d(soft_loss)/d(student_logits) picks up a 1/T from the chain rule; the
+  // conventional T^2 weighting restores gradient magnitude.
+  const float soft_w = alpha * temperature * temperature;
+  LossResult r;
+  r.loss = (1.f - alpha) * hard.loss + soft_w * soft.loss;
+  r.grad = TensorF(student_logits.shape());
+  for (int64_t n = 0; n < N; ++n)
+    for (int64_t c = 0; c < C; ++c)
+      r.grad.at2(n, c) = (1.f - alpha) * hard.grad.at2(n, c) +
+                         soft_w * invT * soft.grad.at2(n, c);
+  return r;
+}
+
+double accuracy(const TensorF& logits, std::span<const int> labels) {
+  const int64_t N = logits.shape().dim(0), C = logits.shape().dim(1);
+  int64_t correct = 0;
+  for (int64_t n = 0; n < N; ++n) {
+    const float* lr = logits.data() + n * C;
+    int64_t best = 0;
+    for (int64_t c = 1; c < C; ++c)
+      if (lr[c] > lr[best]) best = c;
+    if (best == labels[static_cast<size_t>(n)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(N);
+}
+
+}  // namespace mn::nn

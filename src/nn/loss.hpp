@@ -1,0 +1,38 @@
+// Classification losses producing both the scalar loss and the gradient at
+// the logits, plus evaluation helpers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mn::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  TensorF grad;  // dLoss/dLogits, [N, C], already divided by batch size
+};
+
+// Row-wise softmax of [N, C] logits.
+TensorF softmax(const TensorF& logits);
+
+// Mean cross entropy with integer labels; optional label smoothing.
+LossResult softmax_cross_entropy(const TensorF& logits,
+                                 std::span<const int> labels,
+                                 float label_smoothing = 0.f);
+
+// Mean cross entropy against an arbitrary target distribution [N, C]
+// (used for mixup and the soft half of knowledge distillation).
+LossResult soft_cross_entropy(const TensorF& logits, const TensorF& targets);
+
+// Knowledge distillation (Hinton et al. 2015):
+//   (1 - alpha) * CE(labels) + alpha * T^2 * CE(softmax(teacher / T), student / T).
+LossResult distillation_loss(const TensorF& student_logits,
+                             const TensorF& teacher_logits,
+                             std::span<const int> labels, float alpha, float temperature);
+
+// Fraction of rows whose argmax equals the label.
+double accuracy(const TensorF& logits, std::span<const int> labels);
+
+}  // namespace mn::nn

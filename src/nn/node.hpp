@@ -1,0 +1,71 @@
+// Node: base class for autodiff graph operations.
+//
+// Each node consumes the output tensors of its input nodes and produces one
+// output tensor. Backward receives the gradient of the loss w.r.t. the
+// node's output and (a) accumulates gradients into its own Params and
+// (b) returns the gradient w.r.t. each input tensor.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mn::nn {
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<int>& inputs() const { return inputs_; }
+  void set_inputs(std::vector<int> in) { inputs_ = std::move(in); }
+
+  // Forward pass. `training` selects batch statistics / noise behaviour.
+  virtual TensorF forward(const std::vector<const TensorF*>& in, bool training) = 0;
+
+  // Backward pass; `in` are the same tensors given to the last forward call.
+  // Default: no inputs, no gradients (leaf nodes).
+  virtual std::vector<TensorF> backward(const std::vector<const TensorF*>& in,
+                                        const TensorF& grad_out) {
+    (void)in;
+    (void)grad_out;
+    return {};
+  }
+
+  virtual std::vector<Param*> params() { return {}; }
+
+ private:
+  std::string name_;
+  std::vector<int> inputs_;
+};
+
+// Graph input placeholder: forward returns the externally bound tensor.
+class InputNode final : public Node {
+ public:
+  explicit InputNode(std::string name, Shape feature_shape)
+      : Node(std::move(name)), feature_shape_(feature_shape) {}
+
+  TensorF forward(const std::vector<const TensorF*>&, bool) override {
+    return bound_;
+  }
+  void bind(TensorF t) { bound_ = std::move(t); }
+  const Shape& feature_shape() const { return feature_shape_; }
+
+ private:
+  Shape feature_shape_;  // without the batch dimension
+  TensorF bound_;
+};
+
+// Weight initializers.
+void init_he_normal(TensorF& w, int64_t fan_in, Rng& rng);
+void init_uniform(TensorF& w, float lo, float hi, Rng& rng);
+
+}  // namespace mn::nn

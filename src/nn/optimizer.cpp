@@ -1,0 +1,48 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace mn::nn {
+
+double CosineSchedule::lr(int64_t step) const {
+  if (total_ <= 1) return end_;
+  const double t = std::min(1.0, static_cast<double>(step) / static_cast<double>(total_ - 1));
+  return end_ + 0.5 * (start_ - end_) * (1.0 + std::cos(M_PI * t));
+}
+
+void SgdMomentum::step(std::span<Param* const> params, double lr) {
+  for (Param* p : params) {
+    if (!p->trainable) continue;
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape(), 0.f);
+    TensorF& v = it->second;
+    const float wd = p->decay ? static_cast<float>(weight_decay_) : 0.f;
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i] + wd * p->value[i];
+      v[i] = static_cast<float>(momentum_) * v[i] + g;
+      p->value[i] -= static_cast<float>(lr) * v[i];
+    }
+  }
+}
+
+void Adam::step(std::span<Param* const> params, double lr) {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (Param* p : params) {
+    if (!p->trainable) continue;
+    auto [mi, m_new] = m_.try_emplace(p, p->value.shape(), 0.f);
+    auto [vi, v_new] = v_.try_emplace(p, p->value.shape(), 0.f);
+    TensorF& m = mi->second;
+    TensorF& v = vi->second;
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i];
+      m[i] = static_cast<float>(beta1_) * m[i] + (1.f - static_cast<float>(beta1_)) * g;
+      v[i] = static_cast<float>(beta2_) * v[i] + (1.f - static_cast<float>(beta2_)) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p->value[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace mn::nn

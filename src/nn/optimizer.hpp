@@ -1,0 +1,57 @@
+// Optimizers (SGD with momentum, Adam) and learning-rate schedules.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace mn::nn {
+
+// Cosine decay from `start` to `end` over `total_steps` (paper's schedule).
+class CosineSchedule {
+ public:
+  CosineSchedule(double start, double end, int64_t total_steps)
+      : start_(start), end_(end), total_(total_steps) {}
+  double lr(int64_t step) const;
+
+ private:
+  double start_, end_;
+  int64_t total_;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update using each param's accumulated gradient.
+  virtual void step(std::span<Param* const> params, double lr) = 0;
+};
+
+// SGD with classical momentum and decoupled weight decay (applied only to
+// params with `decay == true`).
+class SgdMomentum final : public Optimizer {
+ public:
+  explicit SgdMomentum(double momentum = 0.9, double weight_decay = 0.0)
+      : momentum_(momentum), weight_decay_(weight_decay) {}
+  void step(std::span<Param* const> params, double lr) override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::unordered_map<const Param*, TensorF> velocity_;
+};
+
+// Adam; used for DNAS architecture parameters where per-logit scaling helps.
+class Adam final : public Optimizer {
+ public:
+  Adam(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8)
+      : beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(std::span<Param* const> params, double lr) override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::unordered_map<const Param*, TensorF> m_, v_;
+};
+
+}  // namespace mn::nn

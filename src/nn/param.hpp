@@ -1,0 +1,30 @@
+// Trainable parameter: value plus accumulated gradient.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace mn::nn {
+
+// Parameter group: weight parameters and DNAS architecture parameters are
+// trained with different optimizers / learning rates.
+enum class ParamGroup { kWeights, kArch };
+
+struct Param {
+  std::string name;
+  TensorF value;
+  TensorF grad;
+  ParamGroup group = ParamGroup::kWeights;
+  bool trainable = true;
+  // Weight decay is applied to conv/dense kernels but not biases, BN
+  // parameters, or architecture logits.
+  bool decay = false;
+
+  explicit Param(std::string n, Shape shape, ParamGroup g = ParamGroup::kWeights)
+      : name(std::move(n)), value(shape), grad(shape, 0.f), group(g) {}
+
+  void zero_grad() { grad.fill(0.f); }
+};
+
+}  // namespace mn::nn

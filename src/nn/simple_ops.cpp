@@ -1,0 +1,266 @@
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+
+namespace mn::nn {
+
+// ------------------------------------------------------------------ Relu --
+
+TensorF Relu::forward(const std::vector<const TensorF*>& in, bool) {
+  const TensorF& x = *in.at(0);
+  TensorF y(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    float v = std::max(x[i], 0.f);
+    if (cap_ > 0.f) v = std::min(v, cap_);
+    y[i] = v;
+  }
+  return y;
+}
+
+std::vector<TensorF> Relu::backward(const std::vector<const TensorF*>& in,
+                                    const TensorF& g) {
+  const TensorF& x = *in.at(0);
+  TensorF gx(x.shape());
+  for (int64_t i = 0; i < x.size(); ++i) {
+    const bool pass = x[i] > 0.f && (cap_ <= 0.f || x[i] < cap_);
+    gx[i] = pass ? g[i] : 0.f;
+  }
+  std::vector<TensorF> grads;
+  grads.push_back(std::move(gx));
+  return grads;
+}
+
+// ------------------------------------------------------------------- Add --
+
+TensorF Add::forward(const std::vector<const TensorF*>& in, bool) {
+  const TensorF& a = *in.at(0);
+  const TensorF& b = *in.at(1);
+  if (a.shape() != b.shape())
+    throw std::invalid_argument(name() + ": shape mismatch " +
+                                a.shape().to_string() + " vs " + b.shape().to_string());
+  TensorF y(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) y[i] = a[i] + b[i];
+  return y;
+}
+
+std::vector<TensorF> Add::backward(const std::vector<const TensorF*>&,
+                                   const TensorF& g) {
+  std::vector<TensorF> grads;
+  grads.push_back(g);
+  grads.push_back(g);
+  return grads;
+}
+
+// ------------------------------------------------------------ ChannelMul --
+
+TensorF ChannelMul::forward(const std::vector<const TensorF*>& in, bool) {
+  const TensorF& x = *in.at(0);
+  const TensorF& m = *in.at(1);
+  const int64_t C = x.shape().dim(x.shape().rank() - 1);
+  if (m.shape().rank() != 1 || m.shape().dim(0) != C)
+    throw std::invalid_argument(name() + ": mask must be rank-1 of size C");
+  TensorF y(x.shape());
+  const int64_t rows = x.size() / C;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * C;
+    float* yr = y.data() + r * C;
+    for (int64_t c = 0; c < C; ++c) yr[c] = xr[c] * m[c];
+  }
+  return y;
+}
+
+std::vector<TensorF> ChannelMul::backward(const std::vector<const TensorF*>& in,
+                                          const TensorF& g) {
+  const TensorF& x = *in.at(0);
+  const TensorF& m = *in.at(1);
+  const int64_t C = m.shape().dim(0);
+  const int64_t rows = x.size() / C;
+  TensorF gx(x.shape());
+  TensorF gm(m.shape(), 0.f);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.data() + r * C;
+    const float* gr = g.data() + r * C;
+    float* gxr = gx.data() + r * C;
+    for (int64_t c = 0; c < C; ++c) {
+      gxr[c] = gr[c] * m[c];
+      gm[c] += gr[c] * xr[c];
+    }
+  }
+  std::vector<TensorF> grads;
+  grads.push_back(std::move(gx));
+  grads.push_back(std::move(gm));
+  return grads;
+}
+
+// ------------------------------------------------------------- AvgPool2D --
+
+namespace {
+struct PoolGeom {
+  int64_t N, H, W, C, OH, OW, pad_h, pad_w;
+};
+PoolGeom pool_geometry(const Shape& s, const Pool2DOptions& o) {
+  PoolGeom g;
+  g.N = s.dim(0);
+  g.H = s.dim(1);
+  g.W = s.dim(2);
+  g.C = s.dim(3);
+  g.OH = conv_out_dim(g.H, o.kh, o.stride, o.padding);
+  g.OW = conv_out_dim(g.W, o.kw, o.stride, o.padding);
+  g.pad_h = conv_pad_total(g.H, o.kh, o.stride, o.padding) / 2;
+  g.pad_w = conv_pad_total(g.W, o.kw, o.stride, o.padding) / 2;
+  return g;
+}
+}  // namespace
+
+TensorF AvgPool2D::forward(const std::vector<const TensorF*>& in, bool) {
+  const TensorF& x = *in.at(0);
+  const PoolGeom p = pool_geometry(x.shape(), opt_);
+  TensorF y(Shape{p.N, p.OH, p.OW, p.C}, 0.f);
+  for (int64_t n = 0; n < p.N; ++n)
+    for (int64_t oy = 0; oy < p.OH; ++oy)
+      for (int64_t ox = 0; ox < p.OW; ++ox) {
+        float* yr = y.data() + y.idx4(n, oy, ox, 0);
+        int64_t count = 0;
+        for (int64_t ky = 0; ky < opt_.kh; ++ky) {
+          const int64_t iy = oy * opt_.stride - p.pad_h + ky;
+          if (iy < 0 || iy >= p.H) continue;
+          for (int64_t kx = 0; kx < opt_.kw; ++kx) {
+            const int64_t ix = ox * opt_.stride - p.pad_w + kx;
+            if (ix < 0 || ix >= p.W) continue;
+            const float* xr = x.data() + x.idx4(n, iy, ix, 0);
+            for (int64_t c = 0; c < p.C; ++c) yr[c] += xr[c];
+            ++count;
+          }
+        }
+        if (count > 0)
+          for (int64_t c = 0; c < p.C; ++c) yr[c] /= static_cast<float>(count);
+      }
+  return y;
+}
+
+std::vector<TensorF> AvgPool2D::backward(const std::vector<const TensorF*>& in,
+                                         const TensorF& g) {
+  const TensorF& x = *in.at(0);
+  const PoolGeom p = pool_geometry(x.shape(), opt_);
+  TensorF gx(x.shape(), 0.f);
+  for (int64_t n = 0; n < p.N; ++n)
+    for (int64_t oy = 0; oy < p.OH; ++oy)
+      for (int64_t ox = 0; ox < p.OW; ++ox) {
+        // Recount valid window size (matches forward normalization).
+        int64_t count = 0;
+        for (int64_t ky = 0; ky < opt_.kh; ++ky) {
+          const int64_t iy = oy * opt_.stride - p.pad_h + ky;
+          if (iy >= 0 && iy < p.H)
+            for (int64_t kx = 0; kx < opt_.kw; ++kx) {
+              const int64_t ix = ox * opt_.stride - p.pad_w + kx;
+              if (ix >= 0 && ix < p.W) ++count;
+            }
+        }
+        if (count == 0) continue;
+        const float inv = 1.f / static_cast<float>(count);
+        const float* gr = g.data() + g.idx4(n, oy, ox, 0);
+        for (int64_t ky = 0; ky < opt_.kh; ++ky) {
+          const int64_t iy = oy * opt_.stride - p.pad_h + ky;
+          if (iy < 0 || iy >= p.H) continue;
+          for (int64_t kx = 0; kx < opt_.kw; ++kx) {
+            const int64_t ix = ox * opt_.stride - p.pad_w + kx;
+            if (ix < 0 || ix >= p.W) continue;
+            float* gxr = gx.data() + gx.idx4(n, iy, ix, 0);
+            for (int64_t c = 0; c < p.C; ++c) gxr[c] += gr[c] * inv;
+          }
+        }
+      }
+  std::vector<TensorF> grads;
+  grads.push_back(std::move(gx));
+  return grads;
+}
+
+// ------------------------------------------------------------- MaxPool2D --
+
+TensorF MaxPool2D::forward(const std::vector<const TensorF*>& in, bool) {
+  const TensorF& x = *in.at(0);
+  const PoolGeom p = pool_geometry(x.shape(), opt_);
+  TensorF y(Shape{p.N, p.OH, p.OW, p.C});
+  argmax_.assign(static_cast<size_t>(y.size()), -1);
+  for (int64_t n = 0; n < p.N; ++n)
+    for (int64_t oy = 0; oy < p.OH; ++oy)
+      for (int64_t ox = 0; ox < p.OW; ++ox)
+        for (int64_t c = 0; c < p.C; ++c) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t ky = 0; ky < opt_.kh; ++ky) {
+            const int64_t iy = oy * opt_.stride - p.pad_h + ky;
+            if (iy < 0 || iy >= p.H) continue;
+            for (int64_t kx = 0; kx < opt_.kw; ++kx) {
+              const int64_t ix = ox * opt_.stride - p.pad_w + kx;
+              if (ix < 0 || ix >= p.W) continue;
+              const int64_t idx = x.idx4(n, iy, ix, c);
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const int64_t oidx = y.idx4(n, oy, ox, c);
+          y[oidx] = best;
+          argmax_[static_cast<size_t>(oidx)] = best_idx;
+        }
+  return y;
+}
+
+std::vector<TensorF> MaxPool2D::backward(const std::vector<const TensorF*>& in,
+                                         const TensorF& g) {
+  const TensorF& x = *in.at(0);
+  TensorF gx(x.shape(), 0.f);
+  for (int64_t i = 0; i < g.size(); ++i) {
+    const int64_t src = argmax_[static_cast<size_t>(i)];
+    if (src >= 0) gx[src] += g[i];
+  }
+  std::vector<TensorF> grads;
+  grads.push_back(std::move(gx));
+  return grads;
+}
+
+// --------------------------------------------------------- GlobalAvgPool --
+
+TensorF GlobalAvgPool::forward(const std::vector<const TensorF*>& in, bool) {
+  const TensorF& x = *in.at(0);
+  const int64_t N = x.shape().dim(0), H = x.shape().dim(1), W = x.shape().dim(2),
+                C = x.shape().dim(3);
+  TensorF y(Shape{N, 1, 1, C}, 0.f);
+  const float inv = 1.f / static_cast<float>(H * W);
+  for (int64_t n = 0; n < N; ++n) {
+    float* yr = y.data() + n * C;
+    for (int64_t h = 0; h < H; ++h)
+      for (int64_t w = 0; w < W; ++w) {
+        const float* xr = x.data() + x.idx4(n, h, w, 0);
+        for (int64_t c = 0; c < C; ++c) yr[c] += xr[c];
+      }
+    for (int64_t c = 0; c < C; ++c) yr[c] *= inv;
+  }
+  return y;
+}
+
+std::vector<TensorF> GlobalAvgPool::backward(
+    const std::vector<const TensorF*>& in, const TensorF& g) {
+  const TensorF& x = *in.at(0);
+  const int64_t N = x.shape().dim(0), H = x.shape().dim(1), W = x.shape().dim(2),
+                C = x.shape().dim(3);
+  TensorF gx(x.shape());
+  const float inv = 1.f / static_cast<float>(H * W);
+  for (int64_t n = 0; n < N; ++n) {
+    const float* gr = g.data() + n * C;
+    for (int64_t h = 0; h < H; ++h)
+      for (int64_t w = 0; w < W; ++w) {
+        float* gxr = gx.data() + gx.idx4(n, h, w, 0);
+        for (int64_t c = 0; c < C; ++c) gxr[c] = gr[c] * inv;
+      }
+  }
+  std::vector<TensorF> grads;
+  grads.push_back(std::move(gx));
+  return grads;
+}
+
+}  // namespace mn::nn

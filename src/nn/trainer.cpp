@@ -1,0 +1,226 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/stats.hpp"
+
+namespace mn::nn {
+
+namespace {
+
+// Marsaglia-Tsang gamma sampler (with Johnk boost for shape < 1).
+double sample_gamma(double shape, Rng& rng) {
+  if (shape < 1.0) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    return sample_gamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(std::max(u, 1e-12)) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+}  // namespace
+
+double sample_beta(double alpha, Rng& rng) {
+  const double a = sample_gamma(alpha, rng);
+  const double b = sample_gamma(alpha, rng);
+  return a / std::max(a + b, 1e-12);
+}
+
+TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  data::Dataset ds = train;  // local copy reshuffled per epoch
+  const int64_t steps_per_epoch =
+      std::max<int64_t>(1, (ds.size() + cfg.batch_size - 1) / cfg.batch_size);
+  CosineSchedule sched(cfg.lr_start, cfg.lr_end,
+                       steps_per_epoch * cfg.epochs);
+  SgdMomentum opt(cfg.momentum, cfg.weight_decay);
+  auto all_params = graph.params();
+  std::vector<Param*> weight_params;
+  for (Param* p : all_params)
+    if (p->group == ParamGroup::kWeights) weight_params.push_back(p);
+
+  TrainStats stats;
+  int64_t step = 0;
+  const int64_t C = graph.feature_shape(graph.output_id()).elements();
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    data::shuffle(ds, rng);
+    double loss_sum = 0.0, acc_sum = 0.0;
+    int64_t batches = 0;
+    for (int64_t first = 0; first < ds.size(); first += cfg.batch_size) {
+      data::Batch batch = data::make_batch(ds, first, cfg.batch_size);
+      const int64_t N = batch.inputs.shape().dim(0);
+
+      TensorF soft_targets;
+      bool use_soft = false;
+      if (cfg.mixup_alpha > 0.f && N > 1) {
+        // Mixup: convex combination of the batch with a shuffled copy.
+        const float lam = static_cast<float>(sample_beta(cfg.mixup_alpha, rng));
+        std::vector<int64_t> perm(static_cast<size_t>(N));
+        for (int64_t i = 0; i < N; ++i) perm[static_cast<size_t>(i)] = i;
+        for (int64_t i = N - 1; i > 0; --i)
+          std::swap(perm[static_cast<size_t>(i)],
+                    perm[static_cast<size_t>(rng.uniform_int(0, i))]);
+        const int64_t per = batch.inputs.size() / N;
+        TensorF mixed(batch.inputs.shape());
+        soft_targets = TensorF(Shape{N, C}, 0.f);
+        for (int64_t i = 0; i < N; ++i) {
+          const int64_t j = perm[static_cast<size_t>(i)];
+          const float* a = batch.inputs.data() + i * per;
+          const float* b = batch.inputs.data() + j * per;
+          float* m = mixed.data() + i * per;
+          for (int64_t k = 0; k < per; ++k) m[k] = lam * a[k] + (1.f - lam) * b[k];
+          soft_targets.at2(i, batch.labels[static_cast<size_t>(i)]) += lam;
+          soft_targets.at2(i, batch.labels[static_cast<size_t>(j)]) += 1.f - lam;
+        }
+        batch.inputs = std::move(mixed);
+        use_soft = true;
+      }
+
+      graph.zero_grads();
+      const TensorF logits = graph.forward(batch.inputs, /*training=*/true);
+      LossResult lr_result;
+      if (cfg.teacher != nullptr) {
+        const TensorF teacher_logits =
+            cfg.teacher->forward(batch.inputs, /*training=*/false);
+        lr_result = distillation_loss(logits, teacher_logits, batch.labels,
+                                      cfg.distill_alpha, cfg.distill_temperature);
+      } else if (use_soft) {
+        lr_result = soft_cross_entropy(logits, soft_targets);
+      } else {
+        lr_result = softmax_cross_entropy(logits, batch.labels, cfg.label_smoothing);
+      }
+      graph.backward(lr_result.grad);
+      opt.step(weight_params, sched.lr(step));
+      ++step;
+      loss_sum += lr_result.loss;
+      acc_sum += accuracy(logits, batch.labels);
+      ++batches;
+    }
+    stats.final_loss = loss_sum / static_cast<double>(batches);
+    stats.final_train_accuracy = acc_sum / static_cast<double>(batches);
+    if (cfg.on_epoch) cfg.on_epoch(epoch, stats.final_loss, stats.final_train_accuracy);
+  }
+  return stats;
+}
+
+double evaluate(Graph& graph, const data::Dataset& ds, int64_t batch_size) {
+  int64_t correct = 0;
+  for (int64_t first = 0; first < ds.size(); first += batch_size) {
+    const data::Batch batch = data::make_batch(ds, first, batch_size);
+    const TensorF logits = graph.forward(batch.inputs, /*training=*/false);
+    const int64_t N = logits.shape().dim(0);
+    correct += static_cast<int64_t>(
+        std::round(accuracy(logits, batch.labels) * static_cast<double>(N)));
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+TensorF predict_probs(Graph& graph, const data::Dataset& ds, int64_t batch_size) {
+  const int64_t C = graph.feature_shape(graph.output_id()).elements();
+  TensorF out(Shape{ds.size(), C});
+  for (int64_t first = 0; first < ds.size(); first += batch_size) {
+    const data::Batch batch = data::make_batch(ds, first, batch_size);
+    const TensorF probs = softmax(graph.forward(batch.inputs, /*training=*/false));
+    std::copy(probs.data(), probs.data() + probs.size(), out.data() + first * C);
+  }
+  return out;
+}
+
+double fit_autoencoder(Graph& graph, const data::Dataset& train,
+                       const TrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  data::Dataset ds = train;
+  const int64_t steps_per_epoch =
+      std::max<int64_t>(1, (ds.size() + cfg.batch_size - 1) / cfg.batch_size);
+  CosineSchedule sched(cfg.lr_start, cfg.lr_end, steps_per_epoch * cfg.epochs);
+  SgdMomentum opt(cfg.momentum, cfg.weight_decay);
+  auto params = graph.params();
+  double final_mse = 0.0;
+  int64_t step = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    data::shuffle(ds, rng);
+    double mse_sum = 0.0;
+    int64_t batches = 0;
+    for (int64_t first = 0; first < ds.size(); first += cfg.batch_size) {
+      const data::Batch batch = data::make_batch(ds, first, cfg.batch_size);
+      const int64_t N = batch.inputs.shape().dim(0);
+      graph.zero_grads();
+      const TensorF out = graph.forward(batch.inputs, /*training=*/true);
+      // MSE against the (flattened) input; grad = 2 (out - x) / (N * D).
+      const int64_t D = out.size() / N;
+      TensorF grad(out.shape());
+      double mse = 0.0;
+      const float scale = 2.f / static_cast<float>(N * D);
+      for (int64_t i = 0; i < out.size(); ++i) {
+        const float diff = out[i] - batch.inputs[i];
+        mse += static_cast<double>(diff) * diff;
+        grad[i] = scale * diff;
+      }
+      mse /= static_cast<double>(N * D);
+      graph.backward(grad);
+      opt.step(params, sched.lr(step));
+      ++step;
+      mse_sum += mse;
+      ++batches;
+    }
+    final_mse = mse_sum / static_cast<double>(batches);
+    if (cfg.on_epoch) cfg.on_epoch(epoch, final_mse, 0.0);
+  }
+  return final_mse;
+}
+
+std::vector<double> reconstruction_errors(Graph& graph, const data::Dataset& ds,
+                                          int64_t batch_size) {
+  std::vector<double> errors(static_cast<size_t>(ds.size()));
+  for (int64_t first = 0; first < ds.size(); first += batch_size) {
+    const data::Batch batch = data::make_batch(ds, first, batch_size);
+    const TensorF out = graph.forward(batch.inputs, /*training=*/false);
+    const int64_t N = batch.inputs.shape().dim(0);
+    const int64_t D = out.size() / N;
+    for (int64_t n = 0; n < N; ++n) {
+      double mse = 0.0;
+      for (int64_t i = 0; i < D; ++i) {
+        const float diff = out[n * D + i] - batch.inputs[n * D + i];
+        mse += static_cast<double>(diff) * diff;
+      }
+      errors[static_cast<size_t>(first + n)] = mse / static_cast<double>(D);
+    }
+  }
+  return errors;
+}
+
+double autoencoder_auc(Graph& graph, const data::Dataset& test,
+                       int64_t batch_size) {
+  const std::vector<double> scores = reconstruction_errors(graph, test, batch_size);
+  std::vector<int> labels(static_cast<size_t>(test.size()));
+  for (int64_t i = 0; i < test.size(); ++i)
+    labels[static_cast<size_t>(i)] = test.examples[static_cast<size_t>(i)].anomaly ? 1 : 0;
+  return roc_auc(scores, labels);
+}
+
+double anomaly_auc(Graph& graph, const data::Dataset& test, int64_t batch_size) {
+  const TensorF probs = predict_probs(graph, test, batch_size);
+  std::vector<double> scores(static_cast<size_t>(test.size()));
+  std::vector<int> labels(static_cast<size_t>(test.size()));
+  for (int64_t i = 0; i < test.size(); ++i) {
+    const data::Example& e = test.examples[static_cast<size_t>(i)];
+    scores[static_cast<size_t>(i)] = -static_cast<double>(probs.at2(i, e.label));
+    labels[static_cast<size_t>(i)] = e.anomaly ? 1 : 0;
+  }
+  return roc_auc(scores, labels);
+}
+
+}  // namespace mn::nn

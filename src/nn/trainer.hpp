@@ -1,0 +1,70 @@
+// Training loop: SGD with cosine schedule, optional mixup augmentation and
+// knowledge distillation, matching the paper's training recipes (§5.2).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "datasets/dataset.hpp"
+#include "nn/graph.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mn::nn {
+
+struct TrainConfig {
+  int epochs = 10;
+  int64_t batch_size = 32;
+  double lr_start = 0.05;
+  double lr_end = 1e-4;
+  double momentum = 0.9;
+  double weight_decay = 4e-5;
+  float label_smoothing = 0.f;
+  float mixup_alpha = 0.f;          // 0 disables mixup
+  Graph* teacher = nullptr;         // knowledge distillation teacher
+  float distill_alpha = 0.5f;
+  float distill_temperature = 4.f;
+  uint64_t seed = 1;
+  // Called once per epoch with (epoch, mean train loss, train accuracy).
+  std::function<void(int, double, double)> on_epoch;
+};
+
+struct TrainStats {
+  double final_loss = 0.0;
+  double final_train_accuracy = 0.0;
+};
+
+// Trains the weight-group parameters of `graph` on `train`.
+TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg);
+
+// Top-1 accuracy over a dataset (inference mode, batched).
+double evaluate(Graph& graph, const data::Dataset& ds, int64_t batch_size = 64);
+
+// Softmax probabilities for every example, [num_examples, num_classes].
+TensorF predict_probs(Graph& graph, const data::Dataset& ds,
+                      int64_t batch_size = 64);
+
+// Anomaly-detection AUC per the paper (§4.3): score = -softmax prob of the
+// example's own machine ID; labels from Example::anomaly.
+double anomaly_auc(Graph& graph, const data::Dataset& test,
+                   int64_t batch_size = 64);
+
+// Draw from Beta(alpha, alpha) for mixup.
+double sample_beta(double alpha, Rng& rng);
+
+// --- Autoencoder training (AD baseline) -------------------------------------
+
+// Trains `graph` to reconstruct its inputs (MSE); targets are the inputs
+// themselves, labels are ignored. Returns the final mean squared error.
+double fit_autoencoder(Graph& graph, const data::Dataset& train,
+                       const TrainConfig& cfg);
+
+// Mean squared reconstruction error per example, [num_examples].
+std::vector<double> reconstruction_errors(Graph& graph, const data::Dataset& ds,
+                                          int64_t batch_size = 64);
+
+// AUC using reconstruction error as the anomaly score.
+double autoencoder_auc(Graph& graph, const data::Dataset& test,
+                       int64_t batch_size = 64);
+
+}  // namespace mn::nn

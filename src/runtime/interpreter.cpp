@@ -1,0 +1,288 @@
+#include "runtime/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace mn::rt {
+
+namespace {
+
+// Fused-activation clamp in the quantized domain.
+void activation_range(Activation act, const quant::QuantParams& out_qp, int bits,
+                      int32_t* act_min, int32_t* act_max) {
+  const quant::QRange r = quant::qrange(bits);
+  *act_min = r.qmin;
+  *act_max = r.qmax;
+  if (act == Activation::kRelu) {
+    *act_min = std::max(*act_min, out_qp.zero_point);
+  } else if (act == Activation::kRelu6) {
+    *act_min = std::max(*act_min, out_qp.zero_point);
+    const int32_t six =
+        out_qp.zero_point + static_cast<int32_t>(std::lround(6.f / out_qp.scale));
+    *act_max = std::min(*act_max, six);
+  }
+}
+
+}  // namespace
+
+Interpreter::Interpreter(ModelDef model) : model_(std::move(model)) {
+  model_.validate();
+  plan_ = plan_memory(model_);
+  arena_.assign(static_cast<size_t>(plan_.arena_bytes), 0);
+  prepare();
+  // Shared IM2COL scratch for the optimized conv path.
+  int64_t scratch = 0;
+  for (size_t i = 0; i < model_.ops.size(); ++i)
+    if (model_.ops[i].type == OpType::kConv2D)
+      scratch = std::max(scratch, kernels::conv2d_scratch_bytes(prepared_[i].conv));
+  scratch_.assign(static_cast<size_t>(scratch), 0);
+}
+
+void Interpreter::prepare() {
+  prepared_.resize(model_.ops.size());
+  for (size_t i = 0; i < model_.ops.size(); ++i) {
+    const OpDef& op = model_.ops[i];
+    PreparedOp& p = prepared_[i];
+    const TensorDef& out = model_.tensors[static_cast<size_t>(op.output)];
+    switch (op.type) {
+      case OpType::kConv2D:
+      case OpType::kDepthwiseConv2D: {
+        const TensorDef& in = model_.tensors[static_cast<size_t>(op.inputs[0])];
+        const TensorDef& w = model_.tensors[static_cast<size_t>(op.inputs[1])];
+        p.conv.in_h = static_cast<int32_t>(in.shape.dim(0));
+        p.conv.in_w = static_cast<int32_t>(in.shape.dim(1));
+        p.conv.in_ch = static_cast<int32_t>(in.shape.dim(2));
+        p.conv.out_h = static_cast<int32_t>(out.shape.dim(0));
+        p.conv.out_w = static_cast<int32_t>(out.shape.dim(1));
+        p.conv.out_ch = static_cast<int32_t>(out.shape.dim(2));
+        p.conv.kh = static_cast<int32_t>(w.shape.dim(1));
+        p.conv.kw = static_cast<int32_t>(w.shape.dim(2));
+        p.conv.stride = op.stride;
+        p.conv.pad_h = op.pad_h;
+        p.conv.pad_w = op.pad_w;
+        p.rq.input_zp = in.qp.zero_point;
+        p.rq.output_zp = out.qp.zero_point;
+        if (w.channel_scales.empty()) {
+          p.rq.mult = quant::quantize_multiplier(
+              static_cast<double>(in.qp.scale) * w.qp.scale / out.qp.scale);
+        } else {
+          p.rq.per_channel.reserve(w.channel_scales.size());
+          for (float ws : w.channel_scales)
+            p.rq.per_channel.push_back(quant::quantize_multiplier(
+                static_cast<double>(in.qp.scale) * ws / out.qp.scale));
+        }
+        activation_range(op.act, out.qp, out.bits, &p.rq.act_min, &p.rq.act_max);
+        break;
+      }
+      case OpType::kFullyConnected: {
+        const TensorDef& in = model_.tensors[static_cast<size_t>(op.inputs[0])];
+        const TensorDef& w = model_.tensors[static_cast<size_t>(op.inputs[1])];
+        p.fc_in = static_cast<int32_t>(w.shape.dim(1));
+        p.fc_out = static_cast<int32_t>(w.shape.dim(0));
+        if (in.elements() != p.fc_in)
+          throw std::runtime_error("Interpreter: FC input size mismatch");
+        p.rq.input_zp = in.qp.zero_point;
+        p.rq.output_zp = out.qp.zero_point;
+        if (w.channel_scales.empty()) {
+          p.rq.mult = quant::quantize_multiplier(
+              static_cast<double>(in.qp.scale) * w.qp.scale / out.qp.scale);
+        } else {
+          for (float ws : w.channel_scales)
+            p.rq.per_channel.push_back(quant::quantize_multiplier(
+                static_cast<double>(in.qp.scale) * ws / out.qp.scale));
+        }
+        activation_range(op.act, out.qp, out.bits, &p.rq.act_min, &p.rq.act_max);
+        break;
+      }
+      case OpType::kAvgPool2D:
+      case OpType::kMaxPool2D: {
+        const TensorDef& in = model_.tensors[static_cast<size_t>(op.inputs[0])];
+        p.pool.in_h = static_cast<int32_t>(in.shape.dim(0));
+        p.pool.in_w = static_cast<int32_t>(in.shape.dim(1));
+        p.pool.ch = static_cast<int32_t>(in.shape.dim(2));
+        p.pool.out_h = static_cast<int32_t>(out.shape.dim(0));
+        p.pool.out_w = static_cast<int32_t>(out.shape.dim(1));
+        p.pool.kh = op.kh;
+        p.pool.kw = op.kw;
+        p.pool.stride = op.stride;
+        p.pool.pad_h = op.pad_h;
+        p.pool.pad_w = op.pad_w;
+        activation_range(op.act, out.qp, out.bits, &p.rq.act_min, &p.rq.act_max);
+        break;
+      }
+      case OpType::kAdd: {
+        const TensorDef& a = model_.tensors[static_cast<size_t>(op.inputs[0])];
+        const TensorDef& b = model_.tensors[static_cast<size_t>(op.inputs[1])];
+        const double twice_max = 2.0 * std::max(a.qp.scale, b.qp.scale);
+        p.add.a_zp = a.qp.zero_point;
+        p.add.b_zp = b.qp.zero_point;
+        p.add.out_zp = out.qp.zero_point;
+        p.add.left_shift = 20;
+        p.add.a_mult = quant::quantize_multiplier(a.qp.scale / twice_max);
+        p.add.b_mult = quant::quantize_multiplier(b.qp.scale / twice_max);
+        p.add.out_mult = quant::quantize_multiplier(
+            twice_max / ((1 << p.add.left_shift) * static_cast<double>(out.qp.scale)));
+        activation_range(op.act, out.qp, out.bits, &p.add.act_min, &p.add.act_max);
+        break;
+      }
+      case OpType::kSoftmax: {
+        const TensorDef& in = model_.tensors[static_cast<size_t>(op.inputs[0])];
+        p.softmax_scale = in.qp.scale;
+        break;
+      }
+    }
+  }
+}
+
+std::span<uint8_t> Interpreter::arena_span(int tensor_id) {
+  const TensorAllocation* a = plan_.find(tensor_id);
+  if (a == nullptr) throw std::runtime_error("Interpreter: not an arena tensor");
+  return {arena_.data() + a->offset, static_cast<size_t>(a->bytes)};
+}
+
+std::span<const uint8_t> Interpreter::tensor_bytes(int tensor_id) {
+  const TensorDef& t = model_.tensors[static_cast<size_t>(tensor_id)];
+  if (t.is_const)
+    return {model_.weights_blob.data() + t.blob_offset,
+            static_cast<size_t>(t.storage_bytes())};
+  return arena_span(tensor_id);
+}
+
+namespace {
+std::span<const int8_t> as_s8(std::span<const uint8_t> b) {
+  return {reinterpret_cast<const int8_t*>(b.data()), b.size()};
+}
+std::span<int8_t> as_s8(std::span<uint8_t> b) {
+  return {reinterpret_cast<int8_t*>(b.data()), b.size()};
+}
+std::span<const int32_t> as_s32(std::span<const uint8_t> b) {
+  return {reinterpret_cast<const int32_t*>(b.data()), b.size() / 4};
+}
+}  // namespace
+
+void Interpreter::run_op(size_t i) {
+  const OpDef& op = model_.ops[i];
+  const PreparedOp& p = prepared_[i];
+  const TensorDef& out_t = model_.tensors[static_cast<size_t>(op.output)];
+  const TensorDef& in_t = model_.tensors[static_cast<size_t>(op.inputs[0])];
+  const int bits = in_t.bits;
+  if (bits != 8 && bits != 4)
+    throw std::runtime_error("Interpreter: unsupported activation bits");
+  auto in_b = tensor_bytes(op.inputs[0]);
+  auto out_b = arena_span(op.output);
+  switch (op.type) {
+    case OpType::kConv2D: {
+      const TensorDef& w = model_.tensors[static_cast<size_t>(op.inputs[1])];
+      if (w.bits != bits || out_t.bits != bits)
+        throw std::runtime_error("Interpreter: mixed-precision conv unsupported");
+      auto w_b = tensor_bytes(op.inputs[1]);
+      std::span<const int32_t> bias;
+      if (op.inputs.size() > 2 && op.inputs[2] >= 0)
+        bias = as_s32(tensor_bytes(op.inputs[2]));
+      if (bits == 8)
+        kernels::conv2d_s8_im2col(as_s8(in_b), as_s8(w_b), bias, as_s8(out_b),
+                                  scratch_, p.conv, p.rq);
+      else
+        kernels::conv2d_s4(in_b, w_b, bias, out_b, p.conv, p.rq);
+      break;
+    }
+    case OpType::kDepthwiseConv2D: {
+      const TensorDef& w = model_.tensors[static_cast<size_t>(op.inputs[1])];
+      if (w.bits != bits || out_t.bits != bits)
+        throw std::runtime_error("Interpreter: mixed-precision dwconv unsupported");
+      auto w_b = tensor_bytes(op.inputs[1]);
+      std::span<const int32_t> bias;
+      if (op.inputs.size() > 2 && op.inputs[2] >= 0)
+        bias = as_s32(tensor_bytes(op.inputs[2]));
+      if (bits == 8)
+        kernels::depthwise_conv2d_s8(as_s8(in_b), as_s8(w_b), bias, as_s8(out_b),
+                                     p.conv, p.rq);
+      else
+        kernels::depthwise_conv2d_s4(in_b, w_b, bias, out_b, p.conv, p.rq);
+      break;
+    }
+    case OpType::kFullyConnected: {
+      auto w_b = tensor_bytes(op.inputs[1]);
+      std::span<const int32_t> bias;
+      if (op.inputs.size() > 2 && op.inputs[2] >= 0)
+        bias = as_s32(tensor_bytes(op.inputs[2]));
+      if (bits == 8)
+        kernels::fully_connected_s8(as_s8(in_b), as_s8(w_b), bias, as_s8(out_b),
+                                    p.fc_in, p.fc_out, p.rq);
+      else
+        kernels::fully_connected_s4(in_b, w_b, bias, out_b, p.fc_in, p.fc_out, p.rq);
+      break;
+    }
+    case OpType::kAvgPool2D:
+      if (bits == 8)
+        kernels::avg_pool_s8(as_s8(in_b), as_s8(out_b), p.pool, p.rq.act_min,
+                             p.rq.act_max);
+      else
+        kernels::avg_pool_s4(in_b, out_b, p.pool, p.rq.act_min, p.rq.act_max);
+      break;
+    case OpType::kMaxPool2D:
+      if (bits != 8) throw std::runtime_error("Interpreter: int4 max pool unsupported");
+      kernels::max_pool_s8(as_s8(in_b), as_s8(out_b), p.pool, p.rq.act_min,
+                           p.rq.act_max);
+      break;
+    case OpType::kAdd: {
+      if (bits != 8) throw std::runtime_error("Interpreter: int4 add unsupported");
+      auto b_b = tensor_bytes(op.inputs[1]);
+      kernels::add_s8(as_s8(in_b), as_s8(b_b), as_s8(out_b), p.add);
+      break;
+    }
+    case OpType::kSoftmax: {
+      if (bits != 8) throw std::runtime_error("Interpreter: int4 softmax unsupported");
+      const int32_t cols = static_cast<int32_t>(in_t.elements());
+      kernels::softmax_s8(as_s8(in_b), as_s8(out_b), 1, cols, p.softmax_scale);
+      break;
+    }
+  }
+}
+
+TensorI8 Interpreter::invoke_quantized(const TensorI8& input) {
+  const TensorDef& in_t = model_.tensors[static_cast<size_t>(model_.input_tensor)];
+  if (input.size() != in_t.elements())
+    throw std::invalid_argument("Interpreter: input element count mismatch");
+  auto in_b = arena_span(model_.input_tensor);
+  if (in_t.bits == 8) {
+    std::memcpy(in_b.data(), input.data(), static_cast<size_t>(input.size()));
+  } else {
+    for (int64_t i = 0; i < input.size(); ++i)
+      kernels::store_s4(in_b, i, input[i]);
+  }
+  for (size_t i = 0; i < model_.ops.size(); ++i) run_op(i);
+  ++invocations_;
+  const TensorDef& out_t = model_.tensors[static_cast<size_t>(model_.output_tensor)];
+  auto out_b = tensor_bytes(model_.output_tensor);
+  TensorI8 out(out_t.shape);
+  if (out_t.bits == 8) {
+    std::memcpy(out.data(), out_b.data(), static_cast<size_t>(out.size()));
+  } else {
+    for (int64_t i = 0; i < out.size(); ++i) out[i] = kernels::load_s4(out_b, i);
+  }
+  return out;
+}
+
+TensorF Interpreter::invoke(const TensorF& input_image) {
+  const TensorDef& in_t = model_.tensors[static_cast<size_t>(model_.input_tensor)];
+  const TensorI8 q = quant::quantize(input_image, in_t.qp, in_t.bits);
+  const TensorI8 out_q = invoke_quantized(q);
+  const TensorDef& out_t = model_.tensors[static_cast<size_t>(model_.output_tensor)];
+  return quant::dequantize(out_q, out_t.qp);
+}
+
+MemoryReport Interpreter::memory_report() const {
+  MemoryReport r;
+  r.arena_bytes = plan_.arena_bytes;
+  r.persistent_bytes = TflmOverheads::persistent_sram_bytes(model_);
+  r.runtime_sram_bytes = TflmOverheads::kRuntimeSramBytes;
+  r.weights_bytes = model_.weights_bytes();
+  r.graph_def_bytes = model_.graph_def_bytes();
+  r.code_flash_bytes = TflmOverheads::kCodeFlashBytes;
+  return r;
+}
+
+}  // namespace mn::rt

@@ -1,0 +1,82 @@
+// Interpreter: executes a ModelDef using the integer kernels, with all
+// activations placed in a single planned arena — the TFLM execution model.
+// Also provides the memory-recording report (TFLM RecordingMicroInterpreter
+// analog) that the paper uses to obtain SRAM numbers.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "runtime/model.hpp"
+#include "runtime/planner.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mn::rt {
+
+struct MemoryReport {
+  int64_t arena_bytes = 0;        // planned activation arena (SRAM)
+  int64_t persistent_bytes = 0;   // per-op/tensor runtime structures (SRAM)
+  int64_t runtime_sram_bytes = 0; // interpreter fixed overhead (SRAM)
+  int64_t weights_bytes = 0;      // weight blob (eFlash)
+  int64_t graph_def_bytes = 0;    // serialized graph structure (eFlash)
+  int64_t code_flash_bytes = 0;   // TFLM runtime code (eFlash)
+
+  int64_t total_sram() const {
+    return arena_bytes + persistent_bytes + runtime_sram_bytes;
+  }
+  int64_t total_flash() const {
+    return weights_bytes + graph_def_bytes + code_flash_bytes;
+  }
+  // Model-attributable footprints (exclude fixed runtime code/overhead);
+  // these match the paper's "SRAM" and "Flash" per-model columns.
+  int64_t model_sram() const { return arena_bytes + persistent_bytes; }
+  int64_t model_flash() const { return weights_bytes + graph_def_bytes; }
+};
+
+class Interpreter {
+ public:
+  // The interpreter stores a copy of the model ("flash contents") and
+  // allocates its arena up front (AllocateTensors analog).
+  explicit Interpreter(ModelDef model);
+
+  // Float convenience path: quantizes the input with the model's input
+  // tensor params, runs integer inference, dequantizes the output.
+  TensorF invoke(const TensorF& input_image);
+
+  // Raw int8 path (int4 models expect packed nibbles? no — values are given
+  // one per element and packed internally).
+  TensorI8 invoke_quantized(const TensorI8& input);
+
+  const ModelDef& model() const { return model_; }
+  const MemoryPlan& memory_plan() const { return plan_; }
+  MemoryReport memory_report() const;
+
+  // Number of invocations served (used by examples/benches).
+  int64_t invocation_count() const { return invocations_; }
+
+ private:
+  struct PreparedOp {
+    kernels::RequantParams rq;      // conv/dw/fc
+    kernels::AddParams add;         // add
+    kernels::ConvGeometry conv;     // conv/dw
+    kernels::PoolGeometry pool;     // pools
+    int32_t fc_in = 0, fc_out = 0;  // fully connected
+    float softmax_scale = 0.f;
+  };
+
+  void prepare();
+  void run_op(size_t op_index);
+
+  std::span<uint8_t> arena_span(int tensor_id);
+  std::span<const uint8_t> tensor_bytes(int tensor_id);
+
+  ModelDef model_;
+  MemoryPlan plan_;
+  std::vector<PreparedOp> prepared_;
+  std::vector<uint8_t> arena_;
+  // IM2COL column buffer shared by all conv ops (CMSIS-NN scratch analog).
+  std::vector<int8_t> scratch_;
+  int64_t invocations_ = 0;
+};
+
+}  // namespace mn::rt

@@ -1,0 +1,289 @@
+#include "runtime/model.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace mn::rt {
+
+const char* op_type_name(OpType t) {
+  switch (t) {
+    case OpType::kConv2D: return "CONV_2D";
+    case OpType::kDepthwiseConv2D: return "DEPTHWISE_CONV_2D";
+    case OpType::kFullyConnected: return "FULLY_CONNECTED";
+    case OpType::kAvgPool2D: return "AVERAGE_POOL_2D";
+    case OpType::kMaxPool2D: return "MAX_POOL_2D";
+    case OpType::kAdd: return "ADD";
+    case OpType::kSoftmax: return "SOFTMAX";
+  }
+  return "UNKNOWN";
+}
+
+int64_t OpDef::macs(const std::vector<TensorDef>& tensors) const {
+  const TensorDef& out = tensors.at(static_cast<size_t>(output));
+  switch (type) {
+    case OpType::kConv2D: {
+      const TensorDef& w = tensors.at(static_cast<size_t>(inputs.at(1)));
+      // Weights [out_ch, kh, kw, in_ch].
+      return out.elements() * w.shape.dim(1) * w.shape.dim(2) * w.shape.dim(3);
+    }
+    case OpType::kDepthwiseConv2D: {
+      const TensorDef& w = tensors.at(static_cast<size_t>(inputs.at(1)));
+      // Weights [1, kh, kw, ch].
+      return out.elements() * w.shape.dim(1) * w.shape.dim(2);
+    }
+    case OpType::kFullyConnected: {
+      const TensorDef& w = tensors.at(static_cast<size_t>(inputs.at(1)));
+      return w.shape.dim(0) * w.shape.dim(1);
+    }
+    default:
+      return 0;
+  }
+}
+
+int64_t OpDef::op_count(const std::vector<TensorDef>& tensors) const {
+  const int64_t m = macs(tensors);
+  if (m > 0) return 2 * m;  // 1 MAC = 2 ops (paper footnote 2)
+  // Non-MAC ops: one op per output element (pool window adds, residual adds).
+  const TensorDef& out = tensors.at(static_cast<size_t>(output));
+  if (type == OpType::kAvgPool2D || type == OpType::kMaxPool2D)
+    return out.elements() * kh * kw;
+  return out.elements();
+}
+
+int64_t ModelDef::total_ops() const {
+  int64_t n = 0;
+  for (const OpDef& op : ops) n += op.op_count(tensors);
+  return n;
+}
+
+int64_t ModelDef::total_macs() const {
+  int64_t n = 0;
+  for (const OpDef& op : ops) n += op.macs(tensors);
+  return n;
+}
+
+int64_t ModelDef::graph_def_bytes() const {
+  // Flatbuffer-structure analog: header, per-op records (opcode, indices,
+  // builtin options), per-tensor records (shape, quant params, name).
+  int64_t bytes = 512;
+  bytes += static_cast<int64_t>(ops.size()) * 64;
+  for (const TensorDef& t : tensors) {
+    bytes += 48 + static_cast<int64_t>(t.name.size());
+    bytes += static_cast<int64_t>(t.channel_scales.size()) * 8;  // scale + zp
+  }
+  return bytes;
+}
+
+int64_t TflmOverheads::persistent_sram_bytes(const ModelDef& m) {
+  // Per-op kernel data + per-tensor TfLiteTensor structs + buffered
+  // quantization parameters. Calibrated against the paper's recordings:
+  // ~34 KB for the Fig. 2 KWS model (mid-teens of ops, wide per-channel
+  // scale tables) while 60+-op MobileNetV2 stacks stay in the same range
+  // (VWW-S totals ~70 KB of SRAM including its arena).
+  int64_t bytes = 2048;
+  bytes += static_cast<int64_t>(m.ops.size()) * 256;
+  for (const TensorDef& t : m.tensors)
+    bytes += 48 + static_cast<int64_t>(t.channel_scales.size()) * 4;
+  return bytes;
+}
+
+// ---------------------------------------------------------- serialization --
+
+namespace {
+
+class Writer {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void i32(int32_t v) { raw(&v, 4); }
+  void i64(int64_t v) { raw(&v, 8); }
+  void f32(float v) { raw(&v, 4); }
+  void str(const std::string& s) {
+    i32(static_cast<int32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& b) : buf_(b) {}
+  uint8_t u8() { return buf_.at(pos_++); }
+  int32_t i32() {
+    int32_t v;
+    raw(&v, 4);
+    return v;
+  }
+  int64_t i64() {
+    int64_t v;
+    raw(&v, 8);
+    return v;
+  }
+  float f32() {
+    float v;
+    raw(&v, 4);
+    return v;
+  }
+  std::string str() {
+    const int32_t n = i32();
+    if (n < 0 || pos_ + static_cast<size_t>(n) > buf_.size())
+      throw std::runtime_error("ModelDef: corrupt string");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+  void raw(void* p, size_t n) {
+    if (pos_ + n > buf_.size()) throw std::runtime_error("ModelDef: truncated");
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+constexpr uint32_t kMagic = 0x314D4E4D;  // "MNM1"
+
+}  // namespace
+
+std::vector<uint8_t> ModelDef::serialize() const {
+  Writer w;
+  w.i32(static_cast<int32_t>(kMagic));
+  w.str(name);
+  w.i32(input_tensor);
+  w.i32(output_tensor);
+  w.i32(static_cast<int32_t>(tensors.size()));
+  for (const TensorDef& t : tensors) {
+    w.str(t.name);
+    w.i32(t.shape.rank());
+    for (int i = 0; i < t.shape.rank(); ++i) w.i64(t.shape.dim(i));
+    w.f32(t.qp.scale);
+    w.i32(t.qp.zero_point);
+    w.i32(static_cast<int32_t>(t.channel_scales.size()));
+    for (float s : t.channel_scales) w.f32(s);
+    w.i32(t.bits);
+    w.u8(t.is_const ? 1 : 0);
+    w.i64(t.blob_offset);
+  }
+  w.i32(static_cast<int32_t>(ops.size()));
+  for (const OpDef& op : ops) {
+    w.u8(static_cast<uint8_t>(op.type));
+    w.u8(static_cast<uint8_t>(op.act));
+    w.i32(static_cast<int32_t>(op.inputs.size()));
+    for (int i : op.inputs) w.i32(i);
+    w.i32(op.output);
+    w.i32(op.stride);
+    w.i32(op.kh);
+    w.i32(op.kw);
+    w.i32(op.pad_h);
+    w.i32(op.pad_w);
+  }
+  w.i64(static_cast<int64_t>(weights_blob.size()));
+  w.raw(weights_blob.data(), weights_blob.size());
+  return w.take();
+}
+
+ModelDef ModelDef::deserialize(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  if (static_cast<uint32_t>(r.i32()) != kMagic)
+    throw std::runtime_error("ModelDef: bad magic");
+  ModelDef m;
+  m.name = r.str();
+  m.input_tensor = r.i32();
+  m.output_tensor = r.i32();
+  const int32_t nt = r.i32();
+  for (int32_t i = 0; i < nt; ++i) {
+    TensorDef t;
+    t.name = r.str();
+    const int32_t rank = r.i32();
+    Shape s;
+    if (rank == 1) s = Shape{0};
+    else if (rank == 2) s = Shape{0, 0};
+    else if (rank == 3) s = Shape{0, 0, 0};
+    else if (rank == 4) s = Shape{0, 0, 0, 0};
+    else throw std::runtime_error("ModelDef: bad rank");
+    for (int d = 0; d < rank; ++d) s.set_dim(d, r.i64());
+    t.shape = s;
+    t.qp.scale = r.f32();
+    t.qp.zero_point = r.i32();
+    const int32_t ncs = r.i32();
+    t.channel_scales.resize(static_cast<size_t>(ncs));
+    for (int32_t k = 0; k < ncs; ++k) t.channel_scales[static_cast<size_t>(k)] = r.f32();
+    t.bits = r.i32();
+    t.is_const = r.u8() != 0;
+    t.blob_offset = r.i64();
+    m.tensors.push_back(std::move(t));
+  }
+  const int32_t no = r.i32();
+  for (int32_t i = 0; i < no; ++i) {
+    OpDef op;
+    op.type = static_cast<OpType>(r.u8());
+    op.act = static_cast<Activation>(r.u8());
+    const int32_t ni = r.i32();
+    for (int32_t k = 0; k < ni; ++k) op.inputs.push_back(r.i32());
+    op.output = r.i32();
+    op.stride = r.i32();
+    op.kh = r.i32();
+    op.kw = r.i32();
+    op.pad_h = r.i32();
+    op.pad_w = r.i32();
+    m.ops.push_back(std::move(op));
+  }
+  const int64_t blob = r.i64();
+  m.weights_blob.resize(static_cast<size_t>(blob));
+  r.raw(m.weights_blob.data(), static_cast<size_t>(blob));
+  m.validate();
+  return m;
+}
+
+void ModelDef::save(const std::string& path) const {
+  const auto bytes = serialize();
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("ModelDef::save: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+ModelDef ModelDef::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("ModelDef::load: cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+void ModelDef::validate() const {
+  const int nt = static_cast<int>(tensors.size());
+  auto check_id = [&](int id, const char* what) {
+    if (id < 0 || id >= nt)
+      throw std::runtime_error(std::string("ModelDef: bad tensor id for ") + what);
+  };
+  check_id(input_tensor, "model input");
+  check_id(output_tensor, "model output");
+  for (const TensorDef& t : tensors) {
+    if (t.is_const) {
+      if (t.blob_offset < 0 ||
+          t.blob_offset + t.storage_bytes() > static_cast<int64_t>(weights_blob.size()))
+        throw std::runtime_error("ModelDef: const tensor outside blob: " + t.name);
+    }
+  }
+  for (const OpDef& op : ops) {
+    for (int id : op.inputs)
+      if (id >= 0) check_id(id, op_type_name(op.type));
+    check_id(op.output, op_type_name(op.type));
+    if ((op.type == OpType::kConv2D || op.type == OpType::kDepthwiseConv2D ||
+         op.type == OpType::kFullyConnected) &&
+        op.inputs.size() < 2)
+      throw std::runtime_error("ModelDef: conv/fc needs weights input");
+  }
+}
+
+}  // namespace mn::rt

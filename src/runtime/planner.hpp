@@ -1,0 +1,34 @@
+// Arena memory planner: assigns non-overlapping byte offsets to activation
+// tensors whose lifetimes intersect, using TFLM's greedy-by-size strategy.
+#pragma once
+
+#include <vector>
+
+#include "runtime/model.hpp"
+
+namespace mn::rt {
+
+struct TensorAllocation {
+  int tensor_id = -1;
+  int64_t offset = 0;
+  int64_t bytes = 0;
+  int first_op = 0;  // op index that writes the tensor (-1 for model input)
+  int last_op = 0;   // last op index that reads it (ops.size() for output)
+};
+
+struct MemoryPlan {
+  std::vector<TensorAllocation> allocations;  // activation tensors only
+  int64_t arena_bytes = 0;                    // peak arena requirement
+
+  // Allocation entry for a tensor, or nullptr if not an arena tensor.
+  const TensorAllocation* find(int tensor_id) const;
+};
+
+// Plans all non-const tensors of the model into a single arena.
+MemoryPlan plan_memory(const ModelDef& model);
+
+// Naive upper bound (sum of all activation tensors), used to quantify how
+// much the lifetime-aware planner saves.
+int64_t unplanned_activation_bytes(const ModelDef& model);
+
+}  // namespace mn::rt

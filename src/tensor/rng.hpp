@@ -1,0 +1,92 @@
+// Deterministic random number generation (SplitMix64 core).
+//
+// Every stochastic component in the library (data synthesis, weight init,
+// architecture sampling, Gumbel noise, simulated measurement noise) draws
+// from an explicitly seeded Rng so experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace mn {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  // SplitMix64 step: fast, high-quality 64-bit stream.
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint32_t next_u32() { return static_cast<uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_u64() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  // Standard normal via Box-Muller.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Gumbel(0, 1) noise for the DNAS Gumbel-softmax relaxation.
+  double gumbel() {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(-std::log(u));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Derive an independent child stream (e.g. one per layer / sample).
+  Rng fork(uint64_t salt) {
+    return Rng(next_u64() ^ (salt * 0xD6E8FEB86659FD93ULL + 0x2545F4914F6CDD1DULL));
+  }
+
+ private:
+  uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+// Stateless hash of a 64-bit key to [0,1); used for deterministic per-layer
+// "measurement" perturbations in the MCU model.
+inline double hash_unit(uint64_t key) {
+  uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+inline uint64_t hash_combine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace mn

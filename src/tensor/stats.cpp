@@ -1,0 +1,95 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mn {
+
+Moments compute_moments(std::span<const double> xs) {
+  Moments m;
+  if (xs.empty()) return m;
+  m.mean = std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m.mean) * (x - m.mean);
+  m.stddev = std::sqrt(ss / xs.size());
+  return m;
+}
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("fit_line: need >= 2 equal-length vectors");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LineFit f;
+  if (denom == 0.0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ymean = sy / n;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.slope * x[i] + f.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ymean) * (y[i] - ymean);
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+double roc_auc(std::span<const double> scores, std::span<const int> labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("roc_auc: size mismatch");
+  // Rank-based AUC with midranks for ties.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos = 0, rank_sum_pos = 0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) {
+      pos += 1.0;
+      rank_sum_pos += rank[k];
+    }
+  }
+  const double neg = static_cast<double>(labels.size()) - pos;
+  if (pos == 0 || neg == 0)
+    throw std::invalid_argument("roc_auc: need both classes");
+  return (rank_sum_pos - pos * (pos + 1) / 2.0) / (pos * neg);
+}
+
+std::vector<size_t> pareto_front(std::span<const double> cost,
+                                 std::span<const double> value) {
+  if (cost.size() != value.size())
+    throw std::invalid_argument("pareto_front: size mismatch");
+  std::vector<size_t> front;
+  for (size_t i = 0; i < cost.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < cost.size() && !dominated; ++j) {
+      if (j == i) continue;
+      const bool no_worse = cost[j] <= cost[i] && value[j] >= value[i];
+      const bool strictly_better = cost[j] < cost[i] || value[j] > value[i];
+      if (no_worse && strictly_better) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace mn

@@ -1,0 +1,38 @@
+// Small statistics helpers: moments, least-squares line fit, ROC-AUC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mn {
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  // Coefficient of variation sigma/mu (the paper reports 0.00731 for power).
+  double cv() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+Moments compute_moments(std::span<const double> xs);
+
+// Ordinary least squares y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+// Area under the ROC curve. `scores` are anomaly scores (higher = more
+// anomalous); `labels` are 1 for anomalous, 0 for normal. Ties handled by
+// the rank-sum (Mann-Whitney U) formulation.
+double roc_auc(std::span<const double> scores, std::span<const int> labels);
+
+// Pareto front over (cost, value) points: returns indices of points not
+// dominated by any other (lower cost AND higher value dominates).
+std::vector<size_t> pareto_front(std::span<const double> cost,
+                                 std::span<const double> value);
+
+}  // namespace mn

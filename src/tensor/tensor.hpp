@@ -1,0 +1,103 @@
+// Tensor<T>: owning, row-major, dense tensor used throughout the library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace mn {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape) : shape_(shape), data_(shape.elements()) {}
+  Tensor(Shape shape, T fill)
+      : shape_(shape), data_(shape.elements(), fill) {}
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(shape), data_(std::move(data)) {
+    if (static_cast<int64_t>(data_.size()) != shape_.elements())
+      throw std::invalid_argument("Tensor: data size != shape elements");
+  }
+
+  const Shape& shape() const { return shape_; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  T& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  const T& operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  T& at(int64_t i) {
+    check(i);
+    return data_[static_cast<size_t>(i)];
+  }
+  const T& at(int64_t i) const {
+    check(i);
+    return data_[static_cast<size_t>(i)];
+  }
+
+  // NHWC element access for rank-4 tensors.
+  T& at4(int64_t n, int64_t h, int64_t w, int64_t c) {
+    return data_[static_cast<size_t>(idx4(n, h, w, c))];
+  }
+  const T& at4(int64_t n, int64_t h, int64_t w, int64_t c) const {
+    return data_[static_cast<size_t>(idx4(n, h, w, c))];
+  }
+  int64_t idx4(int64_t n, int64_t h, int64_t w, int64_t c) const {
+    return ((n * shape_.dim(1) + h) * shape_.dim(2) + w) * shape_.dim(3) + c;
+  }
+
+  // [rows, cols] access for rank-2 tensors.
+  T& at2(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * shape_.dim(1) + c)]; }
+  const T& at2(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  // Reinterpret the same data with a new shape of equal element count.
+  Tensor<T> reshaped(Shape s) const {
+    if (s.elements() != shape_.elements())
+      throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+    Tensor<T> out;
+    out.shape_ = s;
+    out.data_ = data_;
+    return out;
+  }
+
+  bool operator==(const Tensor& o) const {
+    return shape_ == o.shape_ && data_ == o.data_;
+  }
+
+ private:
+  void check(int64_t i) const {
+    if (i < 0 || i >= size()) throw std::out_of_range("Tensor::at");
+  }
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorI8 = Tensor<int8_t>;
+using TensorI32 = Tensor<int32_t>;
+
+// Max |a-b| over two equal-shaped float tensors.
+inline float max_abs_diff(const TensorF& a, const TensorF& b) {
+  if (a.shape() != b.shape())
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0.f;
+  for (int64_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace mn

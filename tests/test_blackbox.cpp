@@ -1,0 +1,157 @@
+// Unit tests: black-box search baselines (one-shot supernet training,
+// evolutionary / random search with constraint filtering).
+#include <gtest/gtest.h>
+
+#include "core/blackbox.hpp"
+#include "datasets/kws.hpp"
+
+namespace mn::core {
+namespace {
+
+DsCnnSearchSpace tiny_space(Shape input, int classes) {
+  DsCnnSearchSpace s;
+  s.input = input;
+  s.num_classes = classes;
+  s.stem_max = 16;
+  s.stem_kh = 3;
+  s.stem_kw = 3;
+  s.blocks = {{16, 1, true}, {16, 1, true}};
+  s.width_fracs = {0.25, 0.5, 1.0};
+  return s;
+}
+
+TEST(BlackBox, ApplyArchFreezesSelection) {
+  models::BuildOptions opt;
+  opt.seed = 3;
+  Supernet net = build_ds_cnn_supernet(tiny_space(Shape{12, 8, 1}, 3), opt);
+  ArchSample a;
+  a.width_choices = {0, 1, 2};
+  a.skip_choices = {1, 0};
+  apply_arch(net, a);
+  EXPECT_TRUE(net.ctx().arch_frozen);
+  EXPECT_EQ(net.width_decisions[0]->selected_option(), 0);
+  EXPECT_EQ(net.width_decisions[1]->selected_option(), 1);
+  EXPECT_EQ(net.width_decisions[2]->selected_option(), 2);
+  EXPECT_EQ(net.skip_decisions[0]->selected_option(), 1);
+  EXPECT_EQ(net.skip_decisions[1]->selected_option(), 0);
+}
+
+TEST(BlackBox, ApplyArchValidatesArity) {
+  models::BuildOptions opt;
+  Supernet net = build_ds_cnn_supernet(tiny_space(Shape{12, 8, 1}, 3), opt);
+  ArchSample wrong;
+  wrong.width_choices = {0};
+  EXPECT_THROW(apply_arch(net, wrong), std::invalid_argument);
+  ArchSample oob;
+  oob.width_choices = {0, 0, 99};
+  oob.skip_choices = {0, 0};
+  EXPECT_THROW(apply_arch(net, oob), std::invalid_argument);
+}
+
+TEST(BlackBox, ArchCostMonotoneInWidths) {
+  models::BuildOptions opt;
+  opt.seed = 5;
+  Supernet net = build_ds_cnn_supernet(tiny_space(Shape{12, 8, 1}, 3), opt);
+  ArchSample narrow;
+  narrow.width_choices = {0, 0, 0};
+  narrow.skip_choices = {0, 0};
+  ArchSample wide;
+  wide.width_choices = {2, 2, 2};
+  wide.skip_choices = {0, 0};
+  const CostBreakdown cn = arch_cost(net, narrow);
+  const CostBreakdown cw = arch_cost(net, wide);
+  EXPECT_LT(cn.expected_ops, cw.expected_ops);
+  EXPECT_LT(cn.expected_flash_bytes, cw.expected_flash_bytes);
+}
+
+TEST(BlackBox, FeasibilityFiltersWideArchs) {
+  models::BuildOptions opt;
+  opt.seed = 7;
+  Supernet net = build_ds_cnn_supernet(tiny_space(Shape{12, 8, 1}, 3), opt);
+  ArchSample narrow;
+  narrow.width_choices = {0, 0, 0};
+  narrow.skip_choices = {0, 0};
+  ArchSample wide;
+  wide.width_choices = {2, 2, 2};
+  wide.skip_choices = {0, 0};
+  DnasConstraints cn;
+  const CostBreakdown c_narrow = arch_cost(net, narrow);
+  const CostBreakdown c_wide = arch_cost(net, wide);
+  cn.ops_budget =
+      static_cast<int64_t>((c_narrow.expected_ops + c_wide.expected_ops) / 2);
+  EXPECT_TRUE(is_feasible(net, narrow, cn));
+  EXPECT_FALSE(is_feasible(net, wide, cn));
+}
+
+TEST(BlackBox, RandomArchIsDeterministicPerSeed) {
+  models::BuildOptions opt;
+  Supernet net = build_ds_cnn_supernet(tiny_space(Shape{12, 8, 1}, 3), opt);
+  Rng a(9), b(9), c(10);
+  EXPECT_EQ(random_arch(net, a), random_arch(net, b));
+  Rng a2(9);
+  bool any_diff = false;
+  for (int i = 0; i < 10 && !any_diff; ++i)
+    any_diff = !(random_arch(net, a2) == random_arch(net, c));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BlackBox, OneShotThenSearchFindsAccurateFeasibleArch) {
+  data::KwsConfig kcfg;
+  kcfg.num_keywords = 2;
+  kcfg.num_unknown_words = 3;
+  data::Dataset all = data::make_kws_dataset(kcfg, 24, 77);
+  auto [train, val] = data::split(all, 0.3);
+
+  models::BuildOptions opt;
+  opt.seed = 11;
+  Supernet net = build_ds_cnn_supernet(tiny_space(train.input_shape, train.num_classes), opt);
+  OneShotConfig oc;
+  oc.epochs = 12;
+  oc.batch_size = 16;
+  oc.lr_start = 0.08;
+  oc.seed = 13;
+  train_supernet_one_shot(net, train, oc);
+
+  SearchConfig sc;
+  sc.population = 8;
+  sc.generations = 4;
+  sc.evaluations = 32;
+  sc.seed = 15;
+  // Constrain to roughly half the maximum op count.
+  ArchSample widest;
+  widest.width_choices = {2, 2, 2};
+  widest.skip_choices = {0, 0};
+  sc.constraints.ops_budget =
+      static_cast<int64_t>(arch_cost(net, widest).expected_ops / 2);
+
+  const SearchResult evo = evolutionary_search(net, val, sc);
+  ASSERT_TRUE(evo.feasible);
+  EXPECT_GT(evo.best_accuracy, 0.35);  // 5 classes, chance = 0.2
+  EXPECT_LE(evo.best_cost.expected_ops,
+            static_cast<double>(sc.constraints.ops_budget) * 1.001);
+
+  const SearchResult rnd = random_search(net, val, sc);
+  ASSERT_TRUE(rnd.feasible);
+  EXPECT_GT(rnd.evaluations_used, 0);
+  // Evolutionary should not lose to random under the same budget (allow a
+  // small tolerance for tie-breaking noise).
+  EXPECT_GE(evo.best_accuracy, rnd.best_accuracy - 0.1);
+}
+
+TEST(BlackBox, InfeasibleSpaceReportsNoResult) {
+  models::BuildOptions opt;
+  Supernet net = build_ds_cnn_supernet(tiny_space(Shape{12, 8, 1}, 3), opt);
+  data::Dataset dummy;
+  dummy.num_classes = 3;
+  dummy.input_shape = Shape{12, 8, 1};
+  data::Example e;
+  e.input = TensorF(Shape{12, 8, 1}, 0.1f);
+  dummy.examples.push_back(e);
+  SearchConfig sc;
+  sc.constraints.ops_budget = 1;  // nothing fits
+  EXPECT_FALSE(evolutionary_search(net, dummy, sc).feasible);
+  EXPECT_FALSE(random_search(net, dummy, sc).feasible);
+}
+
+}  // namespace
+}  // namespace mn::core

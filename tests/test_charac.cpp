@@ -1,0 +1,109 @@
+// Unit tests: the §3 characterization harness — the paper's core empirical
+// claims must reproduce on the simulated MCUs.
+#include <gtest/gtest.h>
+
+#include "charac/charac.hpp"
+
+namespace mn::charac {
+namespace {
+
+TEST(Charac, LayerSweepProducesAllFamiliesWithSpread) {
+  const auto samples = characterize_layers(mcu::stm32f767zi(), 300, 11);
+  ASSERT_EQ(samples.size(), 300u);
+  int conv = 0, dw = 0, fc = 0;
+  double conv_lo = 1e18, conv_hi = 0;
+  for (const LayerSample& s : samples) {
+    EXPECT_GT(s.latency_s, 0.0);
+    EXPECT_GT(s.mops_per_s, 0.0);
+    switch (s.layer.kind) {
+      case mcu::LayerKind::kConv2D:
+        ++conv;
+        conv_lo = std::min(conv_lo, s.mops_per_s);
+        conv_hi = std::max(conv_hi, s.mops_per_s);
+        break;
+      case mcu::LayerKind::kDepthwiseConv2D: ++dw; break;
+      case mcu::LayerKind::kFullyConnected: ++fc; break;
+      default: break;
+    }
+  }
+  EXPECT_GT(conv, 50);
+  EXPECT_GT(dw, 50);
+  EXPECT_GT(fc, 50);
+  // Fig. 3: individual conv layers show a real throughput spread
+  // (div-by-4 fast path + per-config variation).
+  EXPECT_GT(conv_hi / conv_lo, 1.4);
+}
+
+TEST(Charac, ChannelAnomalyMatchesPaperDirection) {
+  const auto r = channel_divisibility_anomaly(mcu::stm32f767zi());
+  EXPECT_GT(r.speedup, 1.3);  // paper: 37.5 ms -> 21.5 ms (1.74x)
+  EXPECT_LT(r.speedup, 2.2);
+}
+
+TEST(Charac, RandomModelsAreRandomButDeterministic) {
+  Rng a(3), b(3), c(4);
+  const RandomModel m1 = sample_backbone(Backbone::kKwsDsCnn, a);
+  const RandomModel m2 = sample_backbone(Backbone::kKwsDsCnn, b);
+  const RandomModel m3 = sample_backbone(Backbone::kKwsDsCnn, c);
+  EXPECT_EQ(m1.total_ops, m2.total_ops);
+  EXPECT_EQ(m1.structure_hash, m2.structure_hash);
+  EXPECT_NE(m1.structure_hash, m3.structure_hash);
+  EXPECT_GT(m1.layers.size(), 3u);
+}
+
+TEST(Charac, ModelLatencyLinearInOps) {
+  // The paper's central §3.3 finding: whole-model latency is linear in op
+  // count with 0.95 < r^2 < 0.99, per backbone per device.
+  for (const Backbone bb : {Backbone::kCifar10Cnn, Backbone::kKwsDsCnn}) {
+    for (const mcu::Device& dev : {mcu::stm32f446re(), mcu::stm32f746zg()}) {
+      const LatencySweep sweep = characterize_model_latency(dev, bb, 200, 17);
+      EXPECT_GT(sweep.fit.r2, 0.95)
+          << backbone_name(bb) << " on " << dev.name;
+      EXPECT_GT(sweep.mops_per_s, 0.0);
+    }
+  }
+}
+
+TEST(Charac, BackbonesHaveDifferentSlopes) {
+  // Fig. 4: the KWS backbone achieves higher Mops/s than the CIFAR10
+  // backbone on the same device (different layer mixes).
+  const auto kws =
+      characterize_model_latency(mcu::stm32f746zg(), Backbone::kKwsDsCnn, 150, 19);
+  const auto cifar =
+      characterize_model_latency(mcu::stm32f746zg(), Backbone::kCifar10Cnn, 150, 19);
+  EXPECT_NE(kws.mops_per_s, cifar.mops_per_s);
+  const double ratio = std::max(kws.mops_per_s, cifar.mops_per_s) /
+                       std::min(kws.mops_per_s, cifar.mops_per_s);
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Charac, DevicesDifferInSlopeNotLinearity) {
+  const auto s = characterize_model_latency(mcu::stm32f446re(), Backbone::kKwsDsCnn, 120, 23);
+  const auto m = characterize_model_latency(mcu::stm32f746zg(), Backbone::kKwsDsCnn, 120, 23);
+  EXPECT_GT(s.fit.slope, 1.5 * m.fit.slope);  // small MCU ~2x slower
+  EXPECT_GT(s.fit.r2, 0.95);
+  EXPECT_GT(m.fit.r2, 0.95);
+}
+
+TEST(Charac, PowerConstantEnergyLinear) {
+  // Fig. 5: power cv ~ 0.0073; energy linear in ops.
+  const EnergySweep sweep =
+      characterize_energy(mcu::stm32f446re(), Backbone::kCifar10Cnn, 400, 29);
+  EXPECT_LT(sweep.power.cv(), 0.01);
+  EXPECT_GT(sweep.power.cv(), 0.0005);
+  EXPECT_GT(sweep.energy_fit.r2, 0.95);
+}
+
+TEST(Charac, SmallerDeviceLowerEnergy) {
+  const EnergySweep es =
+      characterize_energy(mcu::stm32f446re(), Backbone::kCifar10Cnn, 100, 31);
+  const EnergySweep em =
+      characterize_energy(mcu::stm32f746zg(), Backbone::kCifar10Cnn, 100, 31);
+  // Same models (same seed): energy per inference lower on the small MCU.
+  EXPECT_LT(es.energy_fit.slope, em.energy_fit.slope);
+  EXPECT_LT(es.power.mean, em.power.mean);
+}
+
+}  // namespace
+}  // namespace mn::charac

@@ -1,0 +1,323 @@
+// Unit tests: DNAS decision nodes, differentiable cost model, constraint
+// penalties, supernet construction/extraction, and a small end-to-end search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dnas.hpp"
+#include "core/supernet.hpp"
+#include "datasets/kws.hpp"
+#include "nn/loss.hpp"
+
+namespace mn::core {
+namespace {
+
+TEST(Decision, WeightsAreSoftmaxOfLogits) {
+  SearchContext ctx;
+  ctx.gumbel_enabled = false;
+  ctx.temperature = 1.0;
+  MaskFromLogits mask("m", {4, 8}, 8, &ctx);
+  mask.logits().value[0] = 1.f;
+  mask.logits().value[1] = 1.f;
+  mask.forward({}, true);
+  EXPECT_NEAR(mask.weights()[0], 0.5, 1e-9);
+  EXPECT_NEAR(mask.weights()[1], 0.5, 1e-9);
+  EXPECT_NEAR(mask.expected_width(), 6.0, 1e-9);
+}
+
+TEST(Decision, TemperatureSharpensDistribution) {
+  SearchContext ctx;
+  ctx.gumbel_enabled = false;
+  MaskFromLogits mask("m", {4, 8}, 8, &ctx);
+  mask.logits().value[1] = 1.f;
+  ctx.temperature = 5.0;
+  mask.forward({}, true);
+  const double soft = mask.weights()[1];
+  ctx.temperature = 0.1;
+  mask.forward({}, true);
+  const double sharp = mask.weights()[1];
+  EXPECT_GT(sharp, soft);
+  EXPECT_GT(sharp, 0.99);
+}
+
+TEST(Decision, FrozenContextSnapsToArgmax) {
+  SearchContext ctx;
+  ctx.arch_frozen = true;
+  MaskFromLogits mask("m", {4, 8, 12}, 12, &ctx);
+  mask.logits().value[2] = 0.5f;
+  const TensorF m = mask.forward({}, true);
+  EXPECT_EQ(mask.selected_option(), 2);
+  EXPECT_EQ(mask.selected_width(), 12);
+  for (int64_t c = 0; c < 12; ++c) EXPECT_FLOAT_EQ(m[c], 1.f);
+}
+
+TEST(Decision, MaskValuesAreCumulativeWeights) {
+  SearchContext ctx;
+  ctx.gumbel_enabled = false;
+  ctx.temperature = 1.0;
+  MaskFromLogits mask("m", {2, 4}, 4, &ctx);
+  const TensorF m = mask.forward({}, true);
+  // Uniform weights: first 2 channels get 1.0, last 2 get 0.5.
+  EXPECT_NEAR(m[0], 1.0, 1e-6);
+  EXPECT_NEAR(m[1], 1.0, 1e-6);
+  EXPECT_NEAR(m[2], 0.5, 1e-6);
+  EXPECT_NEAR(m[3], 0.5, 1e-6);
+}
+
+TEST(Decision, ArchGradNumericalCheck) {
+  // d(loss)/d(logits) through the mask: loss = sum(coeffs * m).
+  SearchContext ctx;
+  ctx.gumbel_enabled = false;
+  ctx.temperature = 1.3;
+  MaskFromLogits mask("m", {2, 3, 4}, 4, &ctx);
+  mask.logits().value[0] = 0.3f;
+  mask.logits().value[1] = -0.2f;
+  mask.logits().value[2] = 0.1f;
+  TensorF coeffs(Shape{4});
+  coeffs[0] = 0.5f;
+  coeffs[1] = -1.f;
+  coeffs[2] = 2.f;
+  coeffs[3] = 0.7f;
+  auto loss = [&]() {
+    const TensorF m = mask.forward({}, true);
+    double l = 0;
+    for (int64_t i = 0; i < 4; ++i) l += coeffs[i] * m[i];
+    return l;
+  };
+  loss();
+  mask.logits().zero_grad();
+  mask.backward({}, coeffs);
+  const float eps = 1e-3f;
+  for (int k = 0; k < 3; ++k) {
+    const float orig = mask.logits().value[k];
+    mask.logits().value[k] = orig + eps;
+    const double lp = loss();
+    mask.logits().value[k] = orig - eps;
+    const double lm = loss();
+    mask.logits().value[k] = orig;
+    EXPECT_NEAR(mask.logits().grad[k], (lp - lm) / (2 * eps), 1e-3) << "k=" << k;
+  }
+}
+
+TEST(Decision, BranchMixBlendsAndBackprops) {
+  SearchContext ctx;
+  ctx.gumbel_enabled = false;
+  ctx.temperature = 1.0;
+  BranchMix mix("mix", 2, &ctx);
+  mix.logits().value[0] = 2.f;  // strongly prefers branch 0
+  TensorF a(Shape{1, 2, 2, 1}, 1.f), b(Shape{1, 2, 2, 1}, 3.f);
+  const TensorF y = mix.forward({&a, &b}, true);
+  const double w0 = mix.branch_probability(0);
+  EXPECT_NEAR(y[0], w0 * 1.f + (1 - w0) * 3.f, 1e-6);
+  EXPECT_GT(w0, 0.8);
+  TensorF g(y.shape(), 1.f);
+  const auto grads = mix.backward({&a, &b}, g);
+  ASSERT_EQ(grads.size(), 2u);
+  EXPECT_NEAR(grads[0][0], w0, 1e-6);
+  EXPECT_NEAR(grads[1][0], 1 - w0, 1e-6);
+}
+
+TEST(Decision, RejectsBadConstruction) {
+  SearchContext ctx;
+  EXPECT_THROW(MaskFromLogits("m", {4}, 4, &ctx), std::invalid_argument);  // <2 options
+  EXPECT_THROW(MaskFromLogits("m", {4, 16}, 8, &ctx), std::invalid_argument);  // width > ch
+  EXPECT_THROW(BranchMix("b", 2, nullptr), std::invalid_argument);
+}
+
+TEST(WidthOptions, RoundedToMultiplesOf4) {
+  const std::vector<double> fracs{0.1, 0.25, 0.5, 1.0};
+  const auto w = width_options(64, fracs);
+  for (int64_t v : w) EXPECT_EQ(v % 4, 0);
+  EXPECT_EQ(w.back(), 64);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_GT(w[i], w[i - 1]);
+}
+
+DsCnnSearchSpace tiny_space() {
+  DsCnnSearchSpace s;
+  s.input = Shape{12, 8, 1};
+  s.num_classes = 3;
+  s.stem_max = 16;
+  s.stem_kh = 3;
+  s.stem_kw = 3;
+  s.blocks = {{16, 1, true}, {16, 1, true}};
+  s.width_fracs = {0.25, 0.5, 1.0};
+  return s;
+}
+
+TEST(Supernet, BuildsWithExpectedDecisionCount) {
+  models::BuildOptions opt;
+  opt.seed = 3;
+  Supernet net = build_ds_cnn_supernet(tiny_space(), opt);
+  EXPECT_EQ(net.width_decisions.size(), 3u);  // stem + 2 blocks
+  EXPECT_EQ(net.skip_decisions.size(), 2u);
+  // stem conv + 2*(dw+pw) + fc cost entries.
+  EXPECT_EQ(net.conv_costs.size(), 1u + 4u + 1u);
+  TensorF batch(Shape{2, 12, 8, 1}, 0.1f);
+  const TensorF out = net.graph.forward(batch, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+}
+
+TEST(Supernet, CostModelMatchesExtractedModelAtArgmax) {
+  models::BuildOptions opt;
+  opt.seed = 5;
+  const DsCnnSearchSpace space = tiny_space();
+  Supernet net = build_ds_cnn_supernet(space, opt);
+  // Freeze to argmax; expected cost must equal the concrete model's count.
+  net.ctx().arch_frozen = true;
+  TensorF batch(Shape{1, 12, 8, 1}, 0.1f);
+  net.graph.forward(batch, true);
+  const CostBreakdown cost = evaluate_cost(net);
+  const models::DsCnnConfig cfg = extract_ds_cnn(net, space);
+  // Manual kernel-parameter count of the extracted architecture (the cost
+  // model deliberately excludes BN/bias parameters).
+  double manual = static_cast<double>(cfg.stem_kh * cfg.stem_kw * cfg.stem_channels);
+  int64_t in_ch = cfg.stem_channels;
+  for (const models::DsCnnBlock& blk : cfg.blocks) {
+    manual += 9.0 * static_cast<double>(in_ch);                      // dw 3x3
+    manual += static_cast<double>(in_ch) * static_cast<double>(blk.channels);  // pw
+    in_ch = blk.channels;
+  }
+  manual += static_cast<double>(in_ch) * space.num_classes;  // final dense
+  EXPECT_NEAR(cost.expected_params, manual, manual * 0.02);
+}
+
+TEST(Supernet, ExpectedOpsBetweenMinAndMax) {
+  models::BuildOptions opt;
+  opt.seed = 7;
+  const DsCnnSearchSpace space = tiny_space();
+  Supernet net = build_ds_cnn_supernet(space, opt);
+  TensorF batch(Shape{1, 12, 8, 1}, 0.1f);
+  net.graph.forward(batch, true);
+  const CostBreakdown cost = evaluate_cost(net);
+  EXPECT_GT(cost.expected_ops, 0);
+  EXPECT_GT(cost.peak_working_memory, 0);
+  EXPECT_GE(cost.peak_conv_index, 0);
+  // Upper bound: all decisions at max width, all gates on.
+  net.ctx().arch_frozen = true;
+  for (MaskFromLogits* m : net.width_decisions) {
+    m->logits().value.fill(0.f);
+    m->logits().value[m->num_options() - 1] = 10.f;  // widest option
+  }
+  for (BranchMix* s : net.skip_decisions) {
+    s->logits().value.fill(0.f);
+    s->logits().value[0] = 10.f;  // keep block
+  }
+  net.graph.forward(batch, true);
+  const CostBreakdown max_cost = evaluate_cost(net);
+  EXPECT_LE(cost.expected_ops, max_cost.expected_ops * 1.001);
+}
+
+TEST(Penalty, ZeroInsideBudgetsGrowsOutside) {
+  CostBreakdown cost;
+  cost.expected_flash_bytes = 100e3;
+  cost.expected_ops = 1e6;
+  cost.peak_working_memory = 50e3;
+  DnasConstraints cn;
+  cn.flash_budget_bytes = 200e3;
+  cn.ops_budget = 2e6;
+  cn.sram_budget_bytes = 100e3;
+  double df, dops, dwm;
+  EXPECT_DOUBLE_EQ(constraint_penalty(cost, cn, &df, &dops, &dwm), 0.0);
+  EXPECT_DOUBLE_EQ(df, 0.0);
+  cost.expected_ops = 4e6;  // 2x over budget
+  const double pen = constraint_penalty(cost, cn, &df, &dops, &dwm);
+  EXPECT_GT(pen, 0.0);
+  EXPECT_GT(dops, 0.0);
+  EXPECT_DOUBLE_EQ(df, 0.0);
+  EXPECT_DOUBLE_EQ(dwm, 0.0);
+  // Derivative matches finite difference of the hinge.
+  const double eps = 1.0;
+  CostBreakdown c2 = cost;
+  c2.expected_ops += eps;
+  double a, b, c;
+  const double pen2 = constraint_penalty(c2, cn, &a, &b, &c);
+  EXPECT_NEAR((pen2 - pen) / eps, dops, 1e-9);
+}
+
+TEST(Penalty, DisabledConstraintIgnored) {
+  CostBreakdown cost;
+  cost.expected_flash_bytes = 1e12;
+  DnasConstraints cn;  // all budgets 0 = disabled
+  double df, dops, dwm;
+  EXPECT_DOUBLE_EQ(constraint_penalty(cost, cn, &df, &dops, &dwm), 0.0);
+}
+
+TEST(Dnas, OpsConstraintShrinksSearchedWidths) {
+  data::KwsConfig kcfg;
+  kcfg.num_keywords = 2;
+  kcfg.num_unknown_words = 3;
+  const data::Dataset train = data::make_kws_dataset(kcfg, 8, 33);
+
+  DsCnnSearchSpace space;
+  space.input = train.input_shape;
+  space.num_classes = train.num_classes;
+  space.stem_max = 24;
+  space.blocks = {{24, 1, true}};
+  space.width_fracs = {0.25, 0.5, 0.75, 1.0};
+  models::BuildOptions opt;
+  opt.seed = 9;
+
+  auto run_with_budget = [&](int64_t ops_budget) {
+    Supernet net = build_ds_cnn_supernet(space, opt);
+    DnasConfig cfg;
+    cfg.epochs = 6;
+    cfg.warmup_epochs = 1;
+    cfg.batch_size = 16;
+    cfg.seed = 11;
+    cfg.constraints.ops_budget = ops_budget;
+    cfg.constraints.lambda_ops = 8.0;
+    run_dnas(net, train, cfg);
+    net.ctx().arch_frozen = true;
+    TensorF batch(Shape{1, space.input.dim(0), space.input.dim(1), 1}, 0.1f);
+    net.graph.forward(batch, true);
+    return evaluate_cost(net).expected_ops;
+  };
+  const double tight = run_with_budget(200'000);
+  const double loose = run_with_budget(0);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(Dnas, ConstraintsForDeviceScaleWithDeviceSize) {
+  const DnasConstraints s = constraints_for_device(mcu::stm32f446re(), 0.1);
+  const DnasConstraints m = constraints_for_device(mcu::stm32f746zg(), 0.2);
+  EXPECT_LT(s.flash_budget_bytes, m.flash_budget_bytes);
+  EXPECT_LT(s.sram_budget_bytes, m.sram_budget_bytes);
+  EXPECT_GT(s.ops_budget, 0);
+  EXPECT_LT(s.ops_budget, m.ops_budget);
+}
+
+TEST(Dnas, MbV2SupernetBuildsAndExtracts) {
+  MbV2SearchSpace space;
+  space.input = Shape{16, 16, 1};
+  space.num_classes = 2;
+  space.stem_max = 8;
+  space.blocks = {{8, 8, 1}, {32, 12, 2}};
+  space.head_max = 16;
+  space.width_fracs = {0.5, 1.0};
+  models::BuildOptions opt;
+  opt.seed = 13;
+  Supernet net = build_mbv2_supernet(space, opt);
+  // stem + (block1: proj only, t=1) + (block2: exp+proj) + head masks.
+  EXPECT_EQ(net.width_decisions.size(), 1u + 1u + 2u + 1u);
+  TensorF batch(Shape{2, 16, 16, 1}, 0.1f);
+  EXPECT_EQ(net.graph.forward(batch, true).shape(), (Shape{2, 2}));
+  const models::MobileNetV2Config cfg = extract_mbv2(net, space);
+  EXPECT_EQ(cfg.blocks.size(), 2u);
+  EXPECT_GT(cfg.head_channels, 0);
+  // Extracted model builds and runs.
+  models::BuildOptions fopt;
+  fopt.seed = 13;
+  fopt.qat = false;
+  nn::Graph g = models::build_mobilenet_v2(cfg, fopt);
+  EXPECT_EQ(g.forward(batch, false).shape(), (Shape{2, 2}));
+}
+
+TEST(Dnas, MbV2SearchSpaceFromWidthMultiplier) {
+  const MbV2SearchSpace s = mbv2_search_space(0.5, Shape{50, 50, 1}, 2);
+  EXPECT_EQ(s.blocks.size(), 17u);
+  EXPECT_EQ(s.num_classes, 2);
+  EXPECT_GT(s.head_max, 0);
+}
+
+}  // namespace
+}  // namespace mn::core

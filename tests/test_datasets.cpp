@@ -1,0 +1,266 @@
+// Unit tests: synthetic dataset generators and their DSP front-ends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datasets/anomaly.hpp"
+#include "datasets/audio_synth.hpp"
+#include "datasets/kws.hpp"
+#include "datasets/vww.hpp"
+
+namespace mn::data {
+namespace {
+
+TEST(AudioSynth, NoiseChangesSignal) {
+  std::vector<float> sig(1000, 0.f);
+  Rng rng(1);
+  add_noise(sig, 0.1f, rng);
+  double energy = 0;
+  for (float s : sig) energy += static_cast<double>(s) * s;
+  EXPECT_GT(energy, 0.0);
+  EXPECT_NEAR(energy / 1000.0, 0.01, 0.005);  // amplitude^2
+}
+
+TEST(AudioSynth, ToneHasExpectedFrequency) {
+  std::vector<float> sig(4096, 0.f);
+  add_tone(sig, 1000.0, 1.f, 16000, 0, 4096);
+  // Count zero crossings in the steady-state middle: ~2 * f * t.
+  int crossings = 0;
+  for (size_t i = 1025; i < 3072; ++i)
+    if ((sig[i - 1] < 0) != (sig[i] < 0)) ++crossings;
+  const double seconds = 2047.0 / 16000.0;
+  EXPECT_NEAR(crossings, 2.0 * 1000.0 * seconds, 6.0);
+}
+
+TEST(AudioSynth, ToneRespectsSegmentBounds) {
+  std::vector<float> sig(1000, 0.f);
+  add_tone(sig, 500.0, 1.f, 16000, 200, 300);
+  for (size_t i = 0; i < 200; ++i) EXPECT_EQ(sig[i], 0.f);
+  for (size_t i = 500; i < 1000; ++i) EXPECT_EQ(sig[i], 0.f);
+}
+
+TEST(AudioSynth, HarmonicsAddAllComponents) {
+  std::vector<float> sig(2048, 0.f);
+  const std::vector<float> amps{1.f, 0.5f};
+  add_harmonics(sig, 440.0, amps, 16000);
+  double energy = 0;
+  for (float s : sig) energy += static_cast<double>(s) * s;
+  // Energy of sum of two sines: (1^2 + 0.5^2)/2 per sample.
+  EXPECT_NEAR(energy / 2048.0, (1.0 + 0.25) / 2.0, 0.05);
+}
+
+TEST(AudioSynth, ImpulseTrainPeriodicBursts) {
+  std::vector<float> sig(2000, 0.f);
+  Rng rng(2);
+  add_impulse_train(sig, 500, 1.f, 50, rng);
+  // Bursts at 250, 750, 1250, 1750; silence just before each burst.
+  for (size_t t : {249u, 749u, 1249u}) EXPECT_EQ(sig[t], 0.f);
+  double burst_energy = 0;
+  for (size_t i = 250; i < 300; ++i) burst_energy += std::abs(sig[i]);
+  EXPECT_GT(burst_energy, 0.0);
+}
+
+TEST(AudioSynth, NormalizePeak) {
+  std::vector<float> sig{0.1f, -2.f, 0.5f};
+  normalize_peak(sig, 0.9f);
+  float m = 0;
+  for (float s : sig) m = std::max(m, std::abs(s));
+  EXPECT_NEAR(m, 0.9f, 1e-6);
+  std::vector<float> zeros(5, 0.f);
+  normalize_peak(zeros);  // no crash, no NaN
+  for (float s : zeros) EXPECT_EQ(s, 0.f);
+}
+
+TEST(Kws, DatasetShapesAndBalance) {
+  KwsConfig cfg;
+  cfg.num_keywords = 3;
+  cfg.num_unknown_words = 4;
+  const Dataset ds = make_kws_dataset(cfg, 5, 42);
+  EXPECT_EQ(ds.num_classes, 5);
+  EXPECT_EQ(ds.size(), 25);
+  EXPECT_EQ(ds.input_shape, (Shape{49, 10, 1}));
+  std::vector<int> counts(5, 0);
+  for (const Example& e : ds.examples) counts[static_cast<size_t>(e.label)]++;
+  for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+TEST(Kws, Deterministic) {
+  KwsConfig cfg;
+  cfg.num_keywords = 2;
+  const Dataset a = make_kws_dataset(cfg, 3, 7);
+  const Dataset b = make_kws_dataset(cfg, 3, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.examples[static_cast<size_t>(i)].label, b.examples[static_cast<size_t>(i)].label);
+    EXPECT_EQ(a.examples[static_cast<size_t>(i)].input, b.examples[static_cast<size_t>(i)].input);
+  }
+  const Dataset c = make_kws_dataset(cfg, 3, 8);
+  bool any_diff = false;
+  for (int64_t i = 0; i < a.size() && !any_diff; ++i)
+    any_diff = !(a.examples[static_cast<size_t>(i)].input ==
+                 c.examples[static_cast<size_t>(i)].input);
+  EXPECT_TRUE(any_diff) << "different seeds gave identical datasets";
+}
+
+TEST(Kws, KeywordsAreAcousticallyDistinct) {
+  // Mean MFCC feature distance between different keywords should exceed the
+  // within-keyword spread, otherwise the classification task is ill-posed.
+  KwsConfig cfg;
+  Rng rng(3);
+  auto features = [&](int word, uint64_t salt) {
+    Rng r = rng.fork(salt);
+    const auto wave = synth_keyword_waveform(cfg, word, r);
+    return kws_features(cfg, wave);
+  };
+  const TensorF a1 = features(0, 1), a2 = features(0, 2), b1 = features(1, 3);
+  double within = 0, between = 0;
+  for (int64_t i = 0; i < a1.size(); ++i) {
+    within += std::abs(a1[i] - a2[i]);
+    between += std::abs(a1[i] - b1[i]);
+  }
+  EXPECT_GT(between, within * 1.2);
+}
+
+TEST(Kws, SilenceClassDistinctFromKeywords) {
+  // Broadband noise (silence class) has a flat log-mel profile, keywords a
+  // peaked one; the first cepstral coefficient separates the two cleanly.
+  KwsConfig cfg;
+  cfg.num_keywords = 2;
+  const Dataset ds = make_kws_dataset(cfg, 4, 11);
+  double silence_c0 = 0, word_c0 = 0;
+  int ns = 0, nw = 0;
+  for (const Example& e : ds.examples) {
+    double c0 = 0;
+    for (int64_t t = 0; t < 49; ++t) c0 += e.input[t * 10];
+    if (e.label == cfg.silence_label()) {
+      silence_c0 += c0;
+      ++ns;
+    } else if (e.label < cfg.num_keywords) {
+      word_c0 += c0;
+      ++nw;
+    }
+  }
+  const double gap = std::abs(silence_c0 / ns - word_c0 / nw);
+  EXPECT_GT(gap, 50.0) << "silence and keyword cepstra are not separable";
+}
+
+TEST(Vww, ShapesAndDeterminism) {
+  VwwConfig cfg;
+  cfg.resolution = 32;
+  const Dataset a = make_vww_dataset(cfg, 4, 5);
+  EXPECT_EQ(a.size(), 8);
+  EXPECT_EQ(a.input_shape, (Shape{32, 32, 1}));
+  const Dataset b = make_vww_dataset(cfg, 4, 5);
+  for (int64_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.examples[static_cast<size_t>(i)].input, b.examples[static_cast<size_t>(i)].input);
+}
+
+TEST(Vww, PixelsInUnitRange) {
+  VwwConfig cfg;
+  cfg.resolution = 24;
+  const Dataset ds = make_vww_dataset(cfg, 6, 9);
+  for (const Example& e : ds.examples)
+    for (int64_t i = 0; i < e.input.size(); ++i) {
+      EXPECT_GE(e.input[i], 0.f);
+      EXPECT_LE(e.input[i], 1.f);
+    }
+}
+
+TEST(Vww, PersonImagesDifferFromBackground) {
+  VwwConfig cfg;
+  cfg.resolution = 40;
+  cfg.noise_amplitude = 0.f;
+  Rng r1(3), r2(3);
+  const TensorF with = render_vww_image(cfg, true, r1);
+  const TensorF without = render_vww_image(cfg, false, r2);
+  EXPECT_GT(max_abs_diff(with, without), 0.1f);
+}
+
+TEST(Anomaly, TrainSetIsNormalOnly) {
+  AnomalyConfig cfg;
+  const Dataset train = make_anomaly_train(cfg, 2, 13);
+  EXPECT_GT(train.size(), 0);
+  for (const Example& e : train.examples) EXPECT_FALSE(e.anomaly);
+  EXPECT_EQ(train.num_classes, 4);
+  EXPECT_EQ(train.input_shape, (Shape{32, 32, 1}));
+}
+
+TEST(Anomaly, TestSetMixed) {
+  AnomalyConfig cfg;
+  const Dataset test = make_anomaly_test(cfg, 2, 13);
+  int anom = 0, norm = 0;
+  for (const Example& e : test.examples) (e.anomaly ? anom : norm)++;
+  EXPECT_GT(anom, 0);
+  EXPECT_GT(norm, 0);
+}
+
+TEST(Anomaly, PatchCountMatchesOverlap) {
+  AnomalyConfig cfg;
+  Rng rng(1);
+  const auto wave = synth_machine_waveform(cfg, 0, false, rng);
+  const auto patches = anomaly_patches(cfg, wave);
+  const int total_frames = dsp::num_frames(static_cast<int64_t>(wave.size()), cfg.mel);
+  const int step = cfg.spec_frames - cfg.frame_overlap;
+  const int expected = total_frames >= cfg.spec_frames
+                           ? (total_frames - cfg.spec_frames) / step + 1
+                           : 0;
+  EXPECT_EQ(static_cast<int>(patches.size()), expected);
+  EXPECT_GT(expected, 0);
+}
+
+TEST(Anomaly, PatchesAreStandardized) {
+  AnomalyConfig cfg;
+  Rng rng(2);
+  const auto wave = synth_machine_waveform(cfg, 1, false, rng);
+  const auto patches = anomaly_patches(cfg, wave);
+  ASSERT_FALSE(patches.empty());
+  const TensorF& p = patches.front();
+  double mean = 0, var = 0;
+  for (int64_t i = 0; i < p.size(); ++i) mean += p[i];
+  mean /= static_cast<double>(p.size());
+  for (int64_t i = 0; i < p.size(); ++i) var += (p[i] - mean) * (p[i] - mean);
+  var /= static_cast<double>(p.size());
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+  EXPECT_NEAR(var, 1.0, 1e-2);
+}
+
+TEST(Anomaly, MachinesHaveDistinctSignatures) {
+  AnomalyConfig cfg;
+  Rng rng(5);
+  Rng ra = rng.fork(1), rb = rng.fork(2), rc = rng.fork(3);
+  const auto w0a = synth_machine_waveform(cfg, 0, false, ra);
+  const auto w0b = synth_machine_waveform(cfg, 0, false, rb);
+  const auto w1 = synth_machine_waveform(cfg, 1, false, rc);
+  const auto p0a = anomaly_patches(cfg, w0a).front();
+  const auto p0b = anomaly_patches(cfg, w0b).front();
+  const auto p1 = anomaly_patches(cfg, w1).front();
+  double within = 0, between = 0;
+  for (int64_t i = 0; i < p0a.size(); ++i) {
+    within += std::abs(p0a[i] - p0b[i]);
+    between += std::abs(p0a[i] - p1[i]);
+  }
+  EXPECT_GT(between, within);
+}
+
+TEST(Anomaly, AnomalousWaveformDiffersFromNormal) {
+  AnomalyConfig cfg;
+  Rng r1(7), r2(7);
+  const auto normal = synth_machine_waveform(cfg, 2, false, r1);
+  const auto anomalous = synth_machine_waveform(cfg, 2, true, r2);
+  double diff = 0;
+  for (size_t i = 0; i < normal.size(); ++i)
+    diff += std::abs(normal[i] - anomalous[i]);
+  EXPECT_GT(diff / static_cast<double>(normal.size()), 0.01);
+}
+
+TEST(Anomaly, RejectsBadMachineId) {
+  AnomalyConfig cfg;
+  Rng rng(8);
+  EXPECT_THROW(synth_machine_waveform(cfg, -1, false, rng), std::invalid_argument);
+  EXPECT_THROW(synth_machine_waveform(cfg, cfg.num_machines, false, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mn::data

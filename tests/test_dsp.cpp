@@ -1,0 +1,211 @@
+// Unit tests: FFT, mel filterbank, MFCC pipeline, bilinear resize.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/fft.hpp"
+#include "dsp/mel.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn::dsp {
+namespace {
+
+// Naive O(n^2) DFT reference.
+std::vector<std::complex<double>> naive_dft(const std::vector<std::complex<double>>& x) {
+  const size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0, 0};
+    for (size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * M_PI * static_cast<double>(k * t) / static_cast<double>(n);
+      acc += x[t] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  Rng rng(1);
+  std::vector<std::complex<double>> x(64);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  auto expect = naive_dft(x);
+  std::vector<std::complex<double>> got = x;
+  fft(got);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), expect[i].real(), 1e-9);
+    EXPECT_NEAR(got[i].imag(), expect[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RoundTripInverse) {
+  Rng rng(2);
+  std::vector<std::complex<double>> x(128);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  auto y = x;
+  fft(y);
+  fft(y, /*inverse=*/true);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i].real() / 128.0, x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag() / 128.0, x[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(100);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+}
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(640));
+  EXPECT_EQ(next_pow2(640), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1), 1u);
+}
+
+TEST(Fft, PowerSpectrumOfPureTone) {
+  // A bin-aligned sine concentrates all energy (beyond DC) in one bin.
+  const size_t n = 256;
+  std::vector<float> sig(n);
+  const int bin = 16;
+  for (size_t i = 0; i < n; ++i)
+    sig[i] = std::sin(2.0 * M_PI * bin * static_cast<double>(i) / n);
+  const auto spec = power_spectrum(sig, n);
+  size_t peak = 0;
+  for (size_t i = 1; i < spec.size(); ++i)
+    if (spec[i] > spec[peak]) peak = i;
+  EXPECT_EQ(peak, static_cast<size_t>(bin));
+  EXPECT_GT(spec[bin], 1000.0 * spec[bin + 3]);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(3);
+  const size_t n = 512;
+  std::vector<float> sig(n);
+  double time_energy = 0;
+  for (auto& s : sig) {
+    s = static_cast<float>(rng.normal());
+    time_energy += static_cast<double>(s) * s;
+  }
+  const auto spec = power_spectrum(sig, n);
+  // One-sided spectrum: double all bins except DC and Nyquist.
+  double freq_energy = spec[0] + spec[n / 2];
+  for (size_t i = 1; i < n / 2; ++i) freq_energy += 2.0 * spec[i];
+  EXPECT_NEAR(freq_energy / n, time_energy, time_energy * 1e-9);
+}
+
+TEST(Mel, HzMelRoundTrip) {
+  for (double hz : {50.0, 440.0, 1000.0, 4000.0, 7999.0})
+    EXPECT_NEAR(mel_to_hz(hz_to_mel(hz)), hz, 1e-6);
+  EXPECT_NEAR(hz_to_mel(1000.0), 1000.0, 1.0);  // ~1000 mel at 1 kHz
+}
+
+TEST(Mel, FilterbankRowsPeakInsideBand) {
+  const size_t nfft = 512;
+  const int bins = 20;
+  const auto fb = mel_filterbank(bins, nfft, 16000, 20.0, 7600.0);
+  const size_t cols = nfft / 2 + 1;
+  for (int b = 0; b < bins; ++b) {
+    double peak = 0, sum = 0;
+    for (size_t k = 0; k < cols; ++k) {
+      peak = std::max(peak, fb[static_cast<size_t>(b) * cols + k]);
+      sum += fb[static_cast<size_t>(b) * cols + k];
+    }
+    EXPECT_GT(peak, 0.4) << "filter " << b << " has no mass";
+    EXPECT_LE(peak, 1.0 + 1e-9);
+    EXPECT_GT(sum, 0.0);
+  }
+}
+
+TEST(Mel, HannWindowSymmetricWithZeroEnds) {
+  const auto w = hann_window(65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_NEAR(w[i], w[64 - i], 1e-12);
+}
+
+TEST(Mel, Dct2MatrixIsOrthonormal) {
+  const int n = 12;
+  const auto d = dct2_matrix(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double dot = 0;
+      for (int k = 0; k < n; ++k)
+        dot += d[static_cast<size_t>(i) * n + k] * d[static_cast<size_t>(j) * n + k];
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(Mel, PaperKwsFrontEndShape) {
+  // 1 s @ 16 kHz, 40 ms frames, 20 ms stride -> 49 frames x 10 MFCCs.
+  MelConfig cfg;
+  std::vector<float> sig(16000, 0.1f);
+  EXPECT_EQ(num_frames(16000, cfg), 49);
+  const TensorF m = mfcc(sig, cfg);
+  EXPECT_EQ(m.shape(), (Shape{49, 10}));
+}
+
+TEST(Mel, LogMelDiscriminatesTones) {
+  // Low vs high tone produce clearly different spectrogram energy profiles.
+  MelConfig cfg;
+  cfg.num_mel_bins = 40;
+  std::vector<float> low(16000), high(16000);
+  for (size_t i = 0; i < low.size(); ++i) {
+    low[i] = std::sin(2.0 * M_PI * 300.0 * i / 16000.0);
+    high[i] = std::sin(2.0 * M_PI * 4000.0 * i / 16000.0);
+  }
+  const TensorF ml = log_mel_spectrogram(low, cfg);
+  const TensorF mh = log_mel_spectrogram(high, cfg);
+  // The low tone's energy peaks in a lower mel bin than the high tone's.
+  auto peak_bin = [&](const TensorF& m) {
+    int best = 0;
+    for (int b = 1; b < 40; ++b)
+      if (m.at2(10, b) > m.at2(10, best)) best = b;
+    return best;
+  };
+  EXPECT_LT(peak_bin(ml), peak_bin(mh));
+}
+
+TEST(Mel, ShortSignalThrows) {
+  MelConfig cfg;
+  std::vector<float> sig(100, 0.f);
+  EXPECT_THROW(log_mel_spectrogram(sig, cfg), std::invalid_argument);
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  TensorF img(Shape{8, 8});
+  Rng rng(5);
+  for (int64_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(rng.uniform());
+  const TensorF out = bilinear_resize(img, 8, 8);
+  EXPECT_LT(max_abs_diff(img, out), 1e-6f);
+}
+
+TEST(Resize, DownsamplePreservesConstant) {
+  TensorF img(Shape{64, 64}, 3.25f);
+  const TensorF out = bilinear_resize(img, 32, 32);
+  EXPECT_EQ(out.shape(), (Shape{32, 32}));
+  for (int64_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], 3.25f, 1e-6f);
+}
+
+TEST(Resize, PreservesLinearGradient) {
+  TensorF img(Shape{32, 32});
+  for (int64_t y = 0; y < 32; ++y)
+    for (int64_t x = 0; x < 32; ++x)
+      img.at2(y, x) = static_cast<float>(x);
+  const TensorF out = bilinear_resize(img, 16, 16);
+  // Columns should still increase monotonically.
+  for (int64_t x = 1; x < 16; ++x) EXPECT_GT(out.at2(8, x), out.at2(8, x - 1));
+}
+
+TEST(Resize, RejectsWrongRank) {
+  TensorF t(Shape{4, 4, 1});
+  EXPECT_THROW(bilinear_resize(t, 2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mn::dsp

@@ -1,0 +1,162 @@
+// End-to-end integration tests: synthesize data, train with QAT, convert,
+// execute on the integer runtime, and check deployability on the MCU models.
+#include <gtest/gtest.h>
+
+#include "core/dnas.hpp"
+#include "datasets/kws.hpp"
+#include "datasets/vww.hpp"
+#include "mcu/perf_model.hpp"
+#include "models/backbones.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+
+namespace mn {
+namespace {
+
+// A reduced KWS setup (fewer classes/examples, same code path) that trains
+// in seconds on one core.
+data::KwsConfig tiny_kws_config() {
+  data::KwsConfig cfg;
+  cfg.num_keywords = 4;
+  cfg.num_unknown_words = 6;
+  return cfg;
+}
+
+models::DsCnnConfig tiny_ds_cnn(const data::Dataset& ds) {
+  models::DsCnnConfig cfg;
+  cfg.input = ds.input_shape;
+  cfg.num_classes = ds.num_classes;
+  cfg.stem_channels = 16;
+  cfg.blocks = {{16, 1}, {24, 1}};
+  return cfg;
+}
+
+TEST(Integration, KwsTrainConvertAndRunInt8) {
+  const data::KwsConfig kcfg = tiny_kws_config();
+  data::Dataset all = data::make_kws_dataset(kcfg, 30, /*seed=*/42);
+  auto [train, test] = data::split(all, 0.25);
+
+  models::BuildOptions bopt;
+  bopt.seed = 7;
+  bopt.qat = true;
+  nn::Graph graph = models::build_ds_cnn(tiny_ds_cnn(train), bopt);
+
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 14;
+  tcfg.batch_size = 32;
+  tcfg.lr_start = 0.1;
+  tcfg.seed = 3;
+  nn::fit(graph, train, tcfg);
+
+  const double float_acc = nn::evaluate(graph, test);
+  EXPECT_GT(float_acc, 0.75) << "QAT training failed to learn the tiny task";
+
+  rt::ConvertOptions copt;
+  copt.name = "tiny-kws";
+  rt::ModelDef model = rt::convert(graph, copt);
+  EXPECT_EQ(model.ops.size(), 1u + 2u * 2u + 2u);  // stem conv + 2*(dw+pw) + gap + fc
+  rt::Interpreter interp(std::move(model));
+
+  // Quantized accuracy should track the float accuracy closely.
+  int64_t correct = 0;
+  for (const data::Example& e : test.examples) {
+    const TensorF probs = interp.invoke(e.input);
+    int64_t best = 0;
+    for (int64_t c = 1; c < probs.size(); ++c)
+      if (probs[c] > probs[best]) best = c;
+    if (best == e.label) ++correct;
+  }
+  const double q_acc = static_cast<double>(correct) / test.size();
+  EXPECT_GT(q_acc, float_acc - 0.08)
+      << "int8 accuracy collapsed relative to float (" << float_acc << ")";
+
+  // Deployability on every paper target.
+  const rt::MemoryReport rep = interp.memory_report();
+  for (const mcu::Device& dev : mcu::all_devices()) {
+    const mcu::DeployCheck chk = mcu::check_deployable(dev, rep);
+    EXPECT_TRUE(chk.deployable()) << dev.name;
+    const double lat = mcu::model_latency_s(dev, interp.model());
+    EXPECT_GT(lat, 0.0);
+    EXPECT_LT(lat, 1.0);
+  }
+}
+
+TEST(Integration, VwwTrainAndConvert) {
+  data::VwwConfig vcfg;
+  vcfg.resolution = 24;
+  data::Dataset all = data::make_vww_dataset(vcfg, 60, /*seed=*/5);
+  auto [train, test] = data::split(all, 0.25);
+
+  models::BuildOptions bopt;
+  bopt.seed = 11;
+  models::MobileNetV2Config mc;
+  mc.input = train.input_shape;
+  mc.num_classes = 2;
+  mc.stem_channels = 8;
+  mc.blocks = {{8, 8, 1}, {24, 12, 2}, {36, 16, 2}};
+  mc.head_channels = 32;
+  nn::Graph graph = models::build_mobilenet_v2(mc, bopt);
+
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.batch_size = 24;
+  tcfg.lr_start = 0.06;
+  nn::fit(graph, train, tcfg);
+  const double float_acc = nn::evaluate(graph, test);
+  EXPECT_GT(float_acc, 0.78);
+
+  rt::ModelDef model = rt::convert(graph, {.name = "tiny-vww"});
+  rt::Interpreter interp(std::move(model));
+  int64_t correct = 0;
+  for (const data::Example& e : test.examples) {
+    const TensorF out = interp.invoke(e.input);
+    if ((out[1] > out[0]) == (e.label == 1)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), float_acc - 0.1);
+}
+
+TEST(Integration, DnasSearchRespectsBudgetsAndExtractedModelDeploys) {
+  const data::KwsConfig kcfg = tiny_kws_config();
+  data::Dataset train = data::make_kws_dataset(kcfg, 12, /*seed=*/21);
+
+  core::DsCnnSearchSpace space;
+  space.input = train.input_shape;
+  space.num_classes = train.num_classes;
+  space.stem_max = 32;
+  space.blocks = {{32, 1, true}, {32, 1, true}};
+  space.width_fracs = {0.25, 0.5, 0.75, 1.0};
+
+  models::BuildOptions bopt;
+  bopt.seed = 13;
+  core::Supernet net = core::build_ds_cnn_supernet(space, bopt);
+
+  core::DnasConfig dcfg;
+  dcfg.epochs = 8;
+  dcfg.warmup_epochs = 2;
+  dcfg.batch_size = 24;
+  dcfg.lr_w_start = 0.05;
+  dcfg.seed = 17;
+  // Tight op budget forces the search toward narrow widths.
+  dcfg.constraints.ops_budget = 600'000;
+  dcfg.constraints.lambda_ops = 8.0;
+  const core::DnasResult res = core::run_dnas(net, train, dcfg);
+  EXPECT_LT(res.final_cost.expected_ops, 1.3 * 600'000)
+      << "op constraint had no effect";
+
+  const models::DsCnnConfig found = core::extract_ds_cnn(net, space);
+  EXPECT_GE(found.blocks.size(), 1u);
+  // Extracted model must build, train a little, and convert.
+  nn::Graph g = models::build_ds_cnn(found, bopt);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.batch_size = 24;
+  nn::fit(g, train, tcfg);
+  rt::ModelDef model = rt::convert(g, {.name = "dnas-kws"});
+  rt::Interpreter interp(std::move(model));
+  const auto rep = interp.memory_report();
+  EXPECT_TRUE(mcu::check_deployable(mcu::stm32f446re(), rep).deployable());
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,250 @@
+// Unit tests: model-family builders and the calibrated MicroNet footprints.
+#include <gtest/gtest.h>
+
+#include "mcu/perf_model.hpp"
+#include "models/backbones.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn::models {
+namespace {
+
+rt::Interpreter make_interp(nn::Graph& g, Shape input, int wbits = 8,
+                            int abits = 8, const char* name = "m") {
+  Rng rng(99);
+  TensorF batch = input.rank() == 1
+                      ? TensorF(Shape{2, input.dim(0)})
+                      : TensorF(Shape{2, input.dim(0), input.dim(1), input.dim(2)});
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  const rt::RangeMap ranges = rt::calibrate_ranges(g, batch);
+  rt::ConvertOptions co;
+  co.name = name;
+  co.weight_bits = wbits;
+  co.act_bits = abits;
+  return rt::Interpreter(rt::convert(g, co, &ranges));
+}
+
+BuildOptions float_opts(uint64_t seed = 1) {
+  BuildOptions o;
+  o.seed = seed;
+  o.qat = false;
+  return o;
+}
+
+TEST(Models, DsCnnVariantsGrowInSize) {
+  BuildOptions o = float_opts();
+  nn::Graph s = build_ds_cnn(ds_cnn_s(), o);
+  nn::Graph m = build_ds_cnn(ds_cnn_m(), o);
+  nn::Graph l = build_ds_cnn(ds_cnn_l(), o);
+  EXPECT_LT(s.num_weight_params(), m.num_weight_params());
+  EXPECT_LT(m.num_weight_params(), l.num_weight_params());
+}
+
+TEST(Models, DsCnnForwardShape) {
+  BuildOptions o = float_opts();
+  nn::Graph g = build_ds_cnn(ds_cnn_s(), o);
+  TensorF batch(Shape{2, 49, 10, 1}, 0.1f);
+  const TensorF out = g.forward(batch, false);
+  EXPECT_EQ(out.shape(), (Shape{2, 12}));
+}
+
+TEST(Models, MobileNetV2StandardSpecBlockCount) {
+  const MobileNetV2Config c = mobilenet_v2(1.0, Shape{160, 160, 1}, 2);
+  EXPECT_EQ(c.blocks.size(), 17u);  // 1+2+3+4+3+3+1
+  EXPECT_EQ(c.stem_channels, 32);
+  EXPECT_EQ(c.head_channels, 1280);
+  EXPECT_EQ(c.blocks[0].expansion_channels, 32);  // t=1 stage
+  EXPECT_EQ(c.blocks[1].stride, 2);
+}
+
+TEST(Models, MobileNetV2WidthMultiplierScalesChannels) {
+  const MobileNetV2Config half = mobilenet_v2(0.5, Shape{96, 96, 1}, 2);
+  const MobileNetV2Config full = mobilenet_v2(1.0, Shape{96, 96, 1}, 2);
+  for (size_t i = 0; i < half.blocks.size(); ++i)
+    EXPECT_LE(half.blocks[i].out_channels, full.blocks[i].out_channels);
+  // Channels are multiples of 4 (CMSIS-NN fast path).
+  for (const IbnBlock& b : half.blocks) {
+    EXPECT_EQ(b.out_channels % 4, 0);
+    EXPECT_EQ(b.expansion_channels % 4, 0);
+  }
+}
+
+TEST(Models, MobileNetV2ForwardAndResiduals) {
+  MobileNetV2Config c;
+  c.input = Shape{16, 16, 1};
+  c.num_classes = 2;
+  c.stem_channels = 8;
+  c.blocks = {{8, 8, 1}, {48, 8, 1}};  // second block has a residual add
+  c.head_channels = 16;
+  BuildOptions o = float_opts(3);
+  nn::Graph g = build_mobilenet_v2(c, o);
+  TensorF batch(Shape{1, 16, 16, 1}, 0.2f);
+  EXPECT_EQ(g.forward(batch, false).shape(), (Shape{1, 2}));
+}
+
+TEST(Models, MobileNetV1PersonDetectionFootprint) {
+  MobileNetV1Config c;  // defaults: 96x96x1, width 0.25
+  BuildOptions o = float_opts(5);
+  nn::Graph g = build_mobilenet_v1(c, o);
+  rt::Interpreter interp = make_interp(g, c.input);
+  const auto rep = interp.memory_report();
+  // TFLM person-detection reference: ~294 KB flash / ~82 KB SRAM in the
+  // paper; ours lands in the same range.
+  EXPECT_NEAR(rep.model_flash() / 1024.0, 294.0, 110.0);
+  EXPECT_NEAR(rep.model_sram() / 1024.0, 82.0, 40.0);
+  EXPECT_TRUE(mcu::check_deployable(mcu::stm32f446re(), rep).deployable());
+}
+
+TEST(Models, FcAutoencoderRoundTripShape) {
+  FcAeConfig c;
+  BuildOptions o = float_opts(7);
+  nn::Graph g = build_fc_autoencoder(c, o);
+  TensorF batch(Shape{3, 640}, 0.1f);
+  EXPECT_EQ(g.forward(batch, false).shape(), (Shape{3, 640}));
+  // Baseline is ~270 KB in int8 per the paper.
+  EXPECT_NEAR(static_cast<double>(g.num_weight_params()) / 1024.0, 270.0, 40.0);
+}
+
+TEST(Models, FcAutoencoderWideExceedsAllFlash) {
+  FcAeConfig c;
+  c.hidden = 512;
+  BuildOptions o = float_opts(9);
+  nn::Graph g = build_fc_autoencoder(c, o);
+  rt::Interpreter interp = make_interp(g, Shape{640});
+  for (const mcu::Device& d : mcu::all_devices())
+    EXPECT_FALSE(mcu::check_deployable(d, interp.memory_report()).flash_ok)
+        << d.name;
+}
+
+struct FootprintCase {
+  const char* name;
+  double flash_kb;     // paper Table 4
+  double sram_kb;      // paper Table 4
+  double lat_m_s;      // latency on the F746ZG (0 = not measured in paper)
+  double tol_flash;    // relative tolerance
+  double tol_lat;
+};
+
+void expect_footprint(rt::Interpreter& interp, const FootprintCase& fc) {
+  const auto rep = interp.memory_report();
+  EXPECT_NEAR(rep.model_flash() / 1024.0, fc.flash_kb, fc.flash_kb * fc.tol_flash)
+      << fc.name << " flash";
+  if (fc.lat_m_s > 0) {
+    const double lat = mcu::model_latency_s(mcu::stm32f746zg(), interp.model());
+    EXPECT_NEAR(lat, fc.lat_m_s, fc.lat_m_s * fc.tol_lat) << fc.name << " latency";
+  }
+}
+
+TEST(MicroNets, KwsFootprintsTrackTable4) {
+  BuildOptions o = float_opts(11);
+  {
+    nn::Graph g = build_ds_cnn(micronet_kws(ModelSize::kS), o);
+    rt::Interpreter i = make_interp(g, Shape{49, 10, 1});
+    expect_footprint(i, {"MN-KWS-S", 102, 53, 0.109, 0.25, 0.35});
+    EXPECT_TRUE(mcu::check_deployable(mcu::stm32f446re(), i.memory_report()).deployable());
+  }
+  {
+    nn::Graph g = build_ds_cnn(micronet_kws(ModelSize::kM), o);
+    rt::Interpreter i = make_interp(g, Shape{49, 10, 1});
+    expect_footprint(i, {"MN-KWS-M", 163, 103, 0.187, 0.25, 0.35});
+    EXPECT_TRUE(mcu::check_deployable(mcu::stm32f446re(), i.memory_report()).deployable());
+  }
+  {
+    nn::Graph g = build_ds_cnn(micronet_kws(ModelSize::kL), o);
+    rt::Interpreter i = make_interp(g, Shape{49, 10, 1});
+    expect_footprint(i, {"MN-KWS-L", 612, 208, 0.610, 0.25, 0.35});
+    // L model does not fit the small MCU flash budget but fits the medium.
+    EXPECT_TRUE(mcu::check_deployable(mcu::stm32f746zg(), i.memory_report()).deployable());
+    EXPECT_FALSE(mcu::check_deployable(mcu::stm32f446re(), i.memory_report()).flash_ok);
+  }
+}
+
+TEST(MicroNets, Kws4BitDeploysOnSmallMcuDespiteMoreWeights) {
+  BuildOptions o = float_opts(13);
+  o.weight_bits = 4;
+  o.act_bits = 4;
+  nn::Graph g = build_ds_cnn(micronet_kws_int4(), o);
+  rt::Interpreter i = make_interp(g, Shape{49, 10, 1}, 4, 4, "kws-s4");
+  const auto rep = i.memory_report();
+  // Table 2: 290 KB model / 112 KB SRAM, deployable on the F446RE.
+  EXPECT_NEAR(rep.model_flash() / 1024.0, 290.0, 80.0);
+  EXPECT_TRUE(mcu::check_deployable(mcu::stm32f446re(), rep).deployable());
+  // More weights than the 8-bit medium model despite less flash.
+  nn::Graph gm = build_ds_cnn(micronet_kws(ModelSize::kM), float_opts(13));
+  EXPECT_GT(g.num_weight_params(), gm.num_weight_params());
+}
+
+TEST(MicroNets, VwwFootprintsAndDeployability) {
+  BuildOptions o = float_opts(15);
+  {
+    nn::Graph g = build_mobilenet_v2(micronet_vww(ModelSize::kS), o);
+    rt::Interpreter i = make_interp(g, Shape{50, 50, 1});
+    expect_footprint(i, {"MN-VWW-S", 217, 70, 0.0848, 0.3, 0.6});
+    EXPECT_TRUE(mcu::check_deployable(mcu::stm32f446re(), i.memory_report()).deployable());
+  }
+  {
+    nn::Graph g = build_mobilenet_v2(micronet_vww(ModelSize::kM), o);
+    rt::Interpreter i = make_interp(g, Shape{160, 160, 1});
+    expect_footprint(i, {"MN-VWW-M", 855, 285, 1.166, 0.3, 0.35});
+    EXPECT_TRUE(mcu::check_deployable(mcu::stm32f746zg(), i.memory_report()).deployable());
+    EXPECT_FALSE(mcu::check_deployable(mcu::stm32f446re(), i.memory_report()).deployable());
+  }
+  EXPECT_THROW(micronet_vww(ModelSize::kL), std::invalid_argument);
+}
+
+TEST(MicroNets, AdFootprintsAndDeployability) {
+  BuildOptions o = float_opts(17);
+  struct Case {
+    ModelSize size;
+    FootprintCase fc;
+    const mcu::Device* target;
+  };
+  const Case cases[] = {
+      {ModelSize::kS, {"MN-AD-S", 247, 114, 0.0, 0.3, 0.0}, &mcu::stm32f446re()},
+      {ModelSize::kM, {"MN-AD-M", 453, 274, 0.608, 0.3, 0.35}, &mcu::stm32f746zg()},
+      {ModelSize::kL, {"MN-AD-L", 442, 383, 0.0, 0.3, 0.0}, &mcu::stm32f767zi()},
+  };
+  for (const Case& c : cases) {
+    nn::Graph g = build_ds_cnn(micronet_ad(c.size), o);
+    rt::Interpreter i = make_interp(g, Shape{32, 32, 1});
+    expect_footprint(i, c.fc);
+    EXPECT_TRUE(mcu::check_deployable(*c.target, i.memory_report()).deployable())
+        << c.fc.name << " must deploy on " << c.target->name;
+  }
+  // AD real-time constraint (§5.2.3): latency under the 640 ms stride on the
+  // target device.
+  nn::Graph gl = build_ds_cnn(micronet_ad(ModelSize::kL), o);
+  rt::Interpreter il = make_interp(gl, Shape{32, 32, 1});
+  EXPECT_LT(mcu::model_latency_s(mcu::stm32f767zi(), il.model()), 0.64);
+}
+
+TEST(MicroNets, MbV2KwsBaselinesMatchPaperNdPattern) {
+  BuildOptions o = float_opts(19);
+  nn::Graph gl = build_mobilenet_v2(mbv2_kws(ModelSize::kL), o);
+  rt::Interpreter il = make_interp(gl, Shape{49, 10, 1});
+  // Fig. 7: the largest MobileNetV2 variant does not fit and is omitted.
+  for (const mcu::Device& d : mcu::all_devices())
+    EXPECT_FALSE(mcu::check_deployable(d, il.memory_report()).deployable()) << d.name;
+  nn::Graph gm = build_mobilenet_v2(mbv2_kws(ModelSize::kM), o);
+  rt::Interpreter im = make_interp(gm, Shape{49, 10, 1});
+  EXPECT_TRUE(mcu::check_deployable(mcu::stm32f746zg(), im.memory_report()).deployable());
+}
+
+TEST(MicroNets, AdBaselineMbv2OnlyFitsLargest) {
+  BuildOptions o = float_opts(21);
+  nn::Graph g = build_mobilenet_v2(mbv2_ad_baseline(), o);
+  rt::Interpreter i = make_interp(g, Shape{64, 64, 1});
+  EXPECT_FALSE(mcu::check_deployable(mcu::stm32f746zg(), i.memory_report()).deployable());
+  EXPECT_TRUE(mcu::check_deployable(mcu::stm32f767zi(), i.memory_report()).deployable());
+}
+
+TEST(Models, SizeNames) {
+  EXPECT_STREQ(size_name(ModelSize::kS), "S");
+  EXPECT_STREQ(size_name(ModelSize::kM), "M");
+  EXPECT_STREQ(size_name(ModelSize::kL), "L");
+}
+
+}  // namespace
+}  // namespace mn::models

@@ -1,0 +1,338 @@
+// Unit tests: autodiff ops, with numerical gradient checks. A leading
+// parameterized layer's analytic gradient exercises the downstream layers'
+// input-gradient propagation, so chained checks validate every backward.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/graph.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn::nn {
+namespace {
+
+TensorF random_tensor(Shape s, Rng& rng, double lo = -1.0, double hi = 1.0) {
+  TensorF t(s);
+  for (int64_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+// Loss = sum(output .* coeffs); deterministic, smooth.
+double eval_loss(Graph& g, const TensorF& in, const TensorF& coeffs) {
+  const TensorF out = g.forward(in, /*training=*/true);
+  EXPECT_EQ(out.size(), coeffs.size());
+  double l = 0;
+  for (int64_t i = 0; i < out.size(); ++i)
+    l += static_cast<double>(out[i]) * coeffs[i];
+  return l;
+}
+
+// Compares analytic parameter gradients against central finite differences.
+void check_param_grads(Graph& g, const TensorF& in, uint64_t seed,
+                       double tol = 2e-2, int max_checks_per_param = 12) {
+  Rng rng(seed);
+  const TensorF probe = g.forward(in, true);
+  TensorF coeffs = random_tensor(probe.shape(), rng);
+
+  g.zero_grads();
+  eval_loss(g, in, coeffs);
+  g.backward(coeffs);
+
+  const float eps = 1e-3f;
+  for (Param* p : g.params()) {
+    Rng pick(seed ^ 0x1234);
+    const int64_t checks = std::min<int64_t>(p->value.size(), max_checks_per_param);
+    for (int64_t c = 0; c < checks; ++c) {
+      const int64_t i = pick.uniform_int(0, p->value.size() - 1);
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = eval_loss(g, in, coeffs);
+      p->value[i] = orig - eps;
+      const double lm = eval_loss(g, in, coeffs);
+      p->value[i] = orig;
+      const double num = (lp - lm) / (2.0 * eps);
+      const double ana = p->grad[i];
+      const double denom = std::max({std::abs(num), std::abs(ana), 1.0});
+      EXPECT_NEAR(ana / denom, num / denom, tol)
+          << p->name << "[" << i << "] analytic=" << ana << " numeric=" << num;
+    }
+  }
+}
+
+TEST(NnOps, Conv2DGradients) {
+  GraphBuilder b(1);
+  int x = b.input(Shape{5, 6, 3});
+  Conv2DOptions opt;
+  opt.out_channels = 4;
+  opt.kh = opt.kw = 3;
+  opt.stride = 1;
+  x = b.conv2d(x, opt);
+  Graph g = b.build(x);
+  Rng rng(2);
+  check_param_grads(g, random_tensor(Shape{2, 5, 6, 3}, rng), 3);
+}
+
+TEST(NnOps, Conv2DStridedValidGradients) {
+  GraphBuilder b(4);
+  int x = b.input(Shape{7, 7, 2});
+  Conv2DOptions opt;
+  opt.out_channels = 3;
+  opt.kh = opt.kw = 3;
+  opt.stride = 2;
+  opt.padding = Padding::kValid;
+  x = b.conv2d(x, opt);
+  Graph g = b.build(x);
+  Rng rng(5);
+  check_param_grads(g, random_tensor(Shape{1, 7, 7, 2}, rng), 6);
+}
+
+TEST(NnOps, DepthwiseConvGradients) {
+  GraphBuilder b(7);
+  int x = b.input(Shape{6, 5, 4});
+  DepthwiseConv2DOptions opt;
+  opt.stride = 2;
+  x = b.depthwise_conv2d(x, opt);
+  Graph g = b.build(x);
+  Rng rng(8);
+  check_param_grads(g, random_tensor(Shape{2, 6, 5, 4}, rng), 9);
+}
+
+TEST(NnOps, DenseGradients) {
+  GraphBuilder b(10);
+  int x = b.input(Shape{3, 3, 2});
+  x = b.dense(x, 5);
+  Graph g = b.build(x);
+  Rng rng(11);
+  check_param_grads(g, random_tensor(Shape{3, 3, 3, 2}, rng), 12);
+}
+
+// Chained graph: conv gradients flow through ReLU, pooling and dense, so a
+// correct conv-weight check validates those layers' input gradients too.
+TEST(NnOps, ChainedBackpropThroughReluPoolDense) {
+  GraphBuilder b(13);
+  int x = b.input(Shape{8, 8, 2});
+  Conv2DOptions opt;
+  opt.out_channels = 3;
+  x = b.conv2d(x, opt);
+  x = b.relu(x);
+  x = b.max_pool(x, {2, 2, 2, Padding::kValid});
+  x = b.avg_pool(x, {2, 2, 2, Padding::kValid});
+  x = b.dense(x, 4);
+  Graph g = b.build(x);
+  Rng rng(14);
+  // Offset the input so few activations sit exactly at the ReLU kink.
+  check_param_grads(g, random_tensor(Shape{2, 8, 8, 2}, rng, 0.1, 1.0), 15);
+}
+
+TEST(NnOps, ResidualAddAndGlobalPoolGradients) {
+  GraphBuilder b(16);
+  int x = b.input(Shape{4, 4, 3});
+  Conv2DOptions opt;
+  opt.out_channels = 3;
+  opt.kh = opt.kw = 1;
+  int y = b.conv2d(x, opt);
+  y = b.add(x, y);
+  y = b.global_avg_pool(y);
+  y = b.dense(y, 2);
+  Graph g = b.build(y);
+  Rng rng(17);
+  check_param_grads(g, random_tensor(Shape{2, 4, 4, 3}, rng), 18);
+}
+
+TEST(NnOps, BatchNormGradients) {
+  GraphBuilder b(19);
+  int x = b.input(Shape{3, 3, 4});
+  Conv2DOptions opt;
+  opt.out_channels = 4;
+  opt.kh = opt.kw = 1;
+  x = b.conv2d(x, opt);
+  x = b.batch_norm(x);
+  Graph g = b.build(x);
+  Rng rng(20);
+  check_param_grads(g, random_tensor(Shape{4, 3, 3, 4}, rng), 21, 4e-2);
+}
+
+TEST(NnOps, BatchNormNormalizesTrainingBatch) {
+  GraphBuilder b(22);
+  int x = b.input(Shape{1, 1, 2});
+  x = b.batch_norm(x);
+  Graph g = b.build(x);
+  Rng rng(23);
+  const TensorF in = random_tensor(Shape{64, 1, 1, 2}, rng, -3.0, 5.0);
+  const TensorF out = g.forward(in, true);
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0, var = 0;
+    for (int64_t n = 0; n < 64; ++n) mean += out[n * 2 + c];
+    mean /= 64;
+    for (int64_t n = 0; n < 64; ++n)
+      var += (out[n * 2 + c] - mean) * (out[n * 2 + c] - mean);
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(NnOps, BatchNormRunningStatsUsedAtInference) {
+  GraphBuilder b(24);
+  int x = b.input(Shape{1, 1, 1});
+  x = b.batch_norm(x);
+  Graph g = b.build(x);
+  Rng rng(25);
+  // Feed many batches with mean 5 to move the running stats.
+  for (int i = 0; i < 200; ++i)
+    g.forward(random_tensor(Shape{16, 1, 1, 1}, rng, 4.0, 6.0), true);
+  // At inference, an input at the running mean maps near beta (= 0).
+  TensorF probe(Shape{1, 1, 1, 1}, 5.f);
+  const TensorF out = g.forward(probe, false);
+  EXPECT_NEAR(out[0], 0.0, 0.3);
+}
+
+TEST(NnOps, ReluCapClamps) {
+  GraphBuilder b(26);
+  int x = b.input(Shape{4});
+  x = b.relu(x, 6.f);
+  Graph g = b.build(x);
+  TensorF in(Shape{1, 4});
+  in[0] = -2.f;
+  in[1] = 0.5f;
+  in[2] = 6.f;
+  in[3] = 9.f;
+  const TensorF out = g.forward(in.reshaped(Shape{1, 4}), false);
+  EXPECT_EQ(out[0], 0.f);
+  EXPECT_EQ(out[1], 0.5f);
+  EXPECT_EQ(out[2], 6.f);
+  EXPECT_EQ(out[3], 6.f);
+}
+
+TEST(NnOps, ChannelMulBroadcastsAndBackprops) {
+  GraphBuilder b(27);
+  int x = b.input(Shape{2, 2, 3});
+  Conv2DOptions opt;
+  opt.out_channels = 3;
+  opt.kh = opt.kw = 1;
+  int y = b.conv2d(x, opt);
+  // Constant mask via a second "input" is awkward; instead check with a conv
+  // whose output feeds ChannelMul against itself reduced -- simpler direct
+  // node-level test:
+  Graph g = b.build(y);
+  (void)g;
+  ChannelMul cm("cm");
+  TensorF xs(Shape{1, 2, 2, 3});
+  TensorF m(Shape{3});
+  Rng rng(28);
+  for (int64_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<float>(rng.uniform(-1, 1));
+  m[0] = 0.f;
+  m[1] = 0.5f;
+  m[2] = 2.f;
+  const TensorF out = cm.forward({&xs, &m}, true);
+  for (int64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(out[r * 3 + 0], 0.f);
+    EXPECT_FLOAT_EQ(out[r * 3 + 1], xs[r * 3 + 1] * 0.5f);
+    EXPECT_FLOAT_EQ(out[r * 3 + 2], xs[r * 3 + 2] * 2.f);
+  }
+  TensorF go(out.shape(), 1.f);
+  const auto grads = cm.backward({&xs, &m}, go);
+  ASSERT_EQ(grads.size(), 2u);
+  // d/dm[c] = sum over rows of x[.., c].
+  for (int c = 0; c < 3; ++c) {
+    float expect = 0;
+    for (int64_t r = 0; r < 4; ++r) expect += xs[r * 3 + c];
+    EXPECT_FLOAT_EQ(grads[1][c], expect);
+  }
+}
+
+TEST(NnOps, FakeQuantQuantizesToGrid) {
+  FakeQuant fq("fq", 8);
+  TensorF x(Shape{256});
+  for (int64_t i = 0; i < 256; ++i) x[i] = static_cast<float>(i) / 128.f - 1.f;
+  const TensorF y = fq.forward({&x}, true);
+  // 8-bit over [-1, ~1]: error bounded by half a step.
+  const float step = (fq.range_max() - std::min(fq.range_min(), 0.f)) / 255.f;
+  for (int64_t i = 0; i < 256; ++i) EXPECT_NEAR(y[i], x[i], step);
+  // Values collapse onto at most 256 distinct levels.
+  std::vector<float> vals(y.data(), y.data() + y.size());
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  EXPECT_LE(vals.size(), 256u);
+}
+
+TEST(NnOps, FakeQuantStraightThroughGradient) {
+  FakeQuant fq("fq", 8);
+  TensorF x(Shape{3});
+  x[0] = 0.5f;
+  x[1] = 50.f;  // far outside the observed range after first forward
+  x[2] = -0.2f;
+  fq.forward({&x}, true);  // calibrates range to [-0.2, 50]
+  fq.set_range(-1.f, 1.f);
+  TensorF g(Shape{3}, 1.f);
+  const auto grads = fq.backward({&x}, g);
+  EXPECT_EQ(grads[0][0], 1.f);  // inside range: pass
+  EXPECT_EQ(grads[0][1], 0.f);  // outside: blocked
+  EXPECT_EQ(grads[0][2], 1.f);
+}
+
+TEST(NnOps, FakeQuantEmaTracksRange) {
+  FakeQuant fq("fq", 8, 0.5f);
+  TensorF a(Shape{2});
+  a[0] = -1.f;
+  a[1] = 1.f;
+  fq.forward({&a}, true);
+  EXPECT_FLOAT_EQ(fq.range_min(), -1.f);
+  TensorF wide(Shape{2});
+  wide[0] = -3.f;
+  wide[1] = 3.f;
+  fq.forward({&wide}, true);
+  EXPECT_FLOAT_EQ(fq.range_min(), -2.f);  // EMA with momentum 0.5
+  EXPECT_FLOAT_EQ(fq.range_max(), 2.f);
+}
+
+TEST(NnOps, GraphRejectsForwardWithoutIo) {
+  Graph g;
+  TensorF in(Shape{1, 1});
+  EXPECT_THROW(g.forward(in, false), std::logic_error);
+}
+
+TEST(NnOps, BuilderShapeInference) {
+  GraphBuilder b(30);
+  int x = b.input(Shape{49, 10, 1});
+  Conv2DOptions stem;
+  stem.out_channels = 64;
+  stem.kh = 10;
+  stem.kw = 4;
+  stem.stride = 2;
+  x = b.conv2d(x, stem);
+  EXPECT_EQ(b.shape(x), (Shape{25, 5, 64}));
+  x = b.depthwise_conv2d(x, {});
+  EXPECT_EQ(b.shape(x), (Shape{25, 5, 64}));
+  x = b.global_avg_pool(x);
+  EXPECT_EQ(b.shape(x), (Shape{1, 1, 64}));
+  x = b.dense(x, 12);
+  EXPECT_EQ(b.shape(x), (Shape{12}));
+}
+
+TEST(NnOps, WeightQuantizedConvStillLearnsDirection) {
+  // QAT conv: quantized-weight forward still produces useful gradients.
+  GraphBuilder b(31);
+  b.set_qat(true);
+  int x = b.input(Shape{2, 2, 2});
+  Conv2DOptions opt;
+  opt.out_channels = 2;
+  opt.kh = opt.kw = 1;
+  x = b.conv2d(x, opt);
+  Graph g = b.build(x);
+  Rng rng(32);
+  const TensorF in = random_tensor(Shape{2, 2, 2, 2}, rng);
+  g.zero_grads();
+  const TensorF out = g.forward(in, true);
+  TensorF coeffs(out.shape(), 1.f);
+  g.backward(coeffs);
+  double gsum = 0;
+  for (Param* p : g.params())
+    for (int64_t i = 0; i < p->grad.size(); ++i) gsum += std::abs(p->grad[i]);
+  EXPECT_GT(gsum, 0.0);
+}
+
+}  // namespace
+}  // namespace mn::nn

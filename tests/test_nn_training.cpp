@@ -1,0 +1,356 @@
+// Unit tests: losses, optimizers, schedules, and the training loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/dataset.hpp"
+#include "nn/graph.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace mn::nn {
+namespace {
+
+TEST(Loss, SoftmaxRowsSumToOne) {
+  TensorF logits(Shape{3, 4});
+  Rng rng(1);
+  for (int64_t i = 0; i < logits.size(); ++i)
+    logits[i] = static_cast<float>(rng.uniform(-5, 5));
+  const TensorF p = softmax(logits);
+  for (int64_t n = 0; n < 3; ++n) {
+    double sum = 0;
+    for (int64_t c = 0; c < 4; ++c) {
+      sum += p.at2(n, c);
+      EXPECT_GE(p.at2(n, c), 0.f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Loss, CrossEntropyOfPerfectPredictionIsSmall) {
+  TensorF logits(Shape{2, 3}, 0.f);
+  logits.at2(0, 1) = 30.f;
+  logits.at2(1, 2) = 30.f;
+  const std::vector<int> labels{1, 2};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(Loss, CrossEntropyGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  TensorF logits(Shape{4, 5});
+  for (int64_t i = 0; i < logits.size(); ++i)
+    logits[i] = static_cast<float>(rng.uniform(-2, 2));
+  std::vector<int> labels{0, 3, 2, 4};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.size(); i += 3) {
+    TensorF lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const double num = (softmax_cross_entropy(lp, labels).loss -
+                        softmax_cross_entropy(lm, labels).loss) /
+                       (2 * eps);
+    EXPECT_NEAR(r.grad[i], num, 1e-4);
+  }
+}
+
+TEST(Loss, LabelSmoothingRaisesMinimumLoss) {
+  TensorF logits(Shape{1, 3}, 0.f);
+  logits.at2(0, 0) = 30.f;
+  const std::vector<int> labels{0};
+  const double plain = softmax_cross_entropy(logits, labels, 0.f).loss;
+  const double smooth = softmax_cross_entropy(logits, labels, 0.1f).loss;
+  EXPECT_GT(smooth, plain);
+}
+
+TEST(Loss, SoftCrossEntropyMatchesHardForOneHot) {
+  Rng rng(3);
+  TensorF logits(Shape{3, 4});
+  for (int64_t i = 0; i < logits.size(); ++i)
+    logits[i] = static_cast<float>(rng.uniform(-2, 2));
+  const std::vector<int> labels{1, 0, 3};
+  TensorF onehot(Shape{3, 4}, 0.f);
+  for (int64_t n = 0; n < 3; ++n) onehot.at2(n, labels[static_cast<size_t>(n)]) = 1.f;
+  const LossResult hard = softmax_cross_entropy(logits, labels);
+  const LossResult soft = soft_cross_entropy(logits, onehot);
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-6);
+  EXPECT_LT(max_abs_diff(hard.grad, soft.grad), 1e-7f);
+}
+
+TEST(Loss, DistillationInterpolatesTeacher) {
+  Rng rng(4);
+  TensorF s(Shape{2, 3}), t(Shape{2, 3});
+  for (int64_t i = 0; i < s.size(); ++i) {
+    s[i] = static_cast<float>(rng.uniform(-1, 1));
+    t[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const std::vector<int> labels{0, 1};
+  // alpha = 0 reduces to plain cross entropy.
+  const LossResult pure = distillation_loss(s, t, labels, 0.f, 4.f);
+  const LossResult ce = softmax_cross_entropy(s, labels);
+  EXPECT_NEAR(pure.loss, ce.loss, 1e-6);
+  EXPECT_LT(max_abs_diff(pure.grad, ce.grad), 1e-6f);
+  // alpha = 1, teacher == student at T=1: loss equals teacher entropy and
+  // gradient vanishes.
+  const LossResult self = distillation_loss(s, s, labels, 1.f, 1.f);
+  for (int64_t i = 0; i < self.grad.size(); ++i)
+    EXPECT_NEAR(self.grad[i], 0.f, 1e-6);
+}
+
+TEST(Loss, AccuracyCountsArgmax) {
+  TensorF logits(Shape{3, 2}, 0.f);
+  logits.at2(0, 1) = 1.f;  // predicts 1
+  logits.at2(1, 0) = 1.f;  // predicts 0
+  logits.at2(2, 1) = 1.f;  // predicts 1
+  const std::vector<int> labels{1, 0, 0};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Schedule, CosineEndpointsAndMonotonicity) {
+  CosineSchedule s(0.1, 0.001, 100);
+  EXPECT_NEAR(s.lr(0), 0.1, 1e-12);
+  EXPECT_NEAR(s.lr(99), 0.001, 1e-12);
+  for (int i = 1; i < 100; ++i) EXPECT_LE(s.lr(i), s.lr(i - 1) + 1e-12);
+  EXPECT_NEAR(s.lr(50), (0.1 + 0.001) / 2, 2e-3);
+}
+
+TEST(Optimizer, SgdStepMovesAgainstGradient) {
+  Param p("p", Shape{2});
+  p.value[0] = 1.f;
+  p.value[1] = -1.f;
+  p.grad[0] = 0.5f;
+  p.grad[1] = -0.5f;
+  SgdMomentum opt(0.0, 0.0);
+  Param* arr[] = {&p};
+  opt.step(arr, 0.1);
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6);
+  EXPECT_NEAR(p.value[1], -0.95f, 1e-6);
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  Param p("p", Shape{1});
+  p.value[0] = 0.f;
+  SgdMomentum opt(0.9, 0.0);
+  Param* arr[] = {&p};
+  p.grad[0] = 1.f;
+  opt.step(arr, 1.0);  // v=1, x=-1
+  p.grad[0] = 1.f;
+  opt.step(arr, 1.0);  // v=1.9, x=-2.9
+  EXPECT_NEAR(p.value[0], -2.9f, 1e-5);
+}
+
+TEST(Optimizer, WeightDecayOnlyOnDecayParams) {
+  Param a("a", Shape{1}), b("b", Shape{1});
+  a.value[0] = b.value[0] = 1.f;
+  a.decay = true;
+  b.decay = false;
+  a.grad[0] = b.grad[0] = 0.f;
+  SgdMomentum opt(0.0, 0.1);
+  Param* arr[] = {&a, &b};
+  opt.step(arr, 1.0);
+  EXPECT_LT(a.value[0], 1.f);
+  EXPECT_FLOAT_EQ(b.value[0], 1.f);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  Param p("p", Shape{1});
+  p.value[0] = 5.f;
+  Adam opt;
+  Param* arr[] = {&p};
+  for (int i = 0; i < 600; ++i) {
+    p.grad[0] = 2.f * (p.value[0] - 2.f);  // d/dx (x-2)^2
+    opt.step(arr, 0.05);
+  }
+  EXPECT_NEAR(p.value[0], 2.f, 0.05);
+}
+
+TEST(Optimizer, SkipsFrozenParams) {
+  Param p("p", Shape{1});
+  p.value[0] = 1.f;
+  p.grad[0] = 1.f;
+  p.trainable = false;
+  SgdMomentum opt;
+  Param* arr[] = {&p};
+  opt.step(arr, 0.1);
+  EXPECT_FLOAT_EQ(p.value[0], 1.f);
+}
+
+TEST(Trainer, BetaSamplerInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = sample_beta(0.3, rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);  // Beta(a,a) is symmetric
+}
+
+// Builds a linearly separable 2-class dataset on 4x4 inputs.
+data::Dataset separable_dataset(int n_per_class, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape{4, 4, 1};
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < n_per_class; ++i) {
+      data::Example e;
+      e.input = TensorF(Shape{4, 4, 1});
+      const float base = cls == 0 ? -0.5f : 0.5f;
+      for (int64_t k = 0; k < 16; ++k)
+        e.input[k] = base + static_cast<float>(rng.normal(0, 0.3));
+      e.label = cls;
+      ds.examples.push_back(std::move(e));
+    }
+  }
+  data::shuffle(ds, rng);
+  return ds;
+}
+
+TEST(Trainer, OverfitsTinyDataset) {
+  const data::Dataset ds = separable_dataset(40, 6);
+  GraphBuilder b(7);
+  int x = b.input(Shape{4, 4, 1});
+  Conv2DOptions opt;
+  opt.out_channels = 4;
+  x = b.conv2d(x, opt);
+  x = b.relu(x);
+  x = b.global_avg_pool(x);
+  x = b.dense(x, 2);
+  Graph g = b.build(x);
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.batch_size = 16;
+  cfg.lr_start = 0.1;
+  int epochs_seen = 0;
+  cfg.on_epoch = [&](int, double, double) { ++epochs_seen; };
+  const TrainStats stats = fit(g, ds, cfg);
+  EXPECT_EQ(epochs_seen, 10);
+  EXPECT_GT(stats.final_train_accuracy, 0.95);
+  EXPECT_GT(evaluate(g, ds), 0.95);
+}
+
+TEST(Trainer, MixupStillLearns) {
+  const data::Dataset ds = separable_dataset(40, 8);
+  GraphBuilder b(9);
+  int x = b.input(Shape{4, 4, 1});
+  x = b.dense(x, 2);
+  Graph g = b.build(x);
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.batch_size = 16;
+  cfg.lr_start = 0.1;
+  cfg.mixup_alpha = 0.3f;
+  fit(g, ds, cfg);
+  EXPECT_GT(evaluate(g, ds), 0.9);
+}
+
+TEST(Trainer, DistillationFromTrainedTeacher) {
+  const data::Dataset ds = separable_dataset(40, 10);
+  GraphBuilder tb(11);
+  int t = tb.input(Shape{4, 4, 1});
+  t = tb.dense(t, 2);
+  Graph teacher = tb.build(t);
+  TrainConfig tcfg;
+  tcfg.epochs = 12;
+  tcfg.lr_start = 0.1;
+  fit(teacher, ds, tcfg);
+  ASSERT_GT(evaluate(teacher, ds), 0.9);
+
+  GraphBuilder sb(12);
+  int s = sb.input(Shape{4, 4, 1});
+  s = sb.dense(s, 2);
+  Graph student = sb.build(s);
+  TrainConfig scfg;
+  scfg.epochs = 12;
+  scfg.lr_start = 0.1;
+  scfg.teacher = &teacher;
+  fit(student, ds, scfg);
+  EXPECT_GT(evaluate(student, ds), 0.9);
+}
+
+TEST(Trainer, PredictProbsShapeAndNormalization) {
+  const data::Dataset ds = separable_dataset(5, 13);
+  GraphBuilder b(14);
+  int x = b.input(Shape{4, 4, 1});
+  x = b.dense(x, 2);
+  Graph g = b.build(x);
+  const TensorF probs = predict_probs(g, ds, 4);
+  EXPECT_EQ(probs.shape(), (Shape{10, 2}));
+  for (int64_t n = 0; n < 10; ++n)
+    EXPECT_NEAR(probs.at2(n, 0) + probs.at2(n, 1), 1.0, 1e-5);
+}
+
+TEST(Trainer, AutoencoderLearnsReconstructionAndScoresAnomalies) {
+  // Normal examples live near a low-dimensional structure; anomalies far
+  // from it should get higher reconstruction error after training.
+  Rng rng(21);
+  data::Dataset train, test;
+  train.num_classes = test.num_classes = 1;
+  train.input_shape = test.input_shape = Shape{16};
+  auto make_example = [&](bool anomalous) {
+    data::Example e;
+    e.input = TensorF(Shape{16});
+    const float base = static_cast<float>(rng.uniform(-1, 1));
+    for (int64_t i = 0; i < 16; ++i)
+      e.input[i] = base * static_cast<float>(i) / 16.f +
+                   (anomalous ? static_cast<float>(rng.normal(0, 0.8)) : 0.f);
+    e.anomaly = anomalous;
+    return e;
+  };
+  for (int i = 0; i < 120; ++i) train.examples.push_back(make_example(false));
+  for (int i = 0; i < 40; ++i) test.examples.push_back(make_example(i % 2 == 1));
+
+  GraphBuilder b(22);
+  int x = b.input(Shape{16});
+  x = b.dense(x, 8);
+  x = b.relu(x);
+  x = b.dense(x, 2);  // bottleneck
+  x = b.dense(x, 16);
+  Graph g = b.build(x);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.batch_size = 16;
+  cfg.lr_start = 0.05;
+  cfg.weight_decay = 0.0;
+  const double mse = fit_autoencoder(g, train, cfg);
+  EXPECT_LT(mse, 0.05);
+  EXPECT_GT(autoencoder_auc(g, test), 0.8);
+}
+
+TEST(Dataset, MakeBatchSupportsRank1Features) {
+  data::Dataset ds;
+  ds.num_classes = 1;
+  ds.input_shape = Shape{5};
+  for (int i = 0; i < 3; ++i) {
+    data::Example e;
+    e.input = TensorF(Shape{5}, static_cast<float>(i));
+    ds.examples.push_back(std::move(e));
+  }
+  const data::Batch b = data::make_batch(ds, 0, 3);
+  EXPECT_EQ(b.inputs.shape(), (Shape{3, 5}));
+  EXPECT_EQ(b.inputs[5], 1.f);
+}
+
+TEST(Dataset, SplitPreservesCountsAndShapes) {
+  const data::Dataset ds = separable_dataset(20, 15);
+  auto [train, test] = data::split(ds, 0.25);
+  EXPECT_EQ(train.size(), 30);
+  EXPECT_EQ(test.size(), 10);
+  EXPECT_EQ(train.input_shape, ds.input_shape);
+  EXPECT_EQ(test.num_classes, 2);
+}
+
+TEST(Dataset, MakeBatchStacksAndClamps) {
+  const data::Dataset ds = separable_dataset(3, 16);
+  const data::Batch b = data::make_batch(ds, 4, 10);
+  EXPECT_EQ(b.inputs.shape().dim(0), 2);  // clamped to the remaining 2
+  EXPECT_EQ(b.labels.size(), 2u);
+  EXPECT_THROW(data::make_batch(ds, 6, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mn::nn

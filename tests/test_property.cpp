@@ -1,0 +1,257 @@
+// Property-based and parameterized sweeps (TEST_P): integer kernels vs float
+// reference across a geometry grid, planner invariants over random models,
+// serialization round-trips, requantization arithmetic, and latency-model
+// invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "charac/charac.hpp"
+#include "kernels/kernels.hpp"
+#include "mcu/perf_model.hpp"
+#include "models/backbones.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+#include "runtime/planner.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn {
+namespace {
+
+// ------------------------------------------------- conv kernel sweep -------
+
+// (in_h, in_w, in_ch, out_ch, k, stride, same_padding)
+using ConvCase = std::tuple<int, int, int, int, int, int, bool>;
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, Int8MatchesFloatReference) {
+  const auto [in_h, in_w, in_ch, out_ch, k, stride, same] = GetParam();
+  kernels::ConvGeometry g;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.in_ch = in_ch;
+  g.out_ch = out_ch;
+  g.kh = g.kw = k;
+  g.stride = stride;
+  if (same) {
+    g.out_h = (in_h + stride - 1) / stride;
+    g.out_w = (in_w + stride - 1) / stride;
+    g.pad_h = static_cast<int32_t>(
+        std::max<int64_t>(0, (g.out_h - 1) * stride + k - in_h) / 2);
+    g.pad_w = static_cast<int32_t>(
+        std::max<int64_t>(0, (g.out_w - 1) * stride + k - in_w) / 2);
+  } else {
+    g.out_h = (in_h - k) / stride + 1;
+    g.out_w = (in_w - k) / stride + 1;
+  }
+  ASSERT_GT(g.out_h, 0);
+  ASSERT_GT(g.out_w, 0);
+
+  Rng rng(static_cast<uint64_t>(in_h * 131 + in_ch * 17 + out_ch * 7 + k + stride));
+  TensorF x(Shape{g.in_h, g.in_w, g.in_ch});
+  TensorF w(Shape{g.out_ch, k, k, g.in_ch});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.uniform(-1, 1));
+  for (int64_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  const quant::QuantParams in_qp = quant::choose_asymmetric(-1.f, 1.f, 8);
+  const quant::QuantParams w_qp = quant::choose_symmetric(0.5f, 8);
+  const float out_range = 0.55f * static_cast<float>(k * k * in_ch);
+  const quant::QuantParams out_qp = quant::choose_asymmetric(-out_range, out_range, 8);
+  kernels::RequantParams rq;
+  rq.input_zp = in_qp.zero_point;
+  rq.output_zp = out_qp.zero_point;
+  rq.mult = quant::quantize_multiplier(
+      static_cast<double>(in_qp.scale) * w_qp.scale / out_qp.scale);
+
+  const TensorI8 xq = quant::quantize(x, in_qp, 8);
+  const TensorI8 wq = quant::quantize(w, w_qp, 8);
+  TensorI8 yq(Shape{g.out_h, g.out_w, g.out_ch});
+  kernels::conv2d_s8(xq.span(), wq.span(), {}, yq.span(), g, rq);
+
+  // Float reference on the *quantized* inputs isolates kernel arithmetic.
+  for (int32_t oy = 0; oy < g.out_h; ++oy)
+    for (int32_t ox = 0; ox < g.out_w; ++ox)
+      for (int32_t oc = 0; oc < g.out_ch; ++oc) {
+        double acc = 0;
+        for (int32_t ky = 0; ky < k; ++ky)
+          for (int32_t kx = 0; kx < k; ++kx) {
+            const int32_t iy = oy * stride - g.pad_h + ky;
+            const int32_t ix = ox * stride - g.pad_w + kx;
+            if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) continue;
+            for (int32_t ic = 0; ic < g.in_ch; ++ic)
+              acc += in_qp.dequantize(xq[(int64_t{iy} * g.in_w + ix) * g.in_ch + ic]) *
+                     w_qp.dequantize(wq[((int64_t{oc} * k + ky) * k + kx) * g.in_ch + ic]);
+          }
+        const float got = out_qp.dequantize(yq[(int64_t{oy} * g.out_w + ox) * g.out_ch + oc]);
+        EXPECT_NEAR(got, acc, 1.01f * out_qp.scale)
+            << "at (" << oy << "," << ox << "," << oc << ")";
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvSweep,
+    ::testing::Values(ConvCase{6, 6, 1, 4, 1, 1, false},
+                      ConvCase{6, 6, 3, 5, 3, 1, true},
+                      ConvCase{9, 7, 4, 4, 3, 2, true},
+                      ConvCase{8, 8, 2, 6, 5, 1, true},
+                      ConvCase{12, 4, 8, 3, 3, 2, false},
+                      ConvCase{5, 5, 6, 2, 5, 1, false},
+                      ConvCase{10, 10, 4, 8, 1, 2, true},
+                      ConvCase{49, 10, 1, 8, 3, 2, true}));
+
+// ------------------------------------------- requantization sweep ----------
+
+class RequantSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RequantSweep, FixedPointTracksFloat) {
+  const double m = GetParam();
+  const quant::FixedMultiplier f = quant::quantize_multiplier(m);
+  Rng rng(static_cast<uint64_t>(m * 1e6) + 3);
+  for (int i = 0; i < 500; ++i) {
+    const int32_t x = static_cast<int32_t>(rng.uniform_int(-5'000'000, 5'000'000));
+    const double expect = static_cast<double>(x) * m;
+    const int32_t got = quant::multiply_by_quantized_multiplier(x, f);
+    const double tol = std::abs(expect) * 1e-6 + std::ldexp(1.0, std::max(f.shift, 0));
+    EXPECT_NEAR(got, expect, tol) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, RequantSweep,
+                         ::testing::Values(1e-5, 3e-4, 0.004, 0.07, 0.3, 0.99,
+                                           1.0, 1.5, 7.7, 100.0));
+
+// ------------------------------------------- planner property sweep --------
+
+class PlannerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerProperty, RandomModelsPlanWithoutOverlap) {
+  // Random small DS-CNN-ish models; the plan must never overlap live tensors
+  // and must stay below the naive sum.
+  Rng rng(GetParam());
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{rng.uniform_int(8, 20), rng.uniform_int(6, 12), 1};
+  cfg.num_classes = static_cast<int>(rng.uniform_int(2, 8));
+  cfg.stem_channels = rng.uniform_int(1, 4) * 4;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  const int blocks = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < blocks; ++i)
+    cfg.blocks.push_back({rng.uniform_int(1, 5) * 4, rng.bernoulli(0.3) ? 2 : 1});
+
+  models::BuildOptions opt;
+  opt.seed = GetParam() ^ 0xF00D;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  TensorF batch(Shape{1, cfg.input.dim(0), cfg.input.dim(1), 1});
+  Rng drng(GetParam() + 1);
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(drng.normal());
+  const rt::RangeMap ranges = rt::calibrate_ranges(g, batch);
+  const rt::ModelDef m = rt::convert(g, {.name = "prop"}, &ranges);
+
+  const rt::MemoryPlan plan = rt::plan_memory(m);
+  EXPECT_LE(plan.arena_bytes, rt::unplanned_activation_bytes(m));
+  for (size_t i = 0; i < plan.allocations.size(); ++i)
+    for (size_t j = i + 1; j < plan.allocations.size(); ++j) {
+      const auto& a = plan.allocations[i];
+      const auto& b = plan.allocations[j];
+      const bool live_overlap = a.first_op <= b.last_op && b.first_op <= a.last_op;
+      const bool space_overlap =
+          a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+      ASSERT_FALSE(live_overlap && space_overlap)
+          << "seed " << GetParam() << ": tensors " << a.tensor_id << "/"
+          << b.tensor_id;
+    }
+
+  // Serialization round-trips bit-exactly for every random model.
+  const rt::ModelDef back = rt::ModelDef::deserialize(m.serialize());
+  EXPECT_EQ(back.serialize(), m.serialize());
+
+  // The interpreter runs and is deterministic.
+  rt::Interpreter interp(m);
+  const TensorF img(cfg.input, 0.2f);
+  EXPECT_EQ(interp.invoke(img), interp.invoke(img));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerProperty,
+                         ::testing::Range(uint64_t{100}, uint64_t{112}));
+
+// --------------------------------------- latency model property sweep ------
+
+class LatencyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LatencyProperty, MonotoneAdditivePositive) {
+  Rng rng(GetParam());
+  const charac::RandomModel m = charac::sample_backbone(
+      rng.bernoulli(0.5) ? charac::Backbone::kKwsDsCnn
+                         : charac::Backbone::kCifar10Cnn,
+      rng);
+  for (const mcu::Device& dev : mcu::all_devices()) {
+    const double total = mcu::model_latency_s(dev, m.layers);
+    EXPECT_GT(total, 0.0);
+    // Additivity: total exceeds every single layer's latency.
+    double sum = 0.0;
+    for (const auto& l : m.layers) {
+      const double ll = mcu::layer_latency_s(dev, l);
+      EXPECT_GT(ll, 0.0);
+      EXPECT_LT(ll, total);
+      sum += ll;
+    }
+    EXPECT_NEAR(total, sum, 1e-3 + sum * 1e-9);
+    // Doubling every layer's ops increases latency.
+    auto doubled = m.layers;
+    for (auto& l : doubled) l.ops *= 2;
+    EXPECT_GT(mcu::model_latency_s(dev, doubled), total);
+    // Energy consistency: E = P * t within the power wobble.
+    const double e = mcu::model_energy_j(dev, m.layers, m.structure_hash);
+    EXPECT_NEAR(e / total, dev.active_power_w, dev.active_power_w * 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyProperty,
+                         ::testing::Range(uint64_t{500}, uint64_t{516}));
+
+// ------------------------------------------------ int4 pack property -------
+
+class Int4Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Int4Property, PackUnpackIdentityForAllLengths) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 37 + 5);
+  TensorI8 vals(Shape{n});
+  for (int64_t i = 0; i < vals.size(); ++i)
+    vals[i] = static_cast<int8_t>(rng.uniform_int(-8, 7));
+  const auto packed = quant::pack_int4(vals);
+  EXPECT_EQ(static_cast<int64_t>(packed.size()), kernels::packed_size_s4(n));
+  const TensorI8 back = quant::unpack_int4(packed, vals.shape());
+  EXPECT_EQ(back, vals);
+  // Element-wise accessors agree with bulk unpack.
+  for (int64_t i = 0; i < vals.size(); ++i)
+    EXPECT_EQ(kernels::load_s4(packed, i), vals[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Int4Property,
+                         ::testing::Values(1, 2, 3, 7, 8, 63, 64, 65, 1000));
+
+// --------------------------------------- fake-quant idempotence sweep ------
+
+class FakeQuantProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FakeQuantProperty, QuantizationIsIdempotent) {
+  const int bits = GetParam();
+  nn::FakeQuant fq("fq", bits);
+  Rng rng(static_cast<uint64_t>(bits));
+  TensorF x(Shape{256});
+  for (int64_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>(rng.uniform(-2, 2));
+  const TensorF once = fq.forward({&x}, true);
+  const TensorF twice = fq.forward({&once}, false);  // same range, no EMA move
+  EXPECT_LT(max_abs_diff(once, twice), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FakeQuantProperty, ::testing::Values(4, 6, 8));
+
+}  // namespace
+}  // namespace mn

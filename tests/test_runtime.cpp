@@ -1,0 +1,305 @@
+// Unit tests: model format, memory planner, converter, interpreter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "models/backbones.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+#include "runtime/planner.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn::rt {
+namespace {
+
+TensorF random_batch(Shape feature, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Shape s = feature.rank() == 3
+                ? Shape{n, feature.dim(0), feature.dim(1), feature.dim(2)}
+                : Shape{n, feature.dim(0)};
+  TensorF t(s);
+  for (int64_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  return t;
+}
+
+// Small trained-ish graph (random weights + calibration) for structural tests.
+ModelDef tiny_model(uint64_t seed = 1, int act_bits = 8, int weight_bits = 8) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{12, 8, 1};
+  cfg.num_classes = 4;
+  cfg.stem_channels = 8;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  cfg.blocks = {{8, 1}, {12, 1}};
+  models::BuildOptions opt;
+  opt.seed = seed;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  const TensorF batch = random_batch(cfg.input, 2, seed + 1);
+  const RangeMap ranges = calibrate_ranges(g, batch);
+  ConvertOptions co;
+  co.name = "tiny";
+  co.act_bits = act_bits;
+  co.weight_bits = weight_bits;
+  return convert(g, co, &ranges);
+}
+
+TEST(ModelDef, OpCountsFollowPaperConvention) {
+  const ModelDef m = tiny_model();
+  // Stride-2 stem conv: out 6x4x8, kernel 3x3x1 -> 6*4*8 * 9 MACs.
+  const OpDef& stem = m.ops.front();
+  ASSERT_EQ(stem.type, OpType::kConv2D);
+  EXPECT_EQ(stem.macs(m.tensors), 6 * 4 * 8 * 9);
+  EXPECT_EQ(stem.op_count(m.tensors), 2 * stem.macs(m.tensors));
+  // Total ops = 2 * MACs plus the (small) pool/elementwise contribution.
+  EXPECT_GE(m.total_ops(), 2 * m.total_macs());
+  EXPECT_LT(m.total_ops(), 2 * m.total_macs() + m.total_macs() / 2 + 4096);
+}
+
+TEST(ModelDef, SerializationRoundTrip) {
+  const ModelDef m = tiny_model();
+  const auto bytes = m.serialize();
+  // The serialized blob and the flatbuffer-size model agree to first order.
+  EXPECT_GT(static_cast<int64_t>(bytes.size()), m.weights_bytes());
+  EXPECT_LT(static_cast<int64_t>(bytes.size()), 2 * m.flatbuffer_bytes());
+  const ModelDef back = ModelDef::deserialize(bytes);
+  EXPECT_EQ(back.name, m.name);
+  EXPECT_EQ(back.tensors.size(), m.tensors.size());
+  EXPECT_EQ(back.ops.size(), m.ops.size());
+  EXPECT_EQ(back.weights_blob, m.weights_blob);
+  EXPECT_EQ(back.input_tensor, m.input_tensor);
+  for (size_t i = 0; i < m.tensors.size(); ++i) {
+    EXPECT_EQ(back.tensors[i].shape, m.tensors[i].shape);
+    EXPECT_EQ(back.tensors[i].bits, m.tensors[i].bits);
+    EXPECT_FLOAT_EQ(back.tensors[i].qp.scale, m.tensors[i].qp.scale);
+  }
+}
+
+TEST(ModelDef, SaveLoadFile) {
+  const ModelDef m = tiny_model();
+  const std::string path = "/tmp/mn_test_model.bin";
+  m.save(path);
+  const ModelDef back = ModelDef::load(path);
+  EXPECT_EQ(back.serialize(), m.serialize());
+  std::remove(path.c_str());
+}
+
+TEST(ModelDef, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(ModelDef::deserialize(junk), std::runtime_error);
+}
+
+TEST(ModelDef, ValidateCatchesBadIndices) {
+  ModelDef m = tiny_model();
+  m.ops.front().inputs[0] = 999;
+  EXPECT_THROW(m.validate(), std::runtime_error);
+}
+
+TEST(Planner, LifetimesDoNotOverlapInArena) {
+  const ModelDef m = tiny_model();
+  const MemoryPlan plan = plan_memory(m);
+  for (size_t i = 0; i < plan.allocations.size(); ++i) {
+    for (size_t j = i + 1; j < plan.allocations.size(); ++j) {
+      const auto& a = plan.allocations[i];
+      const auto& b = plan.allocations[j];
+      const bool lifetime_overlap = a.first_op <= b.last_op && b.first_op <= a.last_op;
+      const bool space_overlap =
+          a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+      EXPECT_FALSE(lifetime_overlap && space_overlap)
+          << "tensors " << a.tensor_id << " and " << b.tensor_id << " collide";
+    }
+  }
+}
+
+TEST(Planner, ArenaSmallerThanUnplannedSum) {
+  const ModelDef m = tiny_model();
+  const MemoryPlan plan = plan_memory(m);
+  EXPECT_LT(plan.arena_bytes, unplanned_activation_bytes(m));
+  EXPECT_GT(plan.arena_bytes, 0);
+}
+
+TEST(Planner, ArenaAtLeastLargestConcurrentPair) {
+  const ModelDef m = tiny_model();
+  const MemoryPlan plan = plan_memory(m);
+  // Every op needs its input and output live simultaneously.
+  for (const OpDef& op : m.ops) {
+    const TensorAllocation* in = plan.find(op.inputs[0]);
+    const TensorAllocation* out = plan.find(op.output);
+    if (in != nullptr && out != nullptr)
+      EXPECT_GE(plan.arena_bytes, in->bytes + out->bytes);
+  }
+}
+
+TEST(Converter, FoldsBatchNormExactly) {
+  // A float graph with BN must produce (nearly) the same function after
+  // conversion as the float forward pass in inference mode.
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{8, 8, 1};
+  cfg.num_classes = 3;
+  cfg.stem_channels = 4;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  cfg.blocks = {{8, 1}};
+  models::BuildOptions opt;
+  opt.seed = 5;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  // Perturb BN running stats away from the identity so folding is exercised.
+  TensorF warm = random_batch(cfg.input, 8, 6);
+  for (int i = 0; i < 20; ++i) g.forward(warm, true);
+
+  const TensorF batch = random_batch(cfg.input, 4, 7);
+  const RangeMap ranges = calibrate_ranges(g, batch);
+  ModelDef m = convert(g, {.name = "bnfold"}, &ranges);
+  Interpreter interp(std::move(m));
+
+  // Compare float graph vs int8 runtime on fresh inputs.
+  const TensorF probe = random_batch(cfg.input, 1, 8);
+  const TensorF float_out = g.forward(probe, false);
+  TensorF img = probe.reshaped(Shape{8, 8, 1});
+  const TensorF q_out = interp.invoke(img);
+  ASSERT_EQ(q_out.size(), float_out.size());
+  float max_abs = 1e-3f;
+  for (int64_t i = 0; i < float_out.size(); ++i)
+    max_abs = std::max(max_abs, std::abs(float_out[i]));
+  for (int64_t i = 0; i < q_out.size(); ++i)
+    EXPECT_NEAR(q_out[i], float_out[i], 0.25f * max_abs)
+        << "logit " << i << " diverged after conversion";
+}
+
+TEST(Converter, RequiresRangesForFloatGraphs) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{8, 8, 1};
+  cfg.num_classes = 2;
+  cfg.stem_channels = 4;
+  cfg.blocks = {{4, 1}};
+  models::BuildOptions opt;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  EXPECT_THROW(convert(g, {.name = "noranges"}), std::runtime_error);
+}
+
+TEST(Converter, QatGraphNeedsNoCalibration) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{8, 8, 1};
+  cfg.num_classes = 2;
+  cfg.stem_channels = 4;
+  cfg.blocks = {{4, 1}};
+  models::BuildOptions opt;
+  opt.qat = true;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  g.forward(random_batch(cfg.input, 2, 9), true);  // calibrate FakeQuants
+  const ModelDef m = convert(g, {.name = "qat"});
+  EXPECT_GT(m.total_ops(), 0);
+}
+
+TEST(Converter, AppendSoftmaxAddsOp) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{8, 8, 1};
+  cfg.num_classes = 3;
+  cfg.stem_channels = 4;
+  cfg.blocks = {{4, 1}};
+  models::BuildOptions opt;
+  opt.qat = true;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  g.forward(random_batch(cfg.input, 2, 10), true);
+  ConvertOptions co;
+  co.name = "sm";
+  co.append_softmax = true;
+  ModelDef m = convert(g, co);
+  EXPECT_EQ(m.ops.back().type, OpType::kSoftmax);
+  Interpreter interp(std::move(m));
+  const TensorF out = interp.invoke(TensorF(Shape{8, 8, 1}, 0.1f));
+  double sum = 0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    sum += out[i];
+    EXPECT_GE(out[i], 0.f);
+  }
+  EXPECT_NEAR(sum, 1.0, 0.05);
+}
+
+TEST(Interpreter, DeterministicAcrossInvocations) {
+  Interpreter interp(tiny_model(3));
+  const TensorF img(Shape{12, 8, 1}, 0.25f);
+  const TensorF a = interp.invoke(img);
+  const TensorF b = interp.invoke(img);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(interp.invocation_count(), 2);
+}
+
+TEST(Interpreter, RejectsWrongInputSize) {
+  Interpreter interp(tiny_model(4));
+  TensorI8 bad(Shape{5});
+  EXPECT_THROW(interp.invoke_quantized(bad), std::invalid_argument);
+}
+
+TEST(Interpreter, MemoryReportConsistent) {
+  const ModelDef m = tiny_model(5);
+  const int64_t weights = m.weights_bytes();
+  const int64_t graph_def = m.graph_def_bytes();
+  Interpreter interp(m);
+  const MemoryReport r = interp.memory_report();
+  EXPECT_EQ(r.weights_bytes, weights);
+  EXPECT_EQ(r.graph_def_bytes, graph_def);
+  EXPECT_EQ(r.total_sram(), r.arena_bytes + r.persistent_bytes + r.runtime_sram_bytes);
+  EXPECT_EQ(r.total_flash(), r.weights_bytes + r.graph_def_bytes + r.code_flash_bytes);
+  EXPECT_EQ(r.code_flash_bytes, TflmOverheads::kCodeFlashBytes);
+  EXPECT_GT(r.arena_bytes, 0);
+}
+
+TEST(Interpreter, Int4ModelRunsAndUsesHalfTheWeightBytes) {
+  const ModelDef m8 = tiny_model(6, 8, 8);
+  const ModelDef m4 = tiny_model(6, 4, 4);
+  // int4 halves the weight payload; int32 biases are shared, so the whole
+  // blob shrinks by less than 2x on this bias-heavy tiny model.
+  EXPECT_LT(m4.weights_bytes(), m8.weights_bytes() * 7 / 10);
+  Interpreter i4(m4);
+  EXPECT_LT(i4.memory_plan().arena_bytes, Interpreter(m8).memory_plan().arena_bytes);
+  const TensorF out = i4.invoke(TensorF(Shape{12, 8, 1}, 0.3f));
+  EXPECT_EQ(out.size(), 4);
+}
+
+TEST(Interpreter, Int4TracksInt8Predictions) {
+  // The int4 model is a coarser version of the same function; argmax should
+  // usually agree on strongly-classified inputs.
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{8, 8, 1};
+  cfg.num_classes = 2;
+  cfg.stem_channels = 8;
+  cfg.blocks = {{8, 1}};
+  models::BuildOptions opt;
+  opt.seed = 11;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  const TensorF batch = random_batch(cfg.input, 4, 12);
+  const RangeMap ranges = calibrate_ranges(g, batch);
+  ConvertOptions c8{.name = "m8", .weight_bits = 8, .act_bits = 8};
+  ConvertOptions c4{.name = "m4", .weight_bits = 4, .act_bits = 4};
+  Interpreter i8(convert(g, c8, &ranges));
+  Interpreter i4(convert(g, c4, &ranges));
+  int agree = 0, total = 0;
+  Rng rng(13);
+  for (int t = 0; t < 20; ++t) {
+    TensorF img(Shape{8, 8, 1});
+    for (int64_t i = 0; i < img.size(); ++i)
+      img[i] = static_cast<float>(rng.normal(0.0, 0.5));
+    const TensorF o8 = i8.invoke(img);
+    const TensorF o4 = i4.invoke(img);
+    ++total;
+    if ((o8[1] > o8[0]) == (o4[1] > o4[0])) ++agree;
+  }
+  EXPECT_GE(agree, total * 3 / 5);
+}
+
+TEST(TflmOverheadsModel, ScalesWithGraphSize) {
+  const ModelDef small = tiny_model(14);
+  ModelDef big = small;
+  big.ops.insert(big.ops.end(), small.ops.begin(), small.ops.end());
+  EXPECT_GT(TflmOverheads::persistent_sram_bytes(big),
+            TflmOverheads::persistent_sram_bytes(small));
+}
+
+}  // namespace
+}  // namespace mn::rt

@@ -1,0 +1,217 @@
+// Unit tests: Shape, Tensor, Rng, and the statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s.elements(), 120);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.channels(), 5);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4, 5]");
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+}
+
+TEST(Shape, RejectsNegativeAndOutOfRange) {
+  EXPECT_THROW((Shape{-1, 2}), std::invalid_argument);
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+  EXPECT_THROW(s.dim(-1), std::out_of_range);
+}
+
+TEST(Shape, EmptyShapeHasOneElement) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.elements(), 1);  // scalar convention
+}
+
+TEST(Tensor, ConstructionAndAccess) {
+  TensorF t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t[0], 1.5f);
+  t.at2(1, 2) = 7.f;
+  EXPECT_EQ(t[5], 7.f);
+}
+
+TEST(Tensor, Nhwc4DIndexing) {
+  TensorF t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 42.f;
+  EXPECT_EQ(t[t.idx4(1, 2, 3, 4)], 42.f);
+  EXPECT_EQ(t.idx4(0, 0, 0, 1), 1);
+  EXPECT_EQ(t.idx4(0, 0, 1, 0), 5);
+  EXPECT_EQ(t.idx4(0, 1, 0, 0), 20);
+  EXPECT_EQ(t.idx4(1, 0, 0, 0), 60);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  TensorF t(Shape{2, 6});
+  for (int64_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const TensorF r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  for (int64_t i = 0; i < r.size(); ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshaped(Shape{5, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, BoundsCheckedAccess) {
+  TensorF t(Shape{4});
+  EXPECT_THROW(t.at(4), std::out_of_range);
+  EXPECT_THROW(t.at(-1), std::out_of_range);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(TensorF(Shape{3}, std::vector<float>{1.f, 2.f}),
+               std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  bool seen_lo = false, seen_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen_lo |= v == 3;
+    seen_hi |= v == 7;
+  }
+  EXPECT_TRUE(seen_lo);
+  EXPECT_TRUE(seen_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, GumbelMeanIsEulerGamma) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += r.gumbel();
+  EXPECT_NEAR(sum / n, 0.5772, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(17);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(HashUnit, DeterministicAndUniform) {
+  EXPECT_EQ(hash_unit(42), hash_unit(42));
+  double sum = 0;
+  for (uint64_t k = 0; k < 1000; ++k) sum += hash_unit(k);
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Stats, Moments) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const Moments m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mean, 3.0);
+  EXPECT_NEAR(m.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(m.cv(), std::sqrt(2.0) / 3.0, 1e-12);
+}
+
+TEST(Stats, FitLineExact) {
+  const std::vector<double> x{0, 1, 2, 3};
+  const std::vector<double> y{1, 3, 5, 7};  // y = 2x + 1
+  const LineFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, FitLineNoisy) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(0.5 * i + 10 + rng.normal(0, 1.0));
+  }
+  const LineFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 0.5, 0.01);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Stats, FitLineRejectsBadInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+}
+
+TEST(Stats, RocAucPerfectSeparation) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+}
+
+TEST(Stats, RocAucChanceLevel) {
+  // Identical scores for both classes -> AUC 0.5 via midranks.
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(Stats, RocAucInverted) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.0);
+}
+
+TEST(Stats, RocAucNeedsBothClasses) {
+  const std::vector<double> scores{0.1, 0.2};
+  const std::vector<int> labels{1, 1};
+  EXPECT_THROW(roc_auc(scores, labels), std::invalid_argument);
+}
+
+TEST(Stats, ParetoFront) {
+  // (cost, value): the front is {(1,1), (2,5), (4,9)}.
+  const std::vector<double> cost{1, 2, 3, 4, 5};
+  const std::vector<double> value{1, 5, 4, 9, 8};
+  const auto front = pareto_front(cost, value);
+  EXPECT_EQ(front, (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(Stats, ParetoFrontDuplicatePointsBothSurvive) {
+  const std::vector<double> cost{1, 1};
+  const std::vector<double> value{2, 2};
+  EXPECT_EQ(pareto_front(cost, value).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mn
