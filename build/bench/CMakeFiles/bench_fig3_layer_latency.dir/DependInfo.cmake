@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_layer_latency.cpp" "bench/CMakeFiles/bench_fig3_layer_latency.dir/bench_fig3_layer_latency.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_layer_latency.dir/bench_fig3_layer_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/micronets_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/micronets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/charac/CMakeFiles/micronets_charac.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/micronets_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcu/CMakeFiles/micronets_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/micronets_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/micronets_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/micronets_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/micronets_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/micronets_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/micronets_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micronets_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_vww_archs.dir/bench_fig6_vww_archs.cpp.o"
+  "CMakeFiles/bench_fig6_vww_archs.dir/bench_fig6_vww_archs.cpp.o.d"
+  "bench_fig6_vww_archs"
+  "bench_fig6_vww_archs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_vww_archs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_vww_pareto.dir/bench_fig8_vww_pareto.cpp.o"
+  "CMakeFiles/bench_fig8_vww_pareto.dir/bench_fig8_vww_pareto.cpp.o.d"
+  "bench_fig8_vww_pareto"
+  "bench_fig8_vww_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vww_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_anomaly.dir/bench_table3_anomaly.cpp.o"
+  "CMakeFiles/bench_table3_anomaly.dir/bench_table3_anomaly.cpp.o.d"
+  "bench_table3_anomaly"
+  "bench_table3_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/micronets_bench_util.dir/bench_util.cpp.o.d"
+  "libmicronets_bench_util.a"
+  "libmicronets_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

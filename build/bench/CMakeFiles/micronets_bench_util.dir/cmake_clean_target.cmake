@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicronets_bench_util.a"
+)

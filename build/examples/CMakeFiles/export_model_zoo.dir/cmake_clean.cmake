@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_model_zoo.dir/export_model_zoo.cpp.o"
+  "CMakeFiles/export_model_zoo.dir/export_model_zoo.cpp.o.d"
+  "export_model_zoo"
+  "export_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kws_wakeword.dir/kws_wakeword.cpp.o"
+  "CMakeFiles/kws_wakeword.dir/kws_wakeword.cpp.o.d"
+  "kws_wakeword"
+  "kws_wakeword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kws_wakeword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kws_wakeword.
+# This may be replaced when dependencies are built.

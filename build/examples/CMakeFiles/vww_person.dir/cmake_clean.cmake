@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vww_person.dir/vww_person.cpp.o"
+  "CMakeFiles/vww_person.dir/vww_person.cpp.o.d"
+  "vww_person"
+  "vww_person.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vww_person.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

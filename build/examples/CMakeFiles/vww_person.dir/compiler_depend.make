@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vww_person.
+# This may be replaced when dependencies are built.

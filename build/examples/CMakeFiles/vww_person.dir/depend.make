@@ -1,0 +1,2 @@
+# Empty dependencies file for vww_person.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_charac.dir/charac.cpp.o"
+  "CMakeFiles/micronets_charac.dir/charac.cpp.o.d"
+  "libmicronets_charac.a"
+  "libmicronets_charac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_charac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_core.dir/blackbox.cpp.o"
+  "CMakeFiles/micronets_core.dir/blackbox.cpp.o.d"
+  "CMakeFiles/micronets_core.dir/decision.cpp.o"
+  "CMakeFiles/micronets_core.dir/decision.cpp.o.d"
+  "CMakeFiles/micronets_core.dir/dnas.cpp.o"
+  "CMakeFiles/micronets_core.dir/dnas.cpp.o.d"
+  "CMakeFiles/micronets_core.dir/supernet.cpp.o"
+  "CMakeFiles/micronets_core.dir/supernet.cpp.o.d"
+  "libmicronets_core.a"
+  "libmicronets_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

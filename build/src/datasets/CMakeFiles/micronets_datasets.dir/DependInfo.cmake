@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/anomaly.cpp" "src/datasets/CMakeFiles/micronets_datasets.dir/anomaly.cpp.o" "gcc" "src/datasets/CMakeFiles/micronets_datasets.dir/anomaly.cpp.o.d"
+  "/root/repo/src/datasets/audio_synth.cpp" "src/datasets/CMakeFiles/micronets_datasets.dir/audio_synth.cpp.o" "gcc" "src/datasets/CMakeFiles/micronets_datasets.dir/audio_synth.cpp.o.d"
+  "/root/repo/src/datasets/dataset.cpp" "src/datasets/CMakeFiles/micronets_datasets.dir/dataset.cpp.o" "gcc" "src/datasets/CMakeFiles/micronets_datasets.dir/dataset.cpp.o.d"
+  "/root/repo/src/datasets/kws.cpp" "src/datasets/CMakeFiles/micronets_datasets.dir/kws.cpp.o" "gcc" "src/datasets/CMakeFiles/micronets_datasets.dir/kws.cpp.o.d"
+  "/root/repo/src/datasets/vww.cpp" "src/datasets/CMakeFiles/micronets_datasets.dir/vww.cpp.o" "gcc" "src/datasets/CMakeFiles/micronets_datasets.dir/vww.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/micronets_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/micronets_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_datasets.dir/anomaly.cpp.o"
+  "CMakeFiles/micronets_datasets.dir/anomaly.cpp.o.d"
+  "CMakeFiles/micronets_datasets.dir/audio_synth.cpp.o"
+  "CMakeFiles/micronets_datasets.dir/audio_synth.cpp.o.d"
+  "CMakeFiles/micronets_datasets.dir/dataset.cpp.o"
+  "CMakeFiles/micronets_datasets.dir/dataset.cpp.o.d"
+  "CMakeFiles/micronets_datasets.dir/kws.cpp.o"
+  "CMakeFiles/micronets_datasets.dir/kws.cpp.o.d"
+  "CMakeFiles/micronets_datasets.dir/vww.cpp.o"
+  "CMakeFiles/micronets_datasets.dir/vww.cpp.o.d"
+  "libmicronets_datasets.a"
+  "libmicronets_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/micronets_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/micronets_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/mel.cpp" "src/dsp/CMakeFiles/micronets_dsp.dir/mel.cpp.o" "gcc" "src/dsp/CMakeFiles/micronets_dsp.dir/mel.cpp.o.d"
+  "/root/repo/src/dsp/streaming.cpp" "src/dsp/CMakeFiles/micronets_dsp.dir/streaming.cpp.o" "gcc" "src/dsp/CMakeFiles/micronets_dsp.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/micronets_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

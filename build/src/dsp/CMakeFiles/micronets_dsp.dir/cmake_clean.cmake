@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_dsp.dir/fft.cpp.o"
+  "CMakeFiles/micronets_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/micronets_dsp.dir/mel.cpp.o"
+  "CMakeFiles/micronets_dsp.dir/mel.cpp.o.d"
+  "CMakeFiles/micronets_dsp.dir/streaming.cpp.o"
+  "CMakeFiles/micronets_dsp.dir/streaming.cpp.o.d"
+  "libmicronets_dsp.a"
+  "libmicronets_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/kernels_opt.cpp" "src/kernels/CMakeFiles/micronets_kernels.dir/kernels_opt.cpp.o" "gcc" "src/kernels/CMakeFiles/micronets_kernels.dir/kernels_opt.cpp.o.d"
+  "/root/repo/src/kernels/kernels_s4.cpp" "src/kernels/CMakeFiles/micronets_kernels.dir/kernels_s4.cpp.o" "gcc" "src/kernels/CMakeFiles/micronets_kernels.dir/kernels_s4.cpp.o.d"
+  "/root/repo/src/kernels/kernels_s8.cpp" "src/kernels/CMakeFiles/micronets_kernels.dir/kernels_s8.cpp.o" "gcc" "src/kernels/CMakeFiles/micronets_kernels.dir/kernels_s8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/micronets_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micronets_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_kernels.dir/kernels_opt.cpp.o"
+  "CMakeFiles/micronets_kernels.dir/kernels_opt.cpp.o.d"
+  "CMakeFiles/micronets_kernels.dir/kernels_s4.cpp.o"
+  "CMakeFiles/micronets_kernels.dir/kernels_s4.cpp.o.d"
+  "CMakeFiles/micronets_kernels.dir/kernels_s8.cpp.o"
+  "CMakeFiles/micronets_kernels.dir/kernels_s8.cpp.o.d"
+  "libmicronets_kernels.a"
+  "libmicronets_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_mcu.dir/device.cpp.o"
+  "CMakeFiles/micronets_mcu.dir/device.cpp.o.d"
+  "CMakeFiles/micronets_mcu.dir/perf_model.cpp.o"
+  "CMakeFiles/micronets_mcu.dir/perf_model.cpp.o.d"
+  "libmicronets_mcu.a"
+  "libmicronets_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

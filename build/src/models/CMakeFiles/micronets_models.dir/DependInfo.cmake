@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/backbones.cpp" "src/models/CMakeFiles/micronets_models.dir/backbones.cpp.o" "gcc" "src/models/CMakeFiles/micronets_models.dir/backbones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/micronets_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/micronets_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/micronets_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/micronets_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_models.dir/backbones.cpp.o"
+  "CMakeFiles/micronets_models.dir/backbones.cpp.o.d"
+  "libmicronets_models.a"
+  "libmicronets_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

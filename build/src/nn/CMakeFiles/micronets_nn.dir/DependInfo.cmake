@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/micronets_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/micronets_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv_ops.cpp" "src/nn/CMakeFiles/micronets_nn.dir/conv_ops.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/conv_ops.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/micronets_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/micronets_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/micronets_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/simple_ops.cpp" "src/nn/CMakeFiles/micronets_nn.dir/simple_ops.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/simple_ops.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/micronets_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/micronets_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/micronets_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/micronets_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/micronets_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

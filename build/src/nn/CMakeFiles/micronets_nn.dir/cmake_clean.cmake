@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/micronets_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/micronets_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/micronets_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/micronets_nn.dir/conv_ops.cpp.o"
+  "CMakeFiles/micronets_nn.dir/conv_ops.cpp.o.d"
+  "CMakeFiles/micronets_nn.dir/graph.cpp.o"
+  "CMakeFiles/micronets_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/micronets_nn.dir/loss.cpp.o"
+  "CMakeFiles/micronets_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/micronets_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/micronets_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/micronets_nn.dir/simple_ops.cpp.o"
+  "CMakeFiles/micronets_nn.dir/simple_ops.cpp.o.d"
+  "CMakeFiles/micronets_nn.dir/trainer.cpp.o"
+  "CMakeFiles/micronets_nn.dir/trainer.cpp.o.d"
+  "libmicronets_nn.a"
+  "libmicronets_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_quant.dir/quant.cpp.o"
+  "CMakeFiles/micronets_quant.dir/quant.cpp.o.d"
+  "libmicronets_quant.a"
+  "libmicronets_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

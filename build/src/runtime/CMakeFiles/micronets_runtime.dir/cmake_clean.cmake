@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_runtime.dir/converter.cpp.o"
+  "CMakeFiles/micronets_runtime.dir/converter.cpp.o.d"
+  "CMakeFiles/micronets_runtime.dir/interpreter.cpp.o"
+  "CMakeFiles/micronets_runtime.dir/interpreter.cpp.o.d"
+  "CMakeFiles/micronets_runtime.dir/model.cpp.o"
+  "CMakeFiles/micronets_runtime.dir/model.cpp.o.d"
+  "CMakeFiles/micronets_runtime.dir/planner.cpp.o"
+  "CMakeFiles/micronets_runtime.dir/planner.cpp.o.d"
+  "CMakeFiles/micronets_runtime.dir/summary.cpp.o"
+  "CMakeFiles/micronets_runtime.dir/summary.cpp.o.d"
+  "libmicronets_runtime.a"
+  "libmicronets_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

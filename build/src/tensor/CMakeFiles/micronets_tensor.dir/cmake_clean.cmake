@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micronets_tensor.dir/stats.cpp.o"
+  "CMakeFiles/micronets_tensor.dir/stats.cpp.o.d"
+  "libmicronets_tensor.a"
+  "libmicronets_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micronets_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blackbox.dir/test_blackbox.cpp.o"
+  "CMakeFiles/test_blackbox.dir/test_blackbox.cpp.o.d"
+  "test_blackbox"
+  "test_blackbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blackbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

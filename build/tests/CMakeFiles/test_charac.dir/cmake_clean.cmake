@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charac.dir/test_charac.cpp.o"
+  "CMakeFiles/test_charac.dir/test_charac.cpp.o.d"
+  "test_charac"
+  "test_charac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

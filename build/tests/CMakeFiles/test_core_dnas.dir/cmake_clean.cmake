@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dnas.dir/test_core_dnas.cpp.o"
+  "CMakeFiles/test_core_dnas.dir/test_core_dnas.cpp.o.d"
+  "test_core_dnas"
+  "test_core_dnas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dnas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
