@@ -40,13 +40,16 @@ void StreamingMfcc::emit_frame() {
     logmel[static_cast<size_t>(b)] = std::log(std::max(acc, cfg_.log_floor));
   }
   std::vector<float> mfcc_row(static_cast<size_t>(cfg_.num_mfcc));
+  bool finite = true;
   for (int k = 0; k < cfg_.num_mfcc; ++k) {
     double acc = 0.0;
     for (int b = 0; b < cfg_.num_mel_bins; ++b)
       acc += dct_[static_cast<size_t>(k) * cfg_.num_mel_bins + b] *
              logmel[static_cast<size_t>(b)];
     mfcc_row[static_cast<size_t>(k)] = static_cast<float>(acc);
+    finite = finite && std::isfinite(mfcc_row[static_cast<size_t>(k)]);
   }
+  if (!finite) ++nonfinite_frames_;
   history_.push_back(std::move(mfcc_row));
   while (history_.size() > history_cap_) history_.pop_front();
   ++frames_emitted_;
@@ -103,6 +106,12 @@ float PosteriorSmoother::smoothed(int cls) const {
 int PosteriorSmoother::push(std::span<const float> probs) {
   if (static_cast<int>(probs.size()) != num_classes_)
     throw std::invalid_argument("PosteriorSmoother: class count mismatch");
+  for (float p : probs) {
+    if (!std::isfinite(p)) {
+      ++rejected_pushes_;
+      return -1;
+    }
+  }
   history_.emplace_back(probs.begin(), probs.end());
   while (static_cast<int>(history_.size()) > window_) history_.pop_front();
   if (cooldown_ > 0) {

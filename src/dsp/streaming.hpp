@@ -26,6 +26,12 @@ class StreamingMfcc {
   // Frames emitted since construction/reset.
   int64_t frames_emitted() const { return frames_emitted_; }
 
+  // Frames emitted since construction (NOT cleared by reset) that contained
+  // a NaN/Inf coefficient — a glitching microphone or corrupted sample
+  // buffer propagates straight through the FFT/mel/DCT math, so downstream
+  // reliability monitors key off this counter.
+  int64_t nonfinite_frames() const { return nonfinite_frames_; }
+
   // Most recent `frames` MFCC rows stacked into a [frames, num_mfcc, 1]
   // model input; empty optional until enough frames have accumulated.
   std::optional<TensorF> window(int frames) const;
@@ -46,6 +52,7 @@ class StreamingMfcc {
   std::deque<std::vector<float>> history_;  // recent MFCC rows
   size_t history_cap_ = 256;
   int64_t frames_emitted_ = 0;
+  int64_t nonfinite_frames_ = 0;
 };
 
 // Smooths per-class posteriors over the last `window` inferences and fires a
@@ -58,11 +65,18 @@ class PosteriorSmoother {
   PosteriorSmoother(int num_classes, int window, float threshold,
                     int refractory_steps = 10, int background_class = 0);
 
-  // Feeds one posterior vector; returns the detected class or -1.
+  // Feeds one posterior vector; returns the detected class or -1. Vectors
+  // containing NaN/Inf are rejected (not added to the smoothing window) so
+  // one corrupted inference cannot poison the running average; rejections
+  // are tallied in rejected_pushes().
   int push(std::span<const float> probs);
 
   // Smoothed posterior for a class under the current window.
   float smoothed(int cls) const;
+
+  // Non-finite posterior vectors dropped since construction (not cleared by
+  // reset) — the smoother-level fault signal.
+  int64_t rejected_pushes() const { return rejected_pushes_; }
 
   void reset();
 
@@ -73,6 +87,7 @@ class PosteriorSmoother {
   int refractory_steps_;
   int background_class_;
   int cooldown_ = 0;
+  int64_t rejected_pushes_ = 0;
   std::deque<std::vector<float>> history_;
 };
 

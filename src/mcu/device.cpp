@@ -1,5 +1,6 @@
 #include "mcu/device.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace mn::mcu {
@@ -92,9 +93,48 @@ const std::vector<Device>& all_devices() {
 }
 
 const Device& device_by_class(const std::string& size_class) {
+  const Device* d = find_device_by_class(size_class);
+  if (d == nullptr)
+    throw std::invalid_argument("device_by_class: unknown class " + size_class);
+  return *d;
+}
+
+const Device* find_device_by_class(const std::string& size_class) {
   for (const Device& d : all_devices())
-    if (d.size_class == size_class) return d;
-  throw std::invalid_argument("device_by_class: unknown class " + size_class);
+    if (d.size_class == size_class) return &d;
+  return nullptr;
+}
+
+namespace {
+std::string fit_line(const char* what, int64_t req, int64_t cap) {
+  char buf[128];
+  const long long margin_kb = static_cast<long long>((cap - req) / 1024);
+  if (req <= cap)
+    std::snprintf(buf, sizeof(buf), "%s %lld/%lld KB (margin %lld KB)", what,
+                  static_cast<long long>(req / 1024),
+                  static_cast<long long>(cap / 1024), margin_kb);
+  else
+    std::snprintf(buf, sizeof(buf), "%s %lld/%lld KB (OVER by %lld KB)", what,
+                  static_cast<long long>(req / 1024),
+                  static_cast<long long>(cap / 1024), -margin_kb);
+  return buf;
+}
+}  // namespace
+
+std::string FitReport::describe() const {
+  return device_name + ": " + fit_line("SRAM", sram_required, sram_capacity) +
+         ", " + fit_line("flash", flash_required, flash_capacity);
+}
+
+FitReport check_fit(const Device& dev, int64_t sram_required,
+                    int64_t flash_required) {
+  FitReport r;
+  r.device_name = dev.name;
+  r.sram_required = sram_required;
+  r.sram_capacity = dev.sram_bytes;
+  r.flash_required = flash_required;
+  r.flash_capacity = dev.flash_bytes;
+  return r;
 }
 
 }  // namespace mn::mcu

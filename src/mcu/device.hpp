@@ -42,4 +42,33 @@ const std::vector<Device>& all_devices();
 // Lookup by size class ("S"/"M"/"L"); throws on unknown class.
 const Device& device_by_class(const std::string& size_class);
 
+// No-throw lookup: nullptr on unknown class (hardened-path variant).
+const Device* find_device_by_class(const std::string& size_class);
+
+// Structured fit-check of a model's SRAM/flash requirements against a
+// device's capacities. Unlike the boolean DeployCheck in perf_model, this
+// records per-resource margins (negative = overflow) and renders a
+// diagnostic, so reliability tooling can report *why* and *by how much* a
+// model misses a target instead of just "ND".
+struct FitReport {
+  std::string device_name;
+  int64_t sram_required = 0;
+  int64_t sram_capacity = 0;
+  int64_t flash_required = 0;
+  int64_t flash_capacity = 0;
+
+  int64_t sram_margin() const { return sram_capacity - sram_required; }
+  int64_t flash_margin() const { return flash_capacity - flash_required; }
+  bool sram_ok() const { return sram_margin() >= 0; }
+  bool flash_ok() const { return flash_margin() >= 0; }
+  bool ok() const { return sram_ok() && flash_ok(); }
+
+  // e.g. "STM32F446RE: SRAM 96/128 KB (margin 32 KB), flash 600/512 KB
+  //       (OVER by 88 KB)"
+  std::string describe() const;
+};
+
+FitReport check_fit(const Device& dev, int64_t sram_required,
+                    int64_t flash_required);
+
 }  // namespace mn::mcu

@@ -187,6 +187,10 @@ DeployCheck check_deployable(const Device& dev, const rt::MemoryReport& report) 
   return c;
 }
 
+FitReport check_fit(const Device& dev, const rt::MemoryReport& report) {
+  return check_fit(dev, report.total_sram(), report.total_flash());
+}
+
 int64_t model_sram_budget(const Device& dev) {
   // SRAM available to arena + persistent buffers after the interpreter's
   // fixed overhead, with a small application reserve.

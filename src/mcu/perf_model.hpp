@@ -79,6 +79,10 @@ struct DeployCheck {
 };
 DeployCheck check_deployable(const Device& dev, const rt::MemoryReport& report);
 
+// Margin-reporting variant of check_deployable (see FitReport in device.hpp):
+// same totals, but keeps per-resource capacities and renders diagnostics.
+FitReport check_fit(const Device& dev, const rt::MemoryReport& report);
+
 // Budgets available to a model on this device after TFLM overheads — the
 // constraint values handed to the DNAS (§5.1.1).
 int64_t model_sram_budget(const Device& dev);

@@ -1,0 +1,74 @@
+#include "reliability/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace mn::reliability {
+
+namespace {
+
+// Binomial(n, p) sample via normal approximation for large n*p, exact
+// Bernoulli accumulation for small expectations. Flash fault campaigns use
+// n up to a few million bits and p in [1e-7, 1e-2], so both branches matter.
+int64_t binomial_draw(Rng& rng, int64_t n, double p) {
+  if (n <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double mean = static_cast<double>(n) * p;
+  if (mean < 32.0) {
+    // Poisson-like regime: inversion by sequential Bernoulli on the
+    // expectation only (counts, not positions, so this stays O(mean)).
+    int64_t k = 0;
+    double acc = -std::log(std::max(rng.uniform(), 1e-300)) / p;
+    while (acc < static_cast<double>(n)) {
+      ++k;
+      acc += -std::log(std::max(rng.uniform(), 1e-300)) / p;
+    }
+    return std::min<int64_t>(k, n);
+  }
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const int64_t k = static_cast<int64_t>(std::llround(rng.normal(mean, sd)));
+  return std::clamp<int64_t>(k, 0, n);
+}
+
+}  // namespace
+
+int64_t FaultInjector::flip_bits(std::span<uint8_t> data, double bit_flip_rate) {
+  const int64_t total_bits = static_cast<int64_t>(data.size()) * 8;
+  return flip_exact_bits(data, binomial_draw(rng_, total_bits, bit_flip_rate));
+}
+
+int64_t FaultInjector::flip_exact_bits(std::span<uint8_t> data, int64_t n_bits) {
+  const int64_t total_bits = static_cast<int64_t>(data.size()) * 8;
+  n_bits = std::clamp<int64_t>(n_bits, 0, total_bits);
+  if (n_bits == 0) return 0;
+  std::unordered_set<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(n_bits));
+  while (static_cast<int64_t>(chosen.size()) < n_bits) {
+    const int64_t pos = rng_.uniform_int(0, total_bits - 1);
+    if (!chosen.insert(pos).second) continue;
+    data[static_cast<size_t>(pos / 8)] ^= static_cast<uint8_t>(1u << (pos % 8));
+  }
+  stats_.bits_flipped += n_bits;
+  return n_bits;
+}
+
+int64_t FaultInjector::corrupt_samples(std::span<float> samples, double nan_rate,
+                                       double saturate_rate) {
+  int64_t corrupted = 0;
+  for (float& s : samples) {
+    const double u = rng_.uniform();
+    if (u < nan_rate) {
+      s = std::numeric_limits<float>::quiet_NaN();
+      ++corrupted;
+    } else if (u < nan_rate + saturate_rate) {
+      s = s < 0.f ? -1.f : 1.f;
+      ++corrupted;
+    }
+  }
+  stats_.samples_corrupted += corrupted;
+  return corrupted;
+}
+
+}  // namespace mn::reliability

@@ -1,0 +1,58 @@
+// Seeded, deterministic fault injection for deployment-realistic evaluation.
+//
+// Commodity-MCU deployments fail in ways clean-accuracy benchmarks never see:
+// eFlash cells age and flip stored weight bits, SRAM takes soft errors in the
+// activation arena, and microphone DMA glitches hand the front-end NaN or
+// saturated samples. The FaultInjector reproduces those three fault classes
+// against the live memory of an `rt::Interpreter` (weights blob = flash,
+// arena = SRAM) or against streaming sample buffers, with SplitMix64-seeded
+// determinism so any observed failure replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/rng.hpp"
+
+namespace mn::reliability {
+
+struct FaultStats {
+  int64_t bits_flipped = 0;
+  int64_t samples_corrupted = 0;
+
+  FaultStats& operator+=(const FaultStats& o) {
+    bits_flipped += o.bits_flipped;
+    samples_corrupted += o.samples_corrupted;
+    return *this;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  // Flips bits in `data` so that each bit is flipped with probability
+  // `bit_flip_rate` (sampled as a binomial draw over the whole span, then
+  // distinct positions — exact for the rates relevant to flash aging).
+  // Returns the number of bits actually flipped.
+  int64_t flip_bits(std::span<uint8_t> data, double bit_flip_rate);
+
+  // Flips exactly `n_bits` distinct bit positions in `data` (clamped to the
+  // span's bit count).
+  int64_t flip_exact_bits(std::span<uint8_t> data, int64_t n_bits);
+
+  // Mic-glitch model: replaces each sample with NaN (probability `nan_rate`)
+  // or full-scale saturation (probability `saturate_rate`). Returns the
+  // number of samples corrupted.
+  int64_t corrupt_samples(std::span<float> samples, double nan_rate,
+                          double saturate_rate = 0.0);
+
+  FaultStats stats() const { return stats_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace mn::reliability

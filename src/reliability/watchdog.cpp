@@ -1,0 +1,80 @@
+#include "reliability/watchdog.hpp"
+
+#include <cmath>
+
+namespace mn::reliability {
+
+namespace {
+
+bool all_finite(std::span<const float> v) {
+  for (float x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<float>> StreamWatchdog::push_audio(
+    dsp::StreamingMfcc& frontend, std::span<const float> samples) {
+  if (!all_finite(samples)) {
+    // The chunk itself is poisoned; anything already buffered shares the
+    // overlap window with it, so flush the whole front-end state.
+    frontend.reset();
+    ++stats_.frontend_resets;
+    return {};
+  }
+  std::vector<std::vector<float>> frames = frontend.push(samples);
+  // Clean chunk but corrupt output means poison was already buffered
+  // (e.g. a fault injected directly into frame memory): reset and keep only
+  // the finite frames.
+  bool any_bad = false;
+  std::vector<std::vector<float>> good;
+  good.reserve(frames.size());
+  for (auto& f : frames) {
+    if (all_finite(f)) {
+      good.push_back(std::move(f));
+    } else {
+      any_bad = true;
+      ++stats_.frames_dropped;
+    }
+  }
+  if (any_bad) {
+    frontend.reset();
+    ++stats_.frontend_resets;
+  }
+  return good;
+}
+
+int StreamWatchdog::push_posteriors(dsp::PosteriorSmoother& smoother,
+                                    std::span<const float> probs) {
+  if (!all_finite(probs)) {
+    ++stats_.posteriors_dropped;
+    smoother.reset();
+    ++stats_.smoother_resets;
+    identical_run_ = 0;
+    last_probs_.clear();
+    return -1;
+  }
+  // Stuck detection: bit-identical (within epsilon) posteriors for many
+  // consecutive frames mean the upstream pipeline has frozen.
+  bool same = last_probs_.size() == probs.size() && !last_probs_.empty();
+  if (same) {
+    for (size_t i = 0; i < probs.size(); ++i)
+      if (std::fabs(probs[i] - last_probs_[i]) > cfg_.stuck_epsilon) {
+        same = false;
+        break;
+      }
+  }
+  identical_run_ = same ? identical_run_ + 1 : 0;
+  last_probs_.assign(probs.begin(), probs.end());
+  if (identical_run_ >= cfg_.stuck_window) {
+    ++stats_.stuck_events;
+    smoother.reset();
+    ++stats_.smoother_resets;
+    identical_run_ = 0;
+    return -1;
+  }
+  return smoother.push(probs);
+}
+
+}  // namespace mn::reliability

@@ -1,0 +1,64 @@
+// Streaming-pipeline watchdog: graceful degradation for the always-on KWS
+// path.
+//
+// A deployed wake-word engine runs for months; a single mic glitch or SRAM
+// fault must not poison the MFCC overlap buffer or the posterior smoothing
+// window forever. The watchdog sits between the audio source, the
+// `dsp::StreamingMfcc` front-end, and the `dsp::PosteriorSmoother` decision
+// layer: it detects NaN/Inf frames and stuck posteriors, resets the affected
+// stage (dropping the corrupt state), records the event, and lets the
+// pipeline keep producing valid detections afterwards.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/streaming.hpp"
+
+namespace mn::reliability {
+
+struct WatchdogConfig {
+  // Consecutive identical posterior vectors before the smoother is declared
+  // stuck (a healthy model's posteriors jitter every frame; bit-exact
+  // repetition for many steps means a frozen front-end or corrupted model).
+  int stuck_window = 8;
+  float stuck_epsilon = 1e-6f;
+};
+
+struct WatchdogStats {
+  int64_t frontend_resets = 0;    // StreamingMfcc resets (NaN/Inf audio)
+  int64_t smoother_resets = 0;    // PosteriorSmoother resets (NaN or stuck)
+  int64_t frames_dropped = 0;     // MFCC frames discarded as corrupt
+  int64_t posteriors_dropped = 0; // posterior vectors discarded as corrupt
+  int64_t stuck_events = 0;       // stuck-posterior episodes detected
+};
+
+class StreamWatchdog {
+ public:
+  explicit StreamWatchdog(WatchdogConfig cfg = {}) : cfg_(cfg) {}
+
+  // Feeds an audio chunk through the front-end. A chunk containing NaN/Inf
+  // samples — or one that causes the front-end to emit a non-finite MFCC
+  // frame from previously-buffered poison — triggers a front-end reset
+  // (flushing the corrupt overlap buffer) and drops the affected frames.
+  // Returns only the finite MFCC frames emitted by this chunk.
+  std::vector<std::vector<float>> push_audio(dsp::StreamingMfcc& frontend,
+                                             std::span<const float> samples);
+
+  // Validates one posterior vector and feeds it to the smoother. NaN/Inf
+  // vectors reset the smoother; `stuck_window` consecutive identical vectors
+  // count as a stuck episode and also reset it. Returns the smoothed
+  // detection (class index) or -1.
+  int push_posteriors(dsp::PosteriorSmoother& smoother,
+                      std::span<const float> probs);
+
+  const WatchdogStats& stats() const { return stats_; }
+
+ private:
+  WatchdogConfig cfg_;
+  WatchdogStats stats_;
+  std::vector<float> last_probs_;
+  int identical_run_ = 0;
+};
+
+}  // namespace mn::reliability

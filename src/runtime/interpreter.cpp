@@ -27,10 +27,15 @@ void activation_range(Activation act, const quant::QuantParams& out_qp, int bits
 
 }  // namespace
 
+namespace {
+constexpr uint8_t kCanaryByte = 0xA5;
+}
+
 Interpreter::Interpreter(ModelDef model) : model_(std::move(model)) {
   model_.validate();
   plan_ = plan_memory(model_);
-  arena_.assign(static_cast<size_t>(plan_.arena_bytes), 0);
+  arena_.assign(static_cast<size_t>(plan_.arena_bytes + 2 * kArenaGuardBytes), 0);
+  fill_guards();
   prepare();
   // Shared IM2COL scratch for the optimized conv path.
   int64_t scratch = 0;
@@ -38,7 +43,29 @@ Interpreter::Interpreter(ModelDef model) : model_(std::move(model)) {
     if (model_.ops[i].type == OpType::kConv2D)
       scratch = std::max(scratch, kernels::conv2d_scratch_bytes(prepared_[i].conv));
   scratch_.assign(static_cast<size_t>(scratch), 0);
+  expected_weights_crc_ = model_.weights_crc();
 }
+
+void Interpreter::fill_guards() {
+  std::memset(arena_.data(), kCanaryByte, static_cast<size_t>(kArenaGuardBytes));
+  std::memset(arena_.data() + arena_.size() - kArenaGuardBytes, kCanaryByte,
+              static_cast<size_t>(kArenaGuardBytes));
+}
+
+std::optional<RtError> Interpreter::check_canaries() const {
+  auto scan = [&](size_t from, const char* which) -> std::optional<RtError> {
+    for (size_t i = 0; i < static_cast<size_t>(kArenaGuardBytes); ++i)
+      if (arena_[from + i] != kCanaryByte)
+        return RtError{ErrorCode::kArenaOverrun,
+                       std::string("Interpreter: ") + which +
+                           " arena guard band clobbered at byte " + std::to_string(i)};
+    return std::nullopt;
+  };
+  if (auto e = scan(0, "leading")) return e;
+  return scan(arena_.size() - kArenaGuardBytes, "trailing");
+}
+
+void Interpreter::rearm_weights_crc() { expected_weights_crc_ = model_.weights_crc(); }
 
 void Interpreter::prepare() {
   prepared_.resize(model_.ops.size());
@@ -139,7 +166,7 @@ void Interpreter::prepare() {
 std::span<uint8_t> Interpreter::arena_span(int tensor_id) {
   const TensorAllocation* a = plan_.find(tensor_id);
   if (a == nullptr) throw std::runtime_error("Interpreter: not an arena tensor");
-  return {arena_.data() + a->offset, static_cast<size_t>(a->bytes)};
+  return {arena_.data() + kArenaGuardBytes + a->offset, static_cast<size_t>(a->bytes)};
 }
 
 std::span<const uint8_t> Interpreter::tensor_bytes(int tensor_id) {
@@ -242,36 +269,68 @@ void Interpreter::run_op(size_t i) {
   }
 }
 
-TensorI8 Interpreter::invoke_quantized(const TensorI8& input) {
+Expected<TensorI8> Interpreter::try_invoke_quantized(const TensorI8& input) {
   const TensorDef& in_t = model_.tensors[static_cast<size_t>(model_.input_tensor)];
   if (input.size() != in_t.elements())
-    throw std::invalid_argument("Interpreter: input element count mismatch");
-  auto in_b = arena_span(model_.input_tensor);
-  if (in_t.bits == 8) {
-    std::memcpy(in_b.data(), input.data(), static_cast<size_t>(input.size()));
-  } else {
-    for (int64_t i = 0; i < input.size(); ++i)
-      kernels::store_s4(in_b, i, input[i]);
+    return RtError{ErrorCode::kInputMismatch,
+                   "Interpreter: input element count mismatch: got " +
+                       std::to_string(input.size()) + ", model wants " +
+                       std::to_string(in_t.elements())};
+  if (verify_weights_crc_ && model_.weights_crc() != expected_weights_crc_)
+    return RtError{ErrorCode::kCrcMismatch,
+                   "Interpreter: weights blob CRC drifted since load "
+                   "(flash fault or unannounced update)"};
+  try {
+    auto in_b = arena_span(model_.input_tensor);
+    if (in_t.bits == 8) {
+      std::memcpy(in_b.data(), input.data(), static_cast<size_t>(input.size()));
+    } else {
+      for (int64_t i = 0; i < input.size(); ++i)
+        kernels::store_s4(in_b, i, input[i]);
+    }
+    for (size_t i = 0; i < model_.ops.size(); ++i) run_op(i);
+    ++invocations_;
+    if (auto err = check_canaries()) return *err;
+    const TensorDef& out_t = model_.tensors[static_cast<size_t>(model_.output_tensor)];
+    auto out_b = tensor_bytes(model_.output_tensor);
+    TensorI8 out(out_t.shape);
+    if (out_t.bits == 8) {
+      std::memcpy(out.data(), out_b.data(), static_cast<size_t>(out.size()));
+    } else {
+      for (int64_t i = 0; i < out.size(); ++i) out[i] = kernels::load_s4(out_b, i);
+    }
+    return out;
+  } catch (const std::exception& e) {
+    // run_op rejects op/precision combinations the kernels cannot execute.
+    return RtError{ErrorCode::kUnsupportedOp, e.what()};
   }
-  for (size_t i = 0; i < model_.ops.size(); ++i) run_op(i);
-  ++invocations_;
+}
+
+Expected<TensorF> Interpreter::try_invoke(const TensorF& input_image) {
+  for (int64_t i = 0; i < input_image.size(); ++i)
+    if (!std::isfinite(input_image[i]))
+      return RtError{ErrorCode::kNonFiniteInput,
+                     "Interpreter: NaN/Inf in input at element " + std::to_string(i)};
+  const TensorDef& in_t = model_.tensors[static_cast<size_t>(model_.input_tensor)];
+  const TensorI8 q = quant::quantize(input_image, in_t.qp, in_t.bits);
+  Expected<TensorI8> out_q = try_invoke_quantized(q);
+  if (!out_q.ok()) return out_q.error();
   const TensorDef& out_t = model_.tensors[static_cast<size_t>(model_.output_tensor)];
-  auto out_b = tensor_bytes(model_.output_tensor);
-  TensorI8 out(out_t.shape);
-  if (out_t.bits == 8) {
-    std::memcpy(out.data(), out_b.data(), static_cast<size_t>(out.size()));
-  } else {
-    for (int64_t i = 0; i < out.size(); ++i) out[i] = kernels::load_s4(out_b, i);
-  }
+  TensorF out = quant::dequantize(out_q.value(), out_t.qp);
+  for (int64_t i = 0; i < out.size(); ++i)
+    if (!std::isfinite(out[i]))
+      return RtError{ErrorCode::kNonFiniteOutput,
+                     "Interpreter: NaN/Inf in dequantized output at element " +
+                         std::to_string(i)};
   return out;
 }
 
+TensorI8 Interpreter::invoke_quantized(const TensorI8& input) {
+  return try_invoke_quantized(input).take_or_throw();
+}
+
 TensorF Interpreter::invoke(const TensorF& input_image) {
-  const TensorDef& in_t = model_.tensors[static_cast<size_t>(model_.input_tensor)];
-  const TensorI8 q = quant::quantize(input_image, in_t.qp, in_t.bits);
-  const TensorI8 out_q = invoke_quantized(q);
-  const TensorDef& out_t = model_.tensors[static_cast<size_t>(model_.output_tensor)];
-  return quant::dequantize(out_q, out_t.qp);
+  return try_invoke(input_image).take_or_throw();
 }
 
 MemoryReport Interpreter::memory_report() const {

@@ -4,11 +4,13 @@
 // analog) that the paper uses to obtain SRAM numbers.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "kernels/kernels.hpp"
 #include "runtime/model.hpp"
 #include "runtime/planner.hpp"
+#include "runtime/rt_error.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mn::rt {
@@ -43,9 +45,37 @@ class Interpreter {
   // tensor params, runs integer inference, dequantizes the output.
   TensorF invoke(const TensorF& input_image);
 
-  // Raw int8 path (int4 models expect packed nibbles? no — values are given
-  // one per element and packed internally).
+  // Raw int8 path. Int4 models take one int8 value per element here; the
+  // interpreter packs values into nibbles internally.
   TensorI8 invoke_quantized(const TensorI8& input);
+
+  // --- hardened no-throw path ---------------------------------------------
+  // Same execution as invoke/invoke_quantized but returns typed errors
+  // (input mismatch, NaN/Inf input or output, weights CRC drift, arena
+  // canary overrun, unsupported op) instead of throwing. The throwing API
+  // above is a thin wrapper over these.
+  Expected<TensorF> try_invoke(const TensorF& input_image);
+  Expected<TensorI8> try_invoke_quantized(const TensorI8& input);
+
+  // When enabled, every try_invoke* recomputes the weights-blob CRC32 and
+  // fails with kCrcMismatch if it drifted since load — a flash-aging /
+  // fault-injection detector (costs one pass over the blob per inference).
+  void set_verify_weights_each_invoke(bool on) { verify_weights_crc_ = on; }
+  // Accept the current weights blob as the new integrity baseline (e.g.
+  // after an intentional in-place update).
+  void rearm_weights_crc();
+
+  // Guard-band canaries: the arena is bracketed by kArenaGuardBytes of a
+  // fixed pattern; a kernel overrun past either end is detected instead of
+  // silently corrupting neighbouring memory. Checked after every try_invoke*.
+  static constexpr int64_t kArenaGuardBytes = 32;
+  std::optional<RtError> check_canaries() const;
+
+  // Fault-injection / testing access: the live weights blob ("flash") and
+  // the activation arena including both guard bands ("SRAM"). Mutating
+  // these simulates bit faults in the corresponding physical memory.
+  std::span<uint8_t> mutable_weights() { return model_.weights_blob; }
+  std::span<uint8_t> mutable_arena() { return arena_; }
 
   const ModelDef& model() const { return model_; }
   const MemoryPlan& memory_plan() const { return plan_; }
@@ -66,6 +96,7 @@ class Interpreter {
 
   void prepare();
   void run_op(size_t op_index);
+  void fill_guards();
 
   std::span<uint8_t> arena_span(int tensor_id);
   std::span<const uint8_t> tensor_bytes(int tensor_id);
@@ -73,10 +104,13 @@ class Interpreter {
   ModelDef model_;
   MemoryPlan plan_;
   std::vector<PreparedOp> prepared_;
+  // Layout: [guard band | planned tensors (plan_.arena_bytes) | guard band].
   std::vector<uint8_t> arena_;
   // IM2COL column buffer shared by all conv ops (CMSIS-NN scratch analog).
   std::vector<int8_t> scratch_;
   int64_t invocations_ = 0;
+  uint32_t expected_weights_crc_ = 0;
+  bool verify_weights_crc_ = false;
 };
 
 }  // namespace mn::rt

@@ -1,5 +1,8 @@
 #include "runtime/model.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -96,6 +99,7 @@ class Writer {
  public:
   void u8(uint8_t v) { buf_.push_back(v); }
   void i32(int32_t v) { raw(&v, 4); }
+  void u32(uint32_t v) { raw(&v, 4); }
   void i64(int64_t v) { raw(&v, 8); }
   void f32(float v) { raw(&v, 4); }
   void str(const std::string& s) {
@@ -106,18 +110,37 @@ class Writer {
     const auto* b = static_cast<const uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
   std::vector<uint8_t> take() { return std::move(buf_); }
 
  private:
   std::vector<uint8_t> buf_;
 };
 
+// Internal parse failure; thrown by Reader, caught and converted to an
+// RtError before it can escape try_deserialize.
+struct ParseFailure {
+  ErrorCode code;
+  std::string message;
+};
+
+// Bounds-checked reader. Every count/length is validated against the bytes
+// actually remaining in the stream *before* any allocation, so a flipped
+// length field yields a typed error instead of a multi-gigabyte resize.
 class Reader {
  public:
-  explicit Reader(const std::vector<uint8_t>& b) : buf_(b) {}
-  uint8_t u8() { return buf_.at(pos_++); }
+  explicit Reader(std::span<const uint8_t> b) : buf_(b) {}
+  uint8_t u8() {
+    if (pos_ >= buf_.size()) fail(ErrorCode::kTruncated, "byte");
+    return buf_[pos_++];
+  }
   int32_t i32() {
     int32_t v;
+    raw(&v, 4);
+    return v;
+  }
+  uint32_t u32() {
+    uint32_t v;
     raw(&v, 4);
     return v;
   }
@@ -133,35 +156,58 @@ class Reader {
   }
   std::string str() {
     const int32_t n = i32();
-    if (n < 0 || pos_ + static_cast<size_t>(n) > buf_.size())
-      throw std::runtime_error("ModelDef: corrupt string");
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), static_cast<size_t>(n));
+    if (n < 0 || static_cast<size_t>(n) > remaining())
+      fail(ErrorCode::kCorruptString, "string length " + std::to_string(n));
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<size_t>(n));
     pos_ += static_cast<size_t>(n);
     return s;
   }
   void raw(void* p, size_t n) {
-    if (pos_ + n > buf_.size()) throw std::runtime_error("ModelDef: truncated");
+    if (n > remaining())
+      fail(ErrorCode::kTruncated, "need " + std::to_string(n) + " bytes, have " +
+                                      std::to_string(remaining()));
     std::memcpy(p, buf_.data() + pos_, n);
     pos_ += n;
   }
+  // A count of records each at least `min_record_bytes` long. Rejects
+  // counts that cannot possibly fit in the remaining stream.
+  int32_t count(const char* what, size_t min_record_bytes) {
+    const int32_t n = i32();
+    if (n < 0 || static_cast<size_t>(n) > remaining() / min_record_bytes)
+      fail(ErrorCode::kAbsurdSize,
+           std::string(what) + " count " + std::to_string(n) + " impossible for " +
+               std::to_string(remaining()) + " remaining bytes");
+    return n;
+  }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+  std::span<const uint8_t> slice(size_t from, size_t to) const {
+    return buf_.subspan(from, to - from);
+  }
+  [[noreturn]] void fail(ErrorCode code, const std::string& detail) const {
+    throw ParseFailure{code, "ModelDef: " + detail + " at offset " +
+                                 std::to_string(pos_)};
+  }
 
  private:
-  const std::vector<uint8_t>& buf_;
+  std::span<const uint8_t> buf_;
   size_t pos_ = 0;
 };
 
-constexpr uint32_t kMagic = 0x314D4E4D;  // "MNM1"
+// Per-dimension and per-tensor caps: far above any deployable MCU model, but
+// small enough that a corrupted shape cannot overflow the int64 byte math or
+// provoke an absurd arena allocation downstream.
+constexpr int64_t kMaxDim = int64_t{1} << 28;
+constexpr int64_t kMaxTensorElements = int64_t{1} << 31;
+constexpr int32_t kMaxOpInputs = 8;
 
-}  // namespace
-
-std::vector<uint8_t> ModelDef::serialize() const {
-  Writer w;
-  w.i32(static_cast<int32_t>(kMagic));
-  w.str(name);
-  w.i32(input_tensor);
-  w.i32(output_tensor);
-  w.i32(static_cast<int32_t>(tensors.size()));
-  for (const TensorDef& t : tensors) {
+void write_graph_section(Writer& w, const ModelDef& m) {
+  w.str(m.name);
+  w.i32(m.input_tensor);
+  w.i32(m.output_tensor);
+  w.i32(static_cast<int32_t>(m.tensors.size()));
+  for (const TensorDef& t : m.tensors) {
     w.str(t.name);
     w.i32(t.shape.rank());
     for (int i = 0; i < t.shape.rank(); ++i) w.i64(t.shape.dim(i));
@@ -173,8 +219,8 @@ std::vector<uint8_t> ModelDef::serialize() const {
     w.u8(t.is_const ? 1 : 0);
     w.i64(t.blob_offset);
   }
-  w.i32(static_cast<int32_t>(ops.size()));
-  for (const OpDef& op : ops) {
+  w.i32(static_cast<int32_t>(m.ops.size()));
+  for (const OpDef& op : m.ops) {
     w.u8(static_cast<uint8_t>(op.type));
     w.u8(static_cast<uint8_t>(op.act));
     w.i32(static_cast<int32_t>(op.inputs.size()));
@@ -186,48 +232,67 @@ std::vector<uint8_t> ModelDef::serialize() const {
     w.i32(op.pad_h);
     w.i32(op.pad_w);
   }
-  w.i64(static_cast<int64_t>(weights_blob.size()));
-  w.raw(weights_blob.data(), weights_blob.size());
-  return w.take();
 }
 
-ModelDef ModelDef::deserialize(const std::vector<uint8_t>& bytes) {
-  Reader r(bytes);
-  if (static_cast<uint32_t>(r.i32()) != kMagic)
-    throw std::runtime_error("ModelDef: bad magic");
+// Parses the graph section shared by V1 and V2 plus the trailing weights
+// blob. Throws ParseFailure on any malformed field.
+ModelDef read_body(Reader& r) {
   ModelDef m;
   m.name = r.str();
   m.input_tensor = r.i32();
   m.output_tensor = r.i32();
-  const int32_t nt = r.i32();
+  const int32_t nt = r.count("tensor", 33);  // minimal tensor record bytes
+  m.tensors.reserve(static_cast<size_t>(nt));
   for (int32_t i = 0; i < nt; ++i) {
     TensorDef t;
     t.name = r.str();
     const int32_t rank = r.i32();
+    if (rank < 1 || rank > Shape::kMaxRank)
+      r.fail(ErrorCode::kBadRank, "rank " + std::to_string(rank));
     Shape s;
     if (rank == 1) s = Shape{0};
     else if (rank == 2) s = Shape{0, 0};
     else if (rank == 3) s = Shape{0, 0, 0};
-    else if (rank == 4) s = Shape{0, 0, 0, 0};
-    else throw std::runtime_error("ModelDef: bad rank");
-    for (int d = 0; d < rank; ++d) s.set_dim(d, r.i64());
+    else s = Shape{0, 0, 0, 0};
+    int64_t elements = 1;
+    for (int d = 0; d < rank; ++d) {
+      const int64_t v = r.i64();
+      if (v < 0 || v > kMaxDim)
+        r.fail(ErrorCode::kAbsurdSize, "dim " + std::to_string(v));
+      s.set_dim(d, v);
+      elements *= std::max<int64_t>(v, 1);
+      if (elements > kMaxTensorElements)
+        r.fail(ErrorCode::kAbsurdSize, "tensor " + t.name + " too large");
+    }
     t.shape = s;
     t.qp.scale = r.f32();
     t.qp.zero_point = r.i32();
-    const int32_t ncs = r.i32();
+    const int32_t ncs = r.count("channel scale", 4);
     t.channel_scales.resize(static_cast<size_t>(ncs));
-    for (int32_t k = 0; k < ncs; ++k) t.channel_scales[static_cast<size_t>(k)] = r.f32();
+    for (int32_t k = 0; k < ncs; ++k)
+      t.channel_scales[static_cast<size_t>(k)] = r.f32();
     t.bits = r.i32();
+    if (t.bits != 4 && t.bits != 8 && t.bits != 32)
+      r.fail(ErrorCode::kGraphInvalid, "bits " + std::to_string(t.bits));
     t.is_const = r.u8() != 0;
     t.blob_offset = r.i64();
     m.tensors.push_back(std::move(t));
   }
-  const int32_t no = r.i32();
+  const int32_t no = r.count("op", 30);  // minimal op record bytes
+  m.ops.reserve(static_cast<size_t>(no));
   for (int32_t i = 0; i < no; ++i) {
     OpDef op;
-    op.type = static_cast<OpType>(r.u8());
-    op.act = static_cast<Activation>(r.u8());
+    const uint8_t type = r.u8();
+    if (type > static_cast<uint8_t>(OpType::kSoftmax))
+      r.fail(ErrorCode::kBadOpType, "op type " + std::to_string(type));
+    op.type = static_cast<OpType>(type);
+    const uint8_t act = r.u8();
+    if (act > static_cast<uint8_t>(Activation::kRelu6))
+      r.fail(ErrorCode::kBadOpType, "activation " + std::to_string(act));
+    op.act = static_cast<Activation>(act);
     const int32_t ni = r.i32();
+    if (ni < 0 || ni > kMaxOpInputs)
+      r.fail(ErrorCode::kAbsurdSize, "op input count " + std::to_string(ni));
     for (int32_t k = 0; k < ni; ++k) op.inputs.push_back(r.i32());
     op.output = r.i32();
     op.stride = r.i32();
@@ -238,10 +303,85 @@ ModelDef ModelDef::deserialize(const std::vector<uint8_t>& bytes) {
     m.ops.push_back(std::move(op));
   }
   const int64_t blob = r.i64();
+  if (blob < 0 || static_cast<uint64_t>(blob) > r.remaining())
+    r.fail(ErrorCode::kAbsurdSize, "weights blob size " + std::to_string(blob));
   m.weights_blob.resize(static_cast<size_t>(blob));
   r.raw(m.weights_blob.data(), static_cast<size_t>(blob));
-  m.validate();
+  if (r.remaining() != 0)
+    r.fail(ErrorCode::kTrailingBytes,
+           std::to_string(r.remaining()) + " bytes after weights blob");
   return m;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ModelDef::serialize() const {
+  Writer body;
+  write_graph_section(body, *this);
+  Writer w;
+  w.u32(kMagicV2);
+  w.u32(crc32(body.bytes()));
+  w.u32(weights_crc());
+  w.raw(body.bytes().data(), body.bytes().size());
+  w.i64(static_cast<int64_t>(weights_blob.size()));
+  w.raw(weights_blob.data(), weights_blob.size());
+  return w.take();
+}
+
+std::vector<uint8_t> ModelDef::serialize_legacy_v1() const {
+  Writer w;
+  w.u32(kMagicV1);
+  write_graph_section(w, *this);
+  w.i64(static_cast<int64_t>(weights_blob.size()));
+  w.raw(weights_blob.data(), weights_blob.size());
+  return w.take();
+}
+
+uint32_t ModelDef::weights_crc() const { return crc32(weights_blob); }
+
+Expected<ModelDef> ModelDef::try_deserialize(std::span<const uint8_t> bytes) {
+  try {
+    Reader r(bytes);
+    const uint32_t magic = r.u32();
+    if (magic != kMagicV1 && magic != kMagicV2) {
+      return RtError{ErrorCode::kBadMagic,
+                     "ModelDef: bad magic 0x" + [&] {
+                       char buf[16];
+                       std::snprintf(buf, sizeof(buf), "%08X", magic);
+                       return std::string(buf);
+                     }()};
+    }
+    uint32_t graph_crc = 0, blob_crc = 0;
+    if (magic == kMagicV2) {
+      graph_crc = r.u32();
+      blob_crc = r.u32();
+    }
+    const size_t body_start = r.pos();
+    ModelDef m = read_body(r);
+    if (magic == kMagicV2) {
+      // The graph section spans [body_start, end-of-ops); recompute its CRC
+      // from the raw bytes (end of ops = end of stream - 8 - blob bytes).
+      const size_t body_end = bytes.size() - 8 - m.weights_blob.size();
+      const uint32_t got_graph = crc32(r.slice(body_start, body_end));
+      if (got_graph != graph_crc)
+        return RtError{ErrorCode::kCrcMismatch,
+                       "ModelDef: graph metadata CRC mismatch"};
+      const uint32_t got_blob = crc32(m.weights_blob);
+      if (got_blob != blob_crc)
+        return RtError{ErrorCode::kCrcMismatch,
+                       "ModelDef: weights blob CRC mismatch"};
+    }
+    if (auto err = m.check()) return *err;
+    return m;
+  } catch (const ParseFailure& f) {
+    return RtError{f.code, f.message};
+  } catch (const std::exception& e) {
+    return RtError{ErrorCode::kTruncated, std::string("ModelDef: ") + e.what()};
+  }
+}
+
+ModelDef ModelDef::deserialize(const std::vector<uint8_t>& bytes) {
+  return try_deserialize(bytes).take_or_throw();
 }
 
 void ModelDef::save(const std::string& path) const {
@@ -252,38 +392,85 @@ void ModelDef::save(const std::string& path) const {
           static_cast<std::streamsize>(bytes.size()));
 }
 
-ModelDef ModelDef::load(const std::string& path) {
+Expected<ModelDef> ModelDef::try_load(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("ModelDef::load: cannot open " + path);
+  if (!f)
+    return RtError{ErrorCode::kIoError, "ModelDef::load: cannot open " + path};
   std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
                              std::istreambuf_iterator<char>());
-  return deserialize(bytes);
+  return try_deserialize(bytes);
 }
 
-void ModelDef::validate() const {
+ModelDef ModelDef::load(const std::string& path) {
+  return try_load(path).take_or_throw();
+}
+
+std::optional<RtError> ModelDef::check() const {
   const int nt = static_cast<int>(tensors.size());
-  auto check_id = [&](int id, const char* what) {
-    if (id < 0 || id >= nt)
-      throw std::runtime_error(std::string("ModelDef: bad tensor id for ") + what);
+  auto bad_id = [&](int id) { return id < 0 || id >= nt; };
+  auto id_error = [&](int id, const char* what) {
+    return RtError{ErrorCode::kBadTensorId,
+                   "ModelDef: bad tensor id " + std::to_string(id) + " for " + what};
   };
-  check_id(input_tensor, "model input");
-  check_id(output_tensor, "model output");
+  if (bad_id(input_tensor)) return id_error(input_tensor, "model input");
+  if (bad_id(output_tensor)) return id_error(output_tensor, "model output");
   for (const TensorDef& t : tensors) {
+    if (!std::isfinite(t.qp.scale))
+      return RtError{ErrorCode::kGraphInvalid,
+                     "ModelDef: non-finite quant scale on " + t.name};
+    for (float s : t.channel_scales)
+      if (!std::isfinite(s))
+        return RtError{ErrorCode::kGraphInvalid,
+                       "ModelDef: non-finite channel scale on " + t.name};
     if (t.is_const) {
       if (t.blob_offset < 0 ||
           t.blob_offset + t.storage_bytes() > static_cast<int64_t>(weights_blob.size()))
-        throw std::runtime_error("ModelDef: const tensor outside blob: " + t.name);
+        return RtError{ErrorCode::kBlobOutOfRange,
+                       "ModelDef: const tensor outside blob: " + t.name};
     }
   }
   for (const OpDef& op : ops) {
     for (int id : op.inputs)
-      if (id >= 0) check_id(id, op_type_name(op.type));
-    check_id(op.output, op_type_name(op.type));
-    if ((op.type == OpType::kConv2D || op.type == OpType::kDepthwiseConv2D ||
-         op.type == OpType::kFullyConnected) &&
-        op.inputs.size() < 2)
-      throw std::runtime_error("ModelDef: conv/fc needs weights input");
+      if (id >= 0 && bad_id(id)) return id_error(id, op_type_name(op.type));
+    if (bad_id(op.output)) return id_error(op.output, op_type_name(op.type));
+    const bool is_mac_op = op.type == OpType::kConv2D ||
+                           op.type == OpType::kDepthwiseConv2D ||
+                           op.type == OpType::kFullyConnected;
+    if (is_mac_op) {
+      if (op.inputs.size() < 2 || op.inputs[0] < 0 || op.inputs[1] < 0)
+        return RtError{ErrorCode::kGraphInvalid,
+                       std::string("ModelDef: ") + op_type_name(op.type) +
+                           " needs weights input"};
+      const TensorDef& w = tensors[static_cast<size_t>(op.inputs[1])];
+      const int want_rank = op.type == OpType::kFullyConnected ? 2 : 4;
+      if (w.shape.rank() != want_rank)
+        return RtError{ErrorCode::kGraphInvalid,
+                       std::string("ModelDef: ") + op_type_name(op.type) +
+                           " weights must be rank-" + std::to_string(want_rank) +
+                           ", got " + w.shape.to_string()};
+    } else if (op.inputs.empty() || op.inputs[0] < 0) {
+      return RtError{ErrorCode::kGraphInvalid,
+                     std::string("ModelDef: ") + op_type_name(op.type) +
+                         " needs an input"};
+    }
+    if (op.type == OpType::kConv2D || op.type == OpType::kDepthwiseConv2D ||
+        op.type == OpType::kAvgPool2D || op.type == OpType::kMaxPool2D) {
+      const TensorDef& in = tensors[static_cast<size_t>(op.inputs[0])];
+      const TensorDef& out = tensors[static_cast<size_t>(op.output)];
+      if (in.shape.rank() != 3 || out.shape.rank() != 3)
+        return RtError{ErrorCode::kGraphInvalid,
+                       std::string("ModelDef: ") + op_type_name(op.type) +
+                           " activations must be rank-3 (HWC)"};
+    }
+    if (op.type == OpType::kAdd &&
+        (op.inputs.size() < 2 || op.inputs[0] < 0 || op.inputs[1] < 0))
+      return RtError{ErrorCode::kGraphInvalid, "ModelDef: ADD needs two inputs"};
   }
+  return std::nullopt;
+}
+
+void ModelDef::validate() const {
+  if (auto err = check()) throw_rt_error(*err);
 }
 
 }  // namespace mn::rt

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "quant/quant.hpp"
+#include "runtime/rt_error.hpp"
 #include "tensor/shape.hpp"
 
 namespace mn::rt {
@@ -85,12 +87,35 @@ struct ModelDef {
   int64_t total_macs() const;
 
   // --- serialization ---------------------------------------------------------
+  // On-disk format versions. V1 ("MNM1") is the original CRC-less layout; V2
+  // ("MNM2") prepends CRC32s of the graph metadata and the weights blob so
+  // corrupted OTA images / aged flash are rejected at load. serialize() always
+  // writes the current version; both versions deserialize.
+  static constexpr uint32_t kMagicV1 = 0x314D4E4D;  // "MNM1"
+  static constexpr uint32_t kMagicV2 = 0x324D4E4D;  // "MNM2"
+
   std::vector<uint8_t> serialize() const;
+  // Legacy V1 writer, kept so version-compatibility can be exercised (old
+  // images in the field must keep loading after the format bump).
+  std::vector<uint8_t> serialize_legacy_v1() const;
+
+  // Hardened no-throw parser: every read is bounds-checked, absurd counts are
+  // rejected before any allocation, and V2 CRCs are verified. Any malformed
+  // input yields a typed RtError — never a crash, hang, or giant allocation.
+  static Expected<ModelDef> try_deserialize(std::span<const uint8_t> bytes);
   static ModelDef deserialize(const std::vector<uint8_t>& bytes);
+
   void save(const std::string& path) const;
+  static Expected<ModelDef> try_load(const std::string& path);
   static ModelDef load(const std::string& path);
 
-  // Structural validation (indices in range, conv shapes consistent).
+  // CRC32 over the weights blob — the value embedded in V2 images and
+  // re-checked by the Interpreter's optional per-invoke integrity scan.
+  uint32_t weights_crc() const;
+
+  // Structural validation (indices in range, shapes consistent with op
+  // kinds). check() reports the first problem; validate() throws it.
+  std::optional<RtError> check() const;
   void validate() const;
 };
 

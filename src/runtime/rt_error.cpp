@@ -1,0 +1,65 @@
+#include "runtime/rt_error.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace mn::rt {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "kOk";
+    case ErrorCode::kTruncated: return "kTruncated";
+    case ErrorCode::kBadMagic: return "kBadMagic";
+    case ErrorCode::kUnsupportedVersion: return "kUnsupportedVersion";
+    case ErrorCode::kCorruptString: return "kCorruptString";
+    case ErrorCode::kBadRank: return "kBadRank";
+    case ErrorCode::kAbsurdSize: return "kAbsurdSize";
+    case ErrorCode::kTrailingBytes: return "kTrailingBytes";
+    case ErrorCode::kCrcMismatch: return "kCrcMismatch";
+    case ErrorCode::kBadTensorId: return "kBadTensorId";
+    case ErrorCode::kBadOpType: return "kBadOpType";
+    case ErrorCode::kBlobOutOfRange: return "kBlobOutOfRange";
+    case ErrorCode::kGraphInvalid: return "kGraphInvalid";
+    case ErrorCode::kInputMismatch: return "kInputMismatch";
+    case ErrorCode::kNonFiniteInput: return "kNonFiniteInput";
+    case ErrorCode::kNonFiniteOutput: return "kNonFiniteOutput";
+    case ErrorCode::kArenaOverrun: return "kArenaOverrun";
+    case ErrorCode::kUnsupportedOp: return "kUnsupportedOp";
+    case ErrorCode::kIoError: return "kIoError";
+  }
+  return "kUnknown";
+}
+
+std::string RtError::to_string() const {
+  return std::string("[") + error_code_name(code) + "] " + message;
+}
+
+void throw_rt_error(const RtError& e) {
+  // Input-shape mismatches historically threw std::invalid_argument; keep
+  // that distinction for callers that filter on exception type.
+  if (e.code == ErrorCode::kInputMismatch) throw std::invalid_argument(e.to_string());
+  throw std::runtime_error(e.to_string());
+}
+
+namespace {
+
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> bytes, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t b : bytes) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mn::rt

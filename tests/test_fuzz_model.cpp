@@ -1,0 +1,183 @@
+// Deserializer fuzz suite: thousands of seeded mutations of valid model
+// images must all come back from ModelDef::try_deserialize as typed errors
+// (or as a successful parse when the mutation happened to be benign) — never
+// an uncaught exception, crash, hang, or giant allocation. Runs under
+// -DMN_SANITIZE=ON via `ctest -L reliability`.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "models/backbones.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/model.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn::rt {
+namespace {
+
+// Uniform integer in [0, n) — mutation-site picker.
+size_t pick(Rng& rng, size_t n) {
+  return n == 0 ? 0 : static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(n) - 1));
+}
+
+ModelDef tiny_model(uint64_t seed = 1) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{12, 8, 1};
+  cfg.num_classes = 4;
+  cfg.stem_channels = 8;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  cfg.blocks = {{8, 1}, {12, 1}};
+  models::BuildOptions opt;
+  opt.seed = seed;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  Rng rng(seed + 1);
+  TensorF batch(Shape{2, 12, 8, 1});
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  const RangeMap ranges = calibrate_ranges(g, batch);
+  return convert(g, {.name = "fuzz"}, &ranges);
+}
+
+// One fuzz iteration: mutate, parse, demand a typed verdict. Returns true if
+// the parse succeeded (only legitimate when the mutation was a no-op or hit
+// genuinely-unchecked padding, which the caller may disallow).
+bool mutate_and_parse(const std::vector<uint8_t>& base, Rng& rng,
+                      std::vector<uint8_t>& scratch) {
+  scratch = base;
+  const int strategy = static_cast<int>(pick(rng, 6));
+  switch (strategy) {
+    case 0: {  // random single/multi bit flips
+      const int flips = 1 + static_cast<int>(pick(rng, 8));
+      for (int i = 0; i < flips; ++i) {
+        const size_t pos = pick(rng, scratch.size());
+        scratch[pos] ^= static_cast<uint8_t>(1u << pick(rng, 8));
+      }
+      break;
+    }
+    case 1: {  // byte splat over a random range
+      const size_t start = pick(rng, scratch.size());
+      const size_t len = 1 + pick(rng, 64);
+      const uint8_t v = static_cast<uint8_t>(pick(rng, 256));
+      for (size_t i = start; i < std::min(start + len, scratch.size()); ++i)
+        scratch[i] = v;
+      break;
+    }
+    case 2: {  // truncation (including empty and header-only prefixes)
+      scratch.resize(pick(rng, scratch.size()));
+      break;
+    }
+    case 3: {  // extension with random trailing garbage
+      const size_t extra = 1 + pick(rng, 256);
+      for (size_t i = 0; i < extra; ++i)
+        scratch.push_back(static_cast<uint8_t>(pick(rng, 256)));
+      break;
+    }
+    case 4: {  // overwrite a 4-byte little-endian field with an extreme value
+      const uint32_t extremes[] = {0xFFFFFFFFu, 0x7FFFFFFFu, 0x80000000u,
+                                   0x40000000u, 0u};
+      const uint32_t v = extremes[pick(rng, 5)];
+      if (scratch.size() >= 4) {
+        const size_t pos = pick(rng, scratch.size() - 3);
+        std::memcpy(scratch.data() + pos, &v, 4);
+      }
+      break;
+    }
+    default: {  // random garbage of random length (no valid structure at all)
+      scratch.assign(pick(rng, 512),
+                     static_cast<uint8_t>(pick(rng, 256)));
+      for (auto& b : scratch) b = static_cast<uint8_t>(pick(rng, 256));
+      break;
+    }
+  }
+
+  const Expected<ModelDef> r = ModelDef::try_deserialize(scratch);
+  if (!r.ok()) {
+    // A typed verdict: real code and a human-readable message.
+    EXPECT_NE(r.error().code, ErrorCode::kOk);
+    EXPECT_FALSE(r.error().message.empty());
+  }
+  return r.ok();
+}
+
+TEST(FuzzModel, V2MutationsNeverEscapeAsExceptions) {
+  const std::vector<uint8_t> base = tiny_model().serialize();
+  Rng rng(0xF00DF00Du);
+  std::vector<uint8_t> scratch;
+  int accepted_identical = 0;
+  for (int iter = 0; iter < 800; ++iter) {
+    bool ok = false;
+    ASSERT_NO_THROW(ok = mutate_and_parse(base, rng, scratch))
+        << "iteration " << iter << " leaked an exception";
+    if (ok) {
+      // V2 is fully CRC-covered: a successful parse is only legitimate when
+      // the mutation reconstructed the original image bit-for-bit.
+      EXPECT_EQ(scratch, base) << "iteration " << iter
+                               << " accepted a mutated V2 image";
+      ++accepted_identical;
+    }
+  }
+  // A handful of no-op mutations (e.g. splatting 0 over already-zero bias
+  // bytes) may slip through as identical images; anything more means the
+  // campaign was rubber-stamping instead of rejecting.
+  EXPECT_LT(accepted_identical, 80);
+}
+
+TEST(FuzzModel, V1MutationsExerciseParserHardening) {
+  // V1 images carry no CRC, so mutations reach the structural bounds checks
+  // directly instead of being short-circuited by a checksum mismatch.
+  const std::vector<uint8_t> base = tiny_model(2).serialize_legacy_v1();
+  Rng rng(0xBEEF1234u);
+  std::vector<uint8_t> scratch;
+  for (int iter = 0; iter < 400; ++iter) {
+    ASSERT_NO_THROW(mutate_and_parse(base, rng, scratch))
+        << "iteration " << iter << " leaked an exception";
+  }
+}
+
+TEST(FuzzModel, AbsurdCountFieldsRejectedBeforeAllocation) {
+  // Craft V1 images whose early count/length fields claim gigabytes. The
+  // parser must reject them from the *remaining byte budget* without ever
+  // attempting the allocation (a hang/OOM here fails the test run).
+  const std::vector<uint8_t> base = tiny_model(3).serialize_legacy_v1();
+  const uint32_t extremes[] = {0xFFFFFFFFu, 0x7FFFFFFFu, 0x10000000u,
+                               0x01000000u};
+  // Hit every 4-byte-aligned offset in the header/metadata region.
+  for (size_t pos = 4; pos + 4 <= std::min<size_t>(base.size(), 256);
+       pos += 4) {
+    for (const uint32_t v : extremes) {
+      std::vector<uint8_t> img = base;
+      std::memcpy(img.data() + pos, &v, 4);
+      Expected<ModelDef> r{RtError{}};
+      ASSERT_NO_THROW(r = ModelDef::try_deserialize(img))
+          << "offset " << pos << " value " << v;
+      if (!r.ok()) {
+        EXPECT_NE(r.error().code, ErrorCode::kOk);
+      }
+    }
+  }
+}
+
+TEST(FuzzModel, EmptyAndTinyInputs) {
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 7u, 8u, 11u, 12u, 15u, 16u}) {
+    std::vector<uint8_t> img(n, 0xAB);
+    const auto r = ModelDef::try_deserialize(img);
+    ASSERT_FALSE(r.ok()) << n << "-byte image parsed";
+    EXPECT_TRUE(r.code() == ErrorCode::kBadMagic ||
+                r.code() == ErrorCode::kTruncated)
+        << error_code_name(r.code());
+  }
+}
+
+TEST(FuzzModel, WrongMagicIsBadMagicNotTruncated) {
+  std::vector<uint8_t> img = tiny_model(4).serialize();
+  img[0] ^= 0xFF;
+  const auto r = ModelDef::try_deserialize(img);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kBadMagic);
+}
+
+}  // namespace
+}  // namespace mn::rt

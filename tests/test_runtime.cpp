@@ -127,9 +127,57 @@ TEST(Planner, ArenaAtLeastLargestConcurrentPair) {
   for (const OpDef& op : m.ops) {
     const TensorAllocation* in = plan.find(op.inputs[0]);
     const TensorAllocation* out = plan.find(op.output);
-    if (in != nullptr && out != nullptr)
+    if (in != nullptr && out != nullptr) {
       EXPECT_GE(plan.arena_bytes, in->bytes + out->bytes);
+    }
   }
+}
+
+TEST(Planner, OrphanTensorNeverWrittenThrows) {
+  ModelDef m = tiny_model();
+  TensorDef orphan;
+  orphan.name = "orphan";
+  orphan.shape = Shape{4};
+  orphan.is_const = false;
+  m.tensors.push_back(orphan);  // no op writes it, it is not the input
+  try {
+    plan_memory(m);
+    FAIL() << "expected plan_memory to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("never written"), std::string::npos);
+  }
+}
+
+TEST(Planner, DeadTensorNeverReadThrows) {
+  ModelDef m = tiny_model();
+  TensorDef dead = m.tensors[static_cast<size_t>(m.output_tensor)];
+  dead.name = "dead";
+  m.tensors.push_back(dead);
+  OpDef writer = m.ops.back();  // writes the new tensor; nobody reads it
+  writer.output = static_cast<int>(m.tensors.size()) - 1;
+  m.ops.push_back(writer);
+  try {
+    plan_memory(m);
+    FAIL() << "expected plan_memory to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("never read"), std::string::npos);
+  }
+}
+
+TEST(Interpreter, MixedPrecisionConvIsRejected) {
+  // int4 weights driving int8 activations is not a supported kernel combo;
+  // the throwing path raises and the hardened path reports kUnsupportedOp.
+  ModelDef m = tiny_model(15);
+  const OpDef& stem = m.ops.front();
+  ASSERT_EQ(stem.type, OpType::kConv2D);
+  m.tensors[static_cast<size_t>(stem.inputs[1])].bits = 4;
+  Interpreter interp(std::move(m));
+  const TensorF img(Shape{12, 8, 1}, 0.2f);
+  const auto r = interp.try_invoke(img);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kUnsupportedOp);
+  EXPECT_NE(r.error().message.find("mixed-precision"), std::string::npos);
+  EXPECT_THROW(interp.invoke(img), std::runtime_error);
 }
 
 TEST(Converter, FoldsBatchNormExactly) {
