@@ -75,11 +75,11 @@ int main(int argc, char** argv) {
   dc.lr_w_start = 0.05;
   dc.seed = opt.seed;
   dc.constraints = core::constraints_for_device(mcu::stm32f446re(), 0.1);
-  dc.on_epoch = [](int epoch, double loss, double acc, double pen,
-                   const core::CostBreakdown& cost) {
+  dc.on_epoch = [](const core::DnasEpochInfo& ep) {
     std::printf("  epoch %2d  loss %.3f  acc %.3f  penalty %.4f  E[ops] %.2fM  E[flash] %.0fKB\n",
-                epoch, loss, acc, pen, cost.expected_ops / 1e6,
-                cost.expected_flash_bytes / 1024.0);
+                ep.epoch, ep.loss, ep.accuracy, ep.penalty,
+                ep.cost.expected_ops / 1e6,
+                ep.cost.expected_flash_bytes / 1024.0);
   };
   core::run_dnas(net, train, dc);
 

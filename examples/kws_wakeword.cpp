@@ -48,10 +48,10 @@ int main() {
   dcfg.seed = 3;
   dcfg.constraints = core::constraints_for_device(mcu::stm32f446re(),
                                                   /*latency_target_s=*/0.1);
-  dcfg.on_epoch = [](int epoch, double loss, double acc, double pen,
-                     const core::CostBreakdown& cost) {
+  dcfg.on_epoch = [](const core::DnasEpochInfo& ep) {
     std::printf("  epoch %2d  loss %.3f  acc %.3f  penalty %.4f  E[ops]=%.2fM\n",
-                epoch, loss, acc, pen, cost.expected_ops / 1e6);
+                ep.epoch, ep.loss, ep.accuracy, ep.penalty,
+                ep.cost.expected_ops / 1e6);
   };
   core::run_dnas(net, train, dcfg);
 

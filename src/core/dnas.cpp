@@ -2,12 +2,188 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "mcu/perf_model.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/snapshot.hpp"
 
 namespace mn::core {
+
+namespace {
+
+// Complete search state at an epoch boundary: supernet weights + arch logits
+// (the checkpoint image covers both, plus BN stats), both optimizers'
+// moments, both RNG streams, and the schedule/recovery position. Used in
+// memory for divergence rollback and on disk as the crash journal.
+struct DnasSnapshot {
+  int next_epoch = 0;
+  int64_t step = 0;
+  double lr_scale = 1.0;
+  int recovery_count = 0;
+  double last_acc = 0.0, last_penalty = 0.0, last_loss = 0.0;
+  CostBreakdown cost;
+  RngState rng;        // shuffle/batch stream
+  RngState gumbel_rng; // SearchContext decision-noise stream
+  std::vector<int64_t> order;  // cumulative shuffle permutation
+  std::vector<uint8_t> ckpt;
+  std::vector<uint8_t> w_opt_state;
+  std::vector<uint8_t> a_opt_state;
+};
+
+DnasSnapshot capture(Supernet& net, const nn::Optimizer& w_opt,
+                     const nn::Optimizer& a_opt,
+                     std::span<nn::Param* const> weight_params,
+                     std::span<nn::Param* const> arch_params, const Rng& rng,
+                     const std::vector<int64_t>& order, int next_epoch,
+                     int64_t step, double lr_scale, int recovery_count,
+                     const DnasResult& so_far) {
+  DnasSnapshot s;
+  s.next_epoch = next_epoch;
+  s.step = step;
+  s.lr_scale = lr_scale;
+  s.recovery_count = recovery_count;
+  s.last_acc = so_far.final_train_accuracy;
+  s.last_penalty = so_far.final_penalty;
+  s.last_loss = so_far.final_loss;
+  s.cost = so_far.final_cost;
+  s.rng = rng.save_state();
+  s.gumbel_rng = net.ctx().rng.save_state();
+  s.order = order;
+  s.ckpt = nn::save_checkpoint(net.graph);
+  nn::ByteWriter ww, wa;
+  w_opt.save_state(weight_params, ww);
+  a_opt.save_state(arch_params, wa);
+  s.w_opt_state = ww.take();
+  s.a_opt_state = wa.take();
+  return s;
+}
+
+void restore(const DnasSnapshot& s, Supernet& net, nn::Optimizer& w_opt,
+             nn::Optimizer& a_opt, std::span<nn::Param* const> weight_params,
+             std::span<nn::Param* const> arch_params, Rng& rng,
+             const data::Dataset& train, data::Dataset& ds,
+             std::vector<int64_t>& order) {
+  nn::load_checkpoint(net.graph, s.ckpt);
+  nn::ByteReader rw(s.w_opt_state), ra(s.a_opt_state);
+  w_opt.load_state(weight_params, rw);
+  a_opt.load_state(arch_params, ra);
+  if (!rw.ok()) rt::throw_rt_error(rw.error());
+  if (!ra.ok()) rt::throw_rt_error(ra.error());
+  rng.restore_state(s.rng);
+  net.ctx().rng.restore_state(s.gumbel_rng);
+  // Epoch shuffles compose, so the example permutation is part of the state.
+  order = s.order;
+  for (size_t i = 0; i < order.size(); ++i)
+    ds.examples[i] = train.examples[static_cast<size_t>(order[i])];
+}
+
+void put_order(nn::ByteWriter& w, const std::vector<int64_t>& order) {
+  w.u32(static_cast<uint32_t>(order.size()));
+  for (int64_t idx : order) w.u32(static_cast<uint32_t>(idx));
+}
+
+std::vector<int64_t> get_order(nn::ByteReader& r, int64_t expected_size) {
+  const uint32_t n = r.u32();
+  if (!r.ok()) return {};
+  if (n != static_cast<uint64_t>(expected_size)) {
+    r.fail(rt::ErrorCode::kGraphInvalid,
+           "journal: dataset size mismatch (journal has " + std::to_string(n) +
+               " examples, caller has " + std::to_string(expected_size) + ")");
+    return {};
+  }
+  std::vector<int64_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = static_cast<int64_t>(r.u32());
+  return order;
+}
+
+rt::Expected<uint32_t> write_dnas_journal(const std::string& path,
+                                          const DnasConfig& cfg,
+                                          const DnasSnapshot& s) {
+  nn::ByteWriter w;
+  w.u32(nn::kJournalMagic);
+  w.u32(static_cast<uint32_t>(nn::JournalKind::kDnas));
+  // Config guard: a journal only resumes into the search that wrote it.
+  w.u32(static_cast<uint32_t>(cfg.epochs));
+  w.u64(static_cast<uint64_t>(cfg.batch_size));
+  w.u64(cfg.seed);
+  w.u32(static_cast<uint32_t>(cfg.warmup_epochs));
+  w.u32(static_cast<uint32_t>(s.next_epoch));
+  w.u64(static_cast<uint64_t>(s.step));
+  w.f64(s.lr_scale);
+  w.u32(static_cast<uint32_t>(s.recovery_count));
+  w.f64(s.last_acc);
+  w.f64(s.last_penalty);
+  w.f64(s.last_loss);
+  w.f64(s.cost.expected_params);
+  w.f64(s.cost.expected_flash_bytes);
+  w.f64(s.cost.expected_ops);
+  w.f64(s.cost.peak_working_memory);
+  w.f64(s.cost.expected_latency_s);
+  w.u32(static_cast<uint32_t>(s.cost.peak_conv_index));
+  w.rng(s.rng);
+  w.rng(s.gumbel_rng);
+  put_order(w, s.order);
+  w.blob(s.ckpt);
+  w.blob(s.w_opt_state);
+  w.blob(s.a_opt_state);
+  w.seal();
+  return nn::write_file_atomic(path, w.bytes());
+}
+
+rt::Expected<DnasSnapshot> read_dnas_journal(const std::string& path,
+                                             const DnasConfig& cfg,
+                                             int64_t dataset_size) {
+  auto bytes = nn::read_file_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  nn::ByteReader r(bytes.value());
+  if (r.unseal() != rt::ErrorCode::kOk) return r.error();
+  if (r.u32() != nn::kJournalMagic)
+    return rt::RtError{rt::ErrorCode::kBadMagic,
+                       "journal: not an MNJ1 journal: " + path};
+  if (r.u32() != static_cast<uint32_t>(nn::JournalKind::kDnas))
+    return rt::RtError{rt::ErrorCode::kGraphInvalid,
+                       "journal: not a DNAS journal: " + path};
+  const uint32_t epochs = r.u32();
+  const uint64_t batch = r.u64();
+  const uint64_t seed = r.u64();
+  const uint32_t warmup = r.u32();
+  if (r.ok() && (epochs != static_cast<uint32_t>(cfg.epochs) ||
+                 batch != static_cast<uint64_t>(cfg.batch_size) ||
+                 seed != cfg.seed ||
+                 warmup != static_cast<uint32_t>(cfg.warmup_epochs)))
+    return rt::RtError{rt::ErrorCode::kGraphInvalid,
+                       "journal: written under a different DNAS config"};
+  DnasSnapshot s;
+  s.next_epoch = static_cast<int>(r.u32());
+  s.step = static_cast<int64_t>(r.u64());
+  s.lr_scale = r.f64();
+  s.recovery_count = static_cast<int>(r.u32());
+  s.last_acc = r.f64();
+  s.last_penalty = r.f64();
+  s.last_loss = r.f64();
+  s.cost.expected_params = r.f64();
+  s.cost.expected_flash_bytes = r.f64();
+  s.cost.expected_ops = r.f64();
+  s.cost.peak_working_memory = r.f64();
+  s.cost.expected_latency_s = r.f64();
+  s.cost.peak_conv_index = static_cast<int>(r.u32());
+  s.rng = r.rng();
+  s.gumbel_rng = r.rng();
+  s.order = get_order(r, dataset_size);
+  s.ckpt = r.blob();
+  s.w_opt_state = r.blob();
+  s.a_opt_state = r.blob();
+  if (!r.ok()) return r.error();
+  if (r.remaining() != 0)
+    return rt::RtError{rt::ErrorCode::kTrailingBytes,
+                       "journal: trailing bytes after the optimizer state"};
+  return s;
+}
+
+}  // namespace
 
 DnasConstraints constraints_for_device(const mcu::Device& dev,
                                        double latency_target_s) {
@@ -73,7 +249,40 @@ DnasResult run_dnas(Supernet& net, const data::Dataset& train,
 
   DnasResult result;
   int64_t step = 0;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  int epoch = 0;
+  double lr_scale = 1.0;
+  int recovery_count = 0;
+  const bool sentinel = cfg.max_recoveries > 0;
+  int64_t steps_this_call = 0;
+  std::vector<int64_t> order(static_cast<size_t>(ds.size()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  if (!cfg.resume_from.empty()) {
+    DnasSnapshot j =
+        read_dnas_journal(cfg.resume_from, cfg, ds.size()).take_or_throw();
+    restore(j, net, w_opt, a_opt, weight_params, arch_params, rng, train, ds,
+            order);
+    epoch = j.next_epoch;
+    step = j.step;
+    lr_scale = j.lr_scale;
+    recovery_count = j.recovery_count;
+    result.final_train_accuracy = j.last_acc;
+    result.final_penalty = j.last_penalty;
+    result.final_loss = j.last_loss;
+    result.final_cost = j.cost;
+    result.epochs_completed = j.next_epoch;
+  }
+
+  while (epoch < cfg.epochs) {
+    // Epoch-boundary snapshot: rollback target for the divergence sentinel
+    // and the payload of the crash journal. Taken before the shuffle and
+    // before any Gumbel draw, so a restore replays the epoch identically.
+    DnasSnapshot boundary =
+        capture(net, w_opt, a_opt, weight_params, arch_params, rng, order,
+                epoch, step, lr_scale, recovery_count, result);
+    if (!cfg.journal_path.empty() && epoch % std::max(1, cfg.journal_every) == 0)
+      write_dnas_journal(cfg.journal_path, cfg, boundary).take_or_throw();
+
     // Anneal the Gumbel-softmax temperature over the search.
     const double frac = cfg.epochs > 1
                             ? static_cast<double>(epoch) / (cfg.epochs - 1)
@@ -82,9 +291,11 @@ DnasResult run_dnas(Supernet& net, const data::Dataset& train,
         cfg.temp_start * std::pow(cfg.temp_end / cfg.temp_start, frac);
     const bool arch_active = epoch >= cfg.warmup_epochs;
 
-    data::shuffle(ds, rng);
+    data::shuffle_tracked(ds, rng, order);
     double loss_sum = 0.0, acc_sum = 0.0, pen_sum = 0.0;
     int64_t batches = 0;
+    bool diverged = false;
+    reliability::RecoveryEvent event;
     for (int64_t first = 0; first < ds.size(); first += cfg.batch_size) {
       const data::Batch batch = data::make_batch(ds, first, cfg.batch_size);
       net.graph.zero_grads();
@@ -97,13 +308,74 @@ DnasResult run_dnas(Supernet& net, const data::Dataset& train,
       double d_flash, d_ops, d_wm, d_lat;
       const double pen = constraint_penalty(cost, cfg.constraints, &d_flash,
                                             &d_ops, &d_wm, &d_lat);
+      if (cfg.grad_fault) cfg.grad_fault(epoch, step, weight_params, arch_params);
+
+      if (sentinel) {
+        if (!std::isfinite(lr.loss) || !std::isfinite(pen)) {
+          event = {epoch, step, reliability::RecoveryKind::kNonFiniteLoss,
+                   lr_scale, std::isfinite(lr.loss) ? "penalty" : "loss"};
+          diverged = true;
+          break;
+        }
+        for (nn::Param* p : weight_params) {
+          if (!reliability::all_finite(
+                  {p->grad.data(), static_cast<size_t>(p->grad.size())})) {
+            event = {epoch, step, reliability::RecoveryKind::kNonFiniteGradient,
+                     lr_scale, p->name};
+            diverged = true;
+            break;
+          }
+        }
+        for (nn::Param* p : arch_params) {
+          if (diverged) break;
+          if (!reliability::all_finite(
+                  {p->grad.data(), static_cast<size_t>(p->grad.size())})) {
+            event = {epoch, step, reliability::RecoveryKind::kNonFiniteGradient,
+                     lr_scale, p->name};
+            diverged = true;
+          }
+        }
+        if (diverged) break;
+      }
+
       if (arch_active) {
         accumulate_cost_gradients(net, d_flash, d_ops, d_wm, d_lat,
                                   cfg.constraints.latency_device);
-        a_opt.step(arch_params, cfg.lr_arch);
+        a_opt.step(arch_params, cfg.lr_arch * lr_scale);
       }
-      w_opt.step(weight_params, w_sched.lr(step));
+      w_opt.step(weight_params, w_sched.lr(step) * lr_scale);
       ++step;
+
+      if (sentinel) {
+        for (nn::Param* p : arch_params) {
+          if (!reliability::all_finite(
+                  {p->value.data(), static_cast<size_t>(p->value.size())})) {
+            event = {epoch, step,
+                     reliability::RecoveryKind::kNonFiniteArchLogit, lr_scale,
+                     p->name};
+            diverged = true;
+            break;
+          }
+        }
+        for (nn::Param* p : weight_params) {
+          if (diverged) break;
+          if (!reliability::all_finite(
+                  {p->value.data(), static_cast<size_t>(p->value.size())})) {
+            event = {epoch, step, reliability::RecoveryKind::kNonFiniteParam,
+                     lr_scale, p->name};
+            diverged = true;
+          }
+        }
+        if (diverged) break;
+      }
+
+      if (++steps_this_call == cfg.halt_after_steps) {
+        // Simulated power loss mid-epoch: the journal on disk still holds
+        // the last epoch boundary, exactly as after a SIGKILL.
+        result.interrupted = true;
+        return result;
+      }
+
       loss_sum += lr.loss + pen;
       pen_sum += pen;
       acc_sum += nn::accuracy(logits, batch.labels);
@@ -111,11 +383,55 @@ DnasResult run_dnas(Supernet& net, const data::Dataset& train,
       result.final_cost = cost;
       result.final_penalty = pen;
     }
+
+    if (diverged) {
+      ++recovery_count;
+      if (recovery_count > cfg.max_recoveries)
+        throw std::runtime_error(
+            std::string("run_dnas: divergence (") +
+            reliability::recovery_kind_name(event.kind) + " in '" +
+            event.detail + "') persisted after " +
+            std::to_string(cfg.max_recoveries) + " recoveries");
+      restore(boundary, net, w_opt, a_opt, weight_params, arch_params, rng,
+              train, ds, order);
+      step = boundary.step;
+      result.final_cost = boundary.cost;
+      result.final_penalty = boundary.last_penalty;
+      lr_scale *= cfg.lr_backoff;
+      event.lr_scale_after = lr_scale;
+      result.recoveries.push_back(event);
+      if (cfg.on_recovery) cfg.on_recovery(event);
+      continue;  // re-run the same epoch with the smaller LR
+    }
+
     result.final_train_accuracy = acc_sum / static_cast<double>(batches);
-    if (cfg.on_epoch)
-      cfg.on_epoch(epoch, loss_sum / static_cast<double>(batches),
-                   result.final_train_accuracy,
-                   pen_sum / static_cast<double>(batches), result.final_cost);
+    result.final_loss = loss_sum / static_cast<double>(batches);
+    result.epochs_completed = epoch + 1;
+    if (cfg.on_epoch) {
+      DnasEpochInfo info;
+      info.epoch = epoch;
+      info.step = step;
+      info.loss = result.final_loss;
+      info.accuracy = result.final_train_accuracy;
+      info.penalty = pen_sum / static_cast<double>(batches);
+      info.temperature = net.ctx().temperature;
+      info.arch_active = arch_active;
+      info.cost = result.final_cost;
+      info.rng_fingerprint = rng.fingerprint();
+      info.gumbel_rng_fingerprint = net.ctx().rng.fingerprint();
+      info.recoveries = recovery_count;
+      cfg.on_epoch(info);
+    }
+    ++epoch;
+  }
+
+  if (!cfg.journal_path.empty()) {
+    // Completion journal: resuming a finished search returns its recorded
+    // result without re-running any epoch.
+    const DnasSnapshot done =
+        capture(net, w_opt, a_opt, weight_params, arch_params, rng, order,
+                cfg.epochs, step, lr_scale, recovery_count, result);
+    write_dnas_journal(cfg.journal_path, cfg, done).take_or_throw();
   }
   return result;
 }

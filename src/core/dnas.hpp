@@ -1,13 +1,24 @@
 // DNAS search loop (§5): trains supernet weights and architecture logits
 // jointly by gradient descent, with differentiable penalties that push the
 // expected architecture inside the MCU eFlash / SRAM / op-count budgets.
+//
+// Crash safety (PR 2): the search can journal its complete state — supernet
+// weights, architecture logits, both optimizers' moments, both RNG streams,
+// and the schedule position — to a CRC-sealed file at epoch boundaries, and
+// resume from that journal bit-identically (the resumed run reaches exactly
+// the architecture decision, cost breakdown, and accuracy of an
+// uninterrupted run; bench_resume_equivalence proves it). A divergence
+// sentinel guards the joint optimization the same way the Trainer's does,
+// additionally watching the architecture logits.
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "core/supernet.hpp"
 #include "datasets/dataset.hpp"
 #include "mcu/device.hpp"
+#include "reliability/recovery.hpp"
 
 namespace mn::core {
 
@@ -31,6 +42,26 @@ struct DnasConstraints {
 DnasConstraints constraints_for_device(const mcu::Device& dev,
                                        double latency_target_s = 0.0);
 
+// Per-epoch progress report. All fields are deterministic functions of the
+// search state (no wall clock), so two runs of the same seed — or a resumed
+// run — produce identical sequences; the RNG fingerprints make drift between
+// a resumed and an uninterrupted run visible at the first diverging epoch.
+struct DnasEpochInfo {
+  int epoch = 0;
+  int64_t step = 0;          // global weight-optimizer steps completed
+  double loss = 0.0;         // mean train loss incl. constraint penalty
+  double accuracy = 0.0;     // mean train accuracy
+  double penalty = 0.0;      // mean constraint penalty
+  double temperature = 0.0;  // Gumbel-softmax temperature this epoch
+  bool arch_active = false;  // past the weight-only warmup
+  CostBreakdown cost;        // cost under the last batch's decision weights
+  // SplitMix64 stream positions of the shuffle/mixup RNG and the
+  // Gumbel-noise RNG after this epoch (wall-clock-free progress markers).
+  uint64_t rng_fingerprint = 0;
+  uint64_t gumbel_rng_fingerprint = 0;
+  int recoveries = 0;        // divergence recoveries so far in this run
+};
+
 struct DnasConfig {
   int epochs = 30;
   int64_t batch_size = 32;
@@ -43,15 +74,31 @@ struct DnasConfig {
   int warmup_epochs = 5;  // train weights only before arch updates begin
   uint64_t seed = 1;
   DnasConstraints constraints;
-  std::function<void(int, double /*loss*/, double /*acc*/, double /*penalty*/,
-                     const CostBreakdown&)>
-      on_epoch;
+  std::function<void(const DnasEpochInfo&)> on_epoch;
+
+  // --- crash safety & divergence recovery (see nn::TrainConfig) ---
+  std::string journal_path;  // empty disables journaling
+  int journal_every = 1;
+  std::string resume_from;   // journal to resume from (bit-identical)
+  int max_recoveries = 0;    // 0 = sentinel off
+  double lr_backoff = 0.5;
+  std::function<void(const reliability::RecoveryEvent&)> on_recovery;
+  int64_t halt_after_steps = -1;  // testing hook: simulated power loss
+  // Fault hook called after backward with (epoch, step, weight params,
+  // arch params) for reproducible gradient-poisoning campaigns.
+  std::function<void(int, int64_t, std::span<nn::Param* const>,
+                     std::span<nn::Param* const>)>
+      grad_fault;
 };
 
 struct DnasResult {
   CostBreakdown final_cost;
   double final_train_accuracy = 0.0;
   double final_penalty = 0.0;
+  double final_loss = 0.0;
+  int epochs_completed = 0;
+  bool interrupted = false;  // true iff halted by `halt_after_steps`
+  std::vector<reliability::RecoveryEvent> recoveries;
 };
 
 // Penalty value and its derivative coefficients w.r.t. each cost term

@@ -12,6 +12,14 @@ void shuffle(Dataset& ds, Rng& rng) {
   }
 }
 
+void shuffle_tracked(Dataset& ds, Rng& rng, std::vector<int64_t>& order) {
+  for (int64_t i = ds.size() - 1; i > 0; --i) {
+    const int64_t j = rng.uniform_int(0, i);
+    std::swap(ds.examples[static_cast<size_t>(i)], ds.examples[static_cast<size_t>(j)]);
+    std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(j)]);
+  }
+}
+
 std::pair<Dataset, Dataset> split(const Dataset& ds, double test_fraction) {
   if (test_fraction < 0.0 || test_fraction > 1.0)
     throw std::invalid_argument("split: fraction out of range");

@@ -26,6 +26,12 @@ struct Dataset {
 // Fisher-Yates shuffle with an explicit seed.
 void shuffle(Dataset& ds, Rng& rng);
 
+// Same draws and swaps as `shuffle`, additionally applied to `order` (which
+// must have ds.size() entries). Training loops track the cumulative
+// permutation this way so a crash journal can restore the exact example
+// ordering at an epoch boundary.
+void shuffle_tracked(Dataset& ds, Rng& rng, std::vector<int64_t>& order);
+
 // Split off the last `fraction` of examples as a second dataset.
 std::pair<Dataset, Dataset> split(const Dataset& ds, double test_fraction);
 

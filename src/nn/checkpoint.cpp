@@ -1,14 +1,15 @@
 #include "nn/checkpoint.hpp"
 
 #include <cstring>
-#include <fstream>
-#include <stdexcept>
+
+#include "nn/snapshot.hpp"
 
 namespace mn::nn {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x31504B43;  // "CKP1"
+constexpr uint32_t kMagicV1 = 0x31504B43;  // "CKP1" (no CRC)
+constexpr uint32_t kMagicV2 = 0x32504B43;  // "CKP2" (CRC32 trailer)
 
 struct Entry {
   std::string name;
@@ -42,114 +43,162 @@ std::vector<FakeQuant*> fake_quants(Graph& g) {
   return out;
 }
 
-void put_u32(std::vector<uint8_t>& buf, uint32_t v) {
-  const auto* b = reinterpret_cast<const uint8_t*>(&v);
-  buf.insert(buf.end(), b, b + 4);
+void write_payload(Graph& graph, ByteWriter& w) {
+  const auto entries = named_tensors(graph);
+  w.u32(static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    w.str(e.name);
+    w.u32(static_cast<uint32_t>(e.tensor->size()));
+    w.floats(e.tensor->data(), e.tensor->size());
+  }
+  const auto fqs = fake_quants(graph);
+  w.u32(static_cast<uint32_t>(fqs.size()));
+  for (FakeQuant* fq : fqs) {
+    w.str(fq->name());
+    w.f32(fq->range_min());
+    w.f32(fq->range_max());
+    w.u32(fq->calibrated() ? 1 : 0);
+  }
 }
 
-void put_str(std::vector<uint8_t>& buf, const std::string& s) {
-  put_u32(buf, static_cast<uint32_t>(s.size()));
-  buf.insert(buf.end(), s.begin(), s.end());
-}
-
-struct Reader {
-  const std::vector<uint8_t>& buf;
-  size_t pos = 0;
-  uint32_t u32() {
-    if (pos + 4 > buf.size()) throw std::runtime_error("checkpoint: truncated");
-    uint32_t v;
-    std::memcpy(&v, buf.data() + pos, 4);
-    pos += 4;
-    return v;
-  }
-  std::string str() {
-    const uint32_t n = u32();
-    if (pos + n > buf.size()) throw std::runtime_error("checkpoint: truncated");
-    std::string s(reinterpret_cast<const char*>(buf.data() + pos), n);
-    pos += n;
-    return s;
-  }
-  void floats(float* dst, size_t n) {
-    if (pos + n * 4 > buf.size()) throw std::runtime_error("checkpoint: truncated");
-    std::memcpy(dst, buf.data() + pos, n * 4);
-    pos += n * 4;
-  }
+// Fully parsed and graph-validated image, staged before any tensor of the
+// live graph is written (a failed load must never leave a partial model).
+struct StagedCheckpoint {
+  std::vector<std::vector<float>> tensors;  // one per named_tensors entry
+  std::vector<float> fq_lo, fq_hi;
+  std::vector<bool> fq_calibrated;
 };
+
+void parse_payload(Graph& graph, ByteReader& r, StagedCheckpoint& staged) {
+  const auto entries = named_tensors(graph);
+  const uint32_t count = r.u32();
+  if (!r.ok()) return;
+  if (count != entries.size()) {
+    r.fail(rt::ErrorCode::kGraphInvalid,
+           "checkpoint: parameter count mismatch (file has " +
+               std::to_string(count) + ", graph has " +
+               std::to_string(entries.size()) + ")");
+    return;
+  }
+  staged.tensors.reserve(entries.size());
+  for (const Entry& e : entries) {
+    const std::string name = r.str();
+    if (!r.ok()) return;
+    if (name != e.name) {
+      r.fail(rt::ErrorCode::kGraphInvalid, "checkpoint: expected param '" +
+                                               e.name + "', file has '" + name +
+                                               "'");
+      return;
+    }
+    const uint32_t n = r.u32();
+    if (!r.ok()) return;
+    if (static_cast<int64_t>(n) != e.tensor->size()) {
+      r.fail(rt::ErrorCode::kGraphInvalid,
+             "checkpoint: size mismatch for " + name);
+      return;
+    }
+    std::vector<float> values(n);
+    r.floats(values.data(), n);
+    if (!r.ok()) return;
+    staged.tensors.push_back(std::move(values));
+  }
+  const auto fqs = fake_quants(graph);
+  const uint32_t nfq = r.u32();
+  if (!r.ok()) return;
+  if (nfq != fqs.size()) {
+    r.fail(rt::ErrorCode::kGraphInvalid, "checkpoint: FakeQuant count mismatch");
+    return;
+  }
+  for (FakeQuant* fq : fqs) {
+    const std::string name = r.str();
+    if (!r.ok()) return;
+    if (name != fq->name()) {
+      r.fail(rt::ErrorCode::kGraphInvalid,
+             "checkpoint: FakeQuant name mismatch: " + name);
+      return;
+    }
+    staged.fq_lo.push_back(r.f32());
+    staged.fq_hi.push_back(r.f32());
+    staged.fq_calibrated.push_back(r.u32() != 0);
+    if (!r.ok()) return;
+  }
+  if (r.remaining() != 0)
+    r.fail(rt::ErrorCode::kTrailingBytes,
+           "checkpoint: " + std::to_string(r.remaining()) +
+               " bytes left after the FakeQuant records");
+}
+
+void commit(Graph& graph, const StagedCheckpoint& staged) {
+  const auto entries = named_tensors(graph);
+  for (size_t i = 0; i < entries.size(); ++i)
+    std::memcpy(entries[i].tensor->data(), staged.tensors[i].data(),
+                staged.tensors[i].size() * 4);
+  const auto fqs = fake_quants(graph);
+  for (size_t i = 0; i < fqs.size(); ++i)
+    if (staged.fq_calibrated[i]) fqs[i]->set_range(staged.fq_lo[i], staged.fq_hi[i]);
+}
 
 }  // namespace
 
 std::vector<uint8_t> save_checkpoint(Graph& graph) {
-  const auto entries = named_tensors(graph);
-  std::vector<uint8_t> buf;
-  put_u32(buf, kMagic);
-  put_u32(buf, static_cast<uint32_t>(entries.size()));
-  for (const Entry& e : entries) {
-    put_str(buf, e.name);
-    put_u32(buf, static_cast<uint32_t>(e.tensor->size()));
-    const auto* b = reinterpret_cast<const uint8_t*>(e.tensor->data());
-    buf.insert(buf.end(), b, b + e.tensor->size() * 4);
-  }
-  const auto fqs = fake_quants(graph);
-  put_u32(buf, static_cast<uint32_t>(fqs.size()));
-  for (FakeQuant* fq : fqs) {
-    put_str(buf, fq->name());
-    const float lo = fq->range_min(), hi = fq->range_max();
-    const auto* bl = reinterpret_cast<const uint8_t*>(&lo);
-    const auto* bh = reinterpret_cast<const uint8_t*>(&hi);
-    buf.insert(buf.end(), bl, bl + 4);
-    buf.insert(buf.end(), bh, bh + 4);
-    put_u32(buf, fq->calibrated() ? 1 : 0);
-  }
-  return buf;
+  ByteWriter w;
+  w.u32(kMagicV2);
+  write_payload(graph, w);
+  w.seal();
+  return w.take();
+}
+
+std::vector<uint8_t> save_checkpoint_legacy_v1(Graph& graph) {
+  ByteWriter w;
+  w.u32(kMagicV1);
+  write_payload(graph, w);
+  return w.take();
+}
+
+rt::Expected<uint32_t> try_load_checkpoint(Graph& graph,
+                                           const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4)
+    return rt::RtError{rt::ErrorCode::kTruncated,
+                       "checkpoint: shorter than its magic"};
+  uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  if (magic != kMagicV1 && magic != kMagicV2)
+    return rt::RtError{rt::ErrorCode::kBadMagic,
+                       "checkpoint: not a CKP1/CKP2 image"};
+  ByteReader r(bytes);
+  uint32_t crc = 0;
+  if (magic == kMagicV2 && r.unseal(&crc) != rt::ErrorCode::kOk)
+    return r.error();
+  r.u32();  // magic, already validated
+  StagedCheckpoint staged;
+  parse_payload(graph, r, staged);
+  if (!r.ok()) return r.error();
+  commit(graph, staged);
+  return crc;
+}
+
+rt::Expected<uint32_t> try_save_checkpoint(Graph& graph,
+                                           const std::string& path) {
+  return write_file_atomic(path, save_checkpoint(graph));
+}
+
+rt::Expected<uint32_t> try_load_checkpoint(Graph& graph,
+                                           const std::string& path) {
+  auto bytes = read_file_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  return try_load_checkpoint(graph, bytes.value());
 }
 
 void save_checkpoint(Graph& graph, const std::string& path) {
-  const auto bytes = save_checkpoint(graph);
-  std::ofstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
+  try_save_checkpoint(graph, path).take_or_throw();
 }
 
 void load_checkpoint(Graph& graph, const std::vector<uint8_t>& bytes) {
-  Reader r{bytes};
-  if (r.u32() != kMagic) throw std::runtime_error("checkpoint: bad magic");
-  const uint32_t count = r.u32();
-  const auto entries = named_tensors(graph);
-  if (count != entries.size())
-    throw std::runtime_error("checkpoint: parameter count mismatch");
-  for (const Entry& e : entries) {
-    const std::string name = r.str();
-    if (name != e.name)
-      throw std::runtime_error("checkpoint: expected param '" + e.name +
-                               "', file has '" + name + "'");
-    const uint32_t n = r.u32();
-    if (static_cast<int64_t>(n) != e.tensor->size())
-      throw std::runtime_error("checkpoint: size mismatch for " + name);
-    r.floats(e.tensor->data(), n);
-  }
-  const auto fqs = fake_quants(graph);
-  const uint32_t nfq = r.u32();
-  if (nfq != fqs.size())
-    throw std::runtime_error("checkpoint: FakeQuant count mismatch");
-  for (FakeQuant* fq : fqs) {
-    const std::string name = r.str();
-    if (name != fq->name())
-      throw std::runtime_error("checkpoint: FakeQuant name mismatch: " + name);
-    float lo, hi;
-    r.floats(&lo, 1);
-    r.floats(&hi, 1);
-    const bool calibrated = r.u32() != 0;
-    if (calibrated) fq->set_range(lo, hi);
-  }
+  try_load_checkpoint(graph, bytes).take_or_throw();
 }
 
 void load_checkpoint(Graph& graph, const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) throw std::runtime_error("load_checkpoint: cannot open " + path);
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
-                             std::istreambuf_iterator<char>());
-  load_checkpoint(graph, bytes);
+  try_load_checkpoint(graph, path).take_or_throw();
 }
 
 void copy_parameters(Graph& from, Graph& to) {

@@ -1,25 +1,49 @@
 // Training checkpoints: save/load all graph parameters (and BatchNorm
-// running statistics) to a binary file, keyed by parameter name so a
-// checkpoint can only be restored into a structurally identical graph.
+// running statistics plus FakeQuant ranges) to a binary image, keyed by
+// parameter name so a checkpoint can only be restored into a structurally
+// identical graph.
+//
+// Format V2 ("CKP2") appends a CRC32 trailer (same IEEE CRC as the model
+// format V2) so a truncated or bit-flipped file is rejected with a typed
+// error instead of restoring garbage weights. V1 ("CKP1", no CRC) images
+// still load. File saves are durable: write-temp, fsync, atomic rename —
+// a crash mid-save leaves the previous checkpoint intact. Loads validate
+// the *entire* image against the graph before touching any tensor, so a
+// failed load never leaves the graph partially overwritten.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "nn/graph.hpp"
+#include "runtime/rt_error.hpp"
 
 namespace mn::nn {
 
 // Serializes every Param (value only, not gradients) plus BatchNorm running
-// mean/variance buffers.
+// mean/variance buffers and FakeQuant EMA ranges. Format V2 (CRC-sealed).
 std::vector<uint8_t> save_checkpoint(Graph& graph);
 void save_checkpoint(Graph& graph, const std::string& path);
+
+// The pre-CRC V1 encoding; kept so the compatibility path stays tested.
+std::vector<uint8_t> save_checkpoint_legacy_v1(Graph& graph);
 
 // Restores parameters into `graph`. Throws if any name or shape mismatches
 // (the graph must have been built from the same configuration and seed
 // discipline; values are overwritten, so the init seed need not match).
 void load_checkpoint(Graph& graph, const std::vector<uint8_t>& bytes);
 void load_checkpoint(Graph& graph, const std::string& path);
+
+// No-throw variants for deployment/automation callers. Error codes:
+// kBadMagic (not a checkpoint), kCrcMismatch (corrupted/truncated V2 image),
+// kTruncated (stream ends mid-record), kGraphInvalid (name/shape/count
+// mismatch against `graph`), kTrailingBytes, kIoError (file open/read/write
+// failure). On any error the graph is left untouched. Returns the payload
+// CRC32 (0 for a V1 image).
+rt::Expected<uint32_t> try_save_checkpoint(Graph& graph, const std::string& path);
+rt::Expected<uint32_t> try_load_checkpoint(Graph& graph,
+                                           const std::vector<uint8_t>& bytes);
+rt::Expected<uint32_t> try_load_checkpoint(Graph& graph, const std::string& path);
 
 // Copies parameters between two graphs built from the same configuration
 // (used for progressive quantization: train an 8-bit graph, copy into a

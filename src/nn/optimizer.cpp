@@ -4,6 +4,109 @@
 
 namespace mn::nn {
 
+namespace {
+
+// Optimizer-state tags: the journal stores which optimizer wrote the state
+// so a resume with a mismatched optimizer is a typed error, not silent reuse.
+constexpr uint32_t kStateNone = 0;
+constexpr uint32_t kStateSgd = 1;
+constexpr uint32_t kStateAdam = 2;
+
+// Writes one per-param slot tensor (present flag + floats); lazily created
+// slots that have not been stepped yet are recorded as absent.
+void put_slot(ByteWriter& w, const std::unordered_map<const Param*, TensorF>& m,
+              const Param* p) {
+  const auto it = m.find(p);
+  w.u8(it != m.end() ? 1 : 0);
+  if (it != m.end()) {
+    w.u32(static_cast<uint32_t>(it->second.size()));
+    w.floats(it->second.data(), it->second.size());
+  }
+}
+
+// Reads a slot written by put_slot into `m[p]`; fails `r` on a size mismatch.
+void get_slot(ByteReader& r, std::unordered_map<const Param*, TensorF>& m,
+              Param* p) {
+  if (r.u8() == 0) return;
+  const uint32_t n = r.u32();
+  if (!r.ok()) return;
+  if (static_cast<int64_t>(n) != p->value.size()) {
+    r.fail(rt::ErrorCode::kGraphInvalid,
+           "optimizer state: size mismatch for " + p->name);
+    return;
+  }
+  TensorF t(p->value.shape(), 0.f);
+  r.floats(t.data(), t.size());
+  if (r.ok()) m.emplace(p, std::move(t));
+}
+
+bool check_header(ByteReader& r, uint32_t expected_tag, size_t n_params,
+                  const char* who) {
+  const uint32_t tag = r.u32();
+  const uint32_t count = r.u32();
+  if (!r.ok()) return false;
+  if (tag != expected_tag) {
+    r.fail(rt::ErrorCode::kGraphInvalid,
+           std::string(who) + ": state written by a different optimizer type");
+    return false;
+  }
+  if (count != n_params) {
+    r.fail(rt::ErrorCode::kGraphInvalid,
+           std::string(who) + ": state param count mismatch");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Optimizer::save_state(std::span<Param* const> params, ByteWriter& w) const {
+  w.u32(kStateNone);
+  w.u32(static_cast<uint32_t>(params.size()));
+}
+
+void Optimizer::load_state(std::span<Param* const> params, ByteReader& r) {
+  check_header(r, kStateNone, params.size(), "optimizer");
+}
+
+void SgdMomentum::save_state(std::span<Param* const> params,
+                             ByteWriter& w) const {
+  w.u32(kStateSgd);
+  w.u32(static_cast<uint32_t>(params.size()));
+  for (const Param* p : params) put_slot(w, velocity_, p);
+}
+
+void SgdMomentum::load_state(std::span<Param* const> params, ByteReader& r) {
+  if (!check_header(r, kStateSgd, params.size(), "SgdMomentum")) return;
+  std::unordered_map<const Param*, TensorF> velocity;
+  for (Param* p : params) get_slot(r, velocity, p);
+  if (r.ok()) velocity_ = std::move(velocity);
+}
+
+void Adam::save_state(std::span<Param* const> params, ByteWriter& w) const {
+  w.u32(kStateAdam);
+  w.u32(static_cast<uint32_t>(params.size()));
+  w.u64(static_cast<uint64_t>(t_));
+  for (const Param* p : params) {
+    put_slot(w, m_, p);
+    put_slot(w, v_, p);
+  }
+}
+
+void Adam::load_state(std::span<Param* const> params, ByteReader& r) {
+  if (!check_header(r, kStateAdam, params.size(), "Adam")) return;
+  const int64_t t = static_cast<int64_t>(r.u64());
+  std::unordered_map<const Param*, TensorF> m, v;
+  for (Param* p : params) {
+    get_slot(r, m, p);
+    get_slot(r, v, p);
+  }
+  if (!r.ok()) return;
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 double CosineSchedule::lr(int64_t step) const {
   if (total_ <= 1) return end_;
   const double t = std::min(1.0, static_cast<double>(step) / static_cast<double>(total_ - 1));

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/param.hpp"
+#include "nn/snapshot.hpp"
 
 namespace mn::nn {
 
@@ -26,6 +27,14 @@ class Optimizer {
   virtual ~Optimizer() = default;
   // Applies one update using each param's accumulated gradient.
   virtual void step(std::span<Param* const> params, double lr) = 0;
+
+  // Serializes the internal state (momenta, step counter) for `params` into
+  // `w`; the span's order defines the on-disk layout, so the identical
+  // ordered span must be passed to load_state. Base: stateless.
+  virtual void save_state(std::span<Param* const> params, ByteWriter& w) const;
+  // Restores state written by save_state; on optimizer-type or shape
+  // mismatch fails `r` with kGraphInvalid and leaves the optimizer unchanged.
+  virtual void load_state(std::span<Param* const> params, ByteReader& r);
 };
 
 // SGD with classical momentum and decoupled weight decay (applied only to
@@ -35,6 +44,8 @@ class SgdMomentum final : public Optimizer {
   explicit SgdMomentum(double momentum = 0.9, double weight_decay = 0.0)
       : momentum_(momentum), weight_decay_(weight_decay) {}
   void step(std::span<Param* const> params, double lr) override;
+  void save_state(std::span<Param* const> params, ByteWriter& w) const override;
+  void load_state(std::span<Param* const> params, ByteReader& r) override;
 
  private:
   double momentum_, weight_decay_;
@@ -47,6 +58,8 @@ class Adam final : public Optimizer {
   Adam(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8)
       : beta1_(beta1), beta2_(beta2), eps_(eps) {}
   void step(std::span<Param* const> params, double lr) override;
+  void save_state(std::span<Param* const> params, ByteWriter& w) const override;
+  void load_state(std::span<Param* const> params, ByteReader& r) override;
 
  private:
   double beta1_, beta2_, eps_;

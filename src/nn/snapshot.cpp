@@ -1,0 +1,248 @@
+#include "nn/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace mn::nn {
+
+// ---------------------------------------------------------------- writer ----
+
+void ByteWriter::u32(uint32_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  buf_.insert(buf_.end(), b, b + 4);
+}
+
+void ByteWriter::u64(uint64_t v) {
+  const auto* b = reinterpret_cast<const uint8_t*>(&v);
+  buf_.insert(buf_.end(), b, b + 8);
+}
+
+void ByteWriter::f32(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, 4);
+  u32(u);
+}
+
+void ByteWriter::f64(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, 8);
+  u64(u);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::blob(std::span<const uint8_t> bytes) {
+  u32(static_cast<uint32_t>(bytes.size()));
+  raw(bytes);
+}
+
+void ByteWriter::floats(const float* src, int64_t n) {
+  const auto* b = reinterpret_cast<const uint8_t*>(src);
+  buf_.insert(buf_.end(), b, b + n * 4);
+}
+
+void ByteWriter::rng(const RngState& s) {
+  u64(s.state);
+  u8(s.have_spare ? 1 : 0);
+  f64(s.spare);
+}
+
+void ByteWriter::seal() { u32(rt::crc32(buf_)); }
+
+// ---------------------------------------------------------------- reader ----
+
+rt::ErrorCode ByteReader::unseal(uint32_t* crc_out) {
+  if (buf_.size() < pos_ + 4) {
+    fail(rt::ErrorCode::kTruncated, "snapshot: shorter than its CRC trailer");
+    return rt::ErrorCode::kTruncated;
+  }
+  uint32_t stored;
+  std::memcpy(&stored, buf_.data() + buf_.size() - 4, 4);
+  const uint32_t computed = rt::crc32(buf_.first(buf_.size() - 4));
+  if (stored != computed) {
+    fail(rt::ErrorCode::kCrcMismatch, "snapshot: CRC32 trailer mismatch");
+    return rt::ErrorCode::kCrcMismatch;
+  }
+  buf_ = buf_.first(buf_.size() - 4);
+  if (crc_out != nullptr) *crc_out = computed;
+  return rt::ErrorCode::kOk;
+}
+
+bool ByteReader::need(size_t n) {
+  if (!ok()) return false;
+  if (pos_ + n > buf_.size()) {
+    fail(rt::ErrorCode::kTruncated, "snapshot: byte stream ended mid-record");
+    return false;
+  }
+  return true;
+}
+
+void ByteReader::fail(rt::ErrorCode code, std::string message) {
+  if (!ok()) return;  // first failure wins
+  err_.code = code;
+  err_.message = std::move(message);
+  pos_ = buf_.size();  // poison further reads
+}
+
+uint8_t ByteReader::u8() {
+  if (!need(1)) return 0;
+  return buf_[pos_++];
+}
+
+uint32_t ByteReader::u32() {
+  if (!need(4)) return 0;
+  uint32_t v;
+  std::memcpy(&v, buf_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::u64() {
+  if (!need(8)) return 0;
+  uint64_t v;
+  std::memcpy(&v, buf_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+float ByteReader::f32() {
+  const uint32_t u = u32();
+  float v;
+  std::memcpy(&v, &u, 4);
+  return v;
+}
+
+double ByteReader::f64() {
+  const uint64_t u = u64();
+  double v;
+  std::memcpy(&v, &u, 8);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const uint32_t n = u32();
+  if (!ok()) return {};
+  if (n > remaining()) {
+    fail(rt::ErrorCode::kCorruptString, "snapshot: string length exceeds buffer");
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<uint8_t> ByteReader::blob() {
+  const uint32_t n = u32();
+  if (!ok()) return {};
+  if (n > remaining()) {
+    fail(rt::ErrorCode::kAbsurdSize, "snapshot: blob length exceeds buffer");
+    return {};
+  }
+  std::vector<uint8_t> out(buf_.begin() + static_cast<ptrdiff_t>(pos_),
+                           buf_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::floats(float* dst, int64_t n) {
+  if (!need(static_cast<size_t>(n) * 4)) return;
+  std::memcpy(dst, buf_.data() + pos_, static_cast<size_t>(n) * 4);
+  pos_ += static_cast<size_t>(n) * 4;
+}
+
+RngState ByteReader::rng() {
+  RngState s;
+  s.state = u64();
+  s.have_spare = u8() != 0;
+  s.spare = f64();
+  return s;
+}
+
+// -------------------------------------------------------------- file I/O ----
+
+namespace {
+
+rt::RtError io_error(const std::string& what, const std::string& path) {
+  return {rt::ErrorCode::kIoError,
+          what + " " + path + ": " + std::strerror(errno)};
+}
+
+// Best-effort fsync of the directory containing `path`, so the rename that
+// just landed there is durable too. Failure is ignored: some filesystems
+// refuse directory fsync, and the data file itself is already synced.
+void fsync_parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+rt::Expected<uint32_t> write_file_atomic(const std::string& path,
+                                         std::span<const uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_error("write_file_atomic: cannot open", tmp);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const rt::RtError e = io_error("write_file_atomic: write failed for", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return e;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const rt::RtError e = io_error("write_file_atomic: fsync failed for", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return e;
+  }
+  if (::close(fd) != 0) {
+    const rt::RtError e = io_error("write_file_atomic: close failed for", tmp);
+    ::unlink(tmp.c_str());
+    return e;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const rt::RtError e = io_error("write_file_atomic: rename failed for", path);
+    ::unlink(tmp.c_str());
+    return e;
+  }
+  fsync_parent_dir(path);
+  return rt::crc32(bytes);
+}
+
+rt::Expected<std::vector<uint8_t>> read_file_bytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return io_error("read_file_bytes: cannot open", path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+  if (f.bad())
+    return rt::RtError{rt::ErrorCode::kIoError,
+                       "read_file_bytes: read failed for " + path};
+  return bytes;
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), R_OK) == 0;
+}
+
+}  // namespace mn::nn

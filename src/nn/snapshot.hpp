@@ -1,0 +1,97 @@
+// Binary snapshot serialization for crash-safe training and search state.
+//
+// Checkpoints, optimizer state, and the trainer/DNAS journals all share one
+// byte-level vocabulary: a little-endian ByteWriter that can seal its buffer
+// with a CRC32 trailer (the same IEEE CRC the model format V2 uses), a
+// bounds-checked ByteReader that records typed rt::RtError codes instead of
+// throwing, and a durable write-temp-fsync-rename file writer so a crash at
+// any instant leaves either the old file or the new file — never a torn one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/rt_error.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn::nn {
+
+// Journal file header shared by the Trainer and DNAS journals ("MNJ1").
+constexpr uint32_t kJournalMagic = 0x314A4E4D;
+enum class JournalKind : uint32_t { kTrainer = 1, kDnas = 2 };
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void f32(float v);
+  void f64(double v);
+  void str(const std::string& s);             // u32 length + bytes
+  void raw(std::span<const uint8_t> bytes);   // no length prefix
+  void blob(std::span<const uint8_t> bytes);  // u32 length + bytes
+  void floats(const float* src, int64_t n);   // raw
+  void rng(const RngState& s);
+
+  // Appends a CRC32 trailer over everything written so far. Must be the
+  // final write; ByteReader::unseal verifies and strips it.
+  void seal();
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// Reads the ByteWriter encoding. The first failure (truncation, overlong
+// string, CRC mismatch) latches a typed error; subsequent reads return
+// zeros, so parse code can run straight-line and check ok() at checkpoints.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> buf) : buf_(buf) {}
+
+  // Verifies and strips a CRC32 trailer written by ByteWriter::seal.
+  // Returns kOk, kTruncated (buffer shorter than the trailer), or
+  // kCrcMismatch; on success optionally reports the verified CRC.
+  rt::ErrorCode unseal(uint32_t* crc_out = nullptr);
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  float f32();
+  double f64();
+  std::string str();
+  std::vector<uint8_t> blob();
+  void floats(float* dst, int64_t n);
+  RngState rng();
+
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool ok() const { return err_.code == rt::ErrorCode::kOk; }
+  const rt::RtError& error() const { return err_; }
+  // Latches `code` (first failure wins) and poisons all further reads.
+  void fail(rt::ErrorCode code, std::string message);
+
+ private:
+  bool need(size_t n);
+  std::span<const uint8_t> buf_;
+  size_t pos_ = 0;
+  rt::RtError err_;
+};
+
+// Durable whole-file write: writes `path + ".tmp"` in the same directory,
+// fsyncs it, then atomically renames over `path` (plus a best-effort
+// directory fsync). A crash at any point leaves the previous file intact.
+// Returns the CRC32 of `bytes` on success, kIoError otherwise.
+rt::Expected<uint32_t> write_file_atomic(const std::string& path,
+                                         std::span<const uint8_t> bytes);
+
+// Whole-file read returning kIoError instead of throwing.
+rt::Expected<std::vector<uint8_t>> read_file_bytes(const std::string& path);
+
+// True if `path` exists and is readable (used for resume-if-present).
+bool file_exists(const std::string& path);
+
+}  // namespace mn::nn

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "nn/checkpoint.hpp"
+#include "nn/snapshot.hpp"
 #include "tensor/stats.hpp"
 
 namespace mn::nn {
@@ -31,6 +34,140 @@ double sample_gamma(double shape, Rng& rng) {
   }
 }
 
+// Complete training state at an epoch boundary: everything needed either to
+// roll back after a divergence (in memory) or to resume after a crash (the
+// journal file serializes exactly these fields).
+struct TrainerSnapshot {
+  int next_epoch = 0;
+  int64_t step = 0;  // global step (cosine-schedule position)
+  double lr_scale = 1.0;
+  int recovery_count = 0;
+  double last_loss = 0.0, last_acc = 0.0;
+  RngState rng;
+  std::vector<int64_t> order;      // cumulative shuffle permutation
+  std::vector<uint8_t> ckpt;       // save_checkpoint image
+  std::vector<uint8_t> opt_state;  // Optimizer::save_state bytes
+};
+
+TrainerSnapshot capture(Graph& graph, const Optimizer& opt,
+                        std::span<Param* const> params, const Rng& rng,
+                        const std::vector<int64_t>& order, int next_epoch,
+                        int64_t step, double lr_scale, int recovery_count,
+                        double loss, double acc) {
+  TrainerSnapshot s;
+  s.next_epoch = next_epoch;
+  s.step = step;
+  s.lr_scale = lr_scale;
+  s.recovery_count = recovery_count;
+  s.last_loss = loss;
+  s.last_acc = acc;
+  s.rng = rng.save_state();
+  s.order = order;
+  s.ckpt = save_checkpoint(graph);
+  ByteWriter w;
+  opt.save_state(params, w);
+  s.opt_state = w.take();
+  return s;
+}
+
+void restore(const TrainerSnapshot& s, Graph& graph, Optimizer& opt,
+             std::span<Param* const> params, Rng& rng,
+             const data::Dataset& train, data::Dataset& ds,
+             std::vector<int64_t>& order) {
+  load_checkpoint(graph, s.ckpt);
+  ByteReader r(s.opt_state);
+  opt.load_state(params, r);
+  if (!r.ok()) rt::throw_rt_error(r.error());
+  rng.restore_state(s.rng);
+  // Rebuild the working dataset's example ordering: epoch shuffles compose,
+  // so the permutation (not just the RNG position) is part of the state.
+  order = s.order;
+  for (size_t i = 0; i < order.size(); ++i)
+    ds.examples[i] = train.examples[static_cast<size_t>(order[i])];
+}
+
+void put_order(ByteWriter& w, const std::vector<int64_t>& order) {
+  w.u32(static_cast<uint32_t>(order.size()));
+  for (int64_t idx : order) w.u32(static_cast<uint32_t>(idx));
+}
+
+std::vector<int64_t> get_order(ByteReader& r, int64_t expected_size) {
+  const uint32_t n = r.u32();
+  if (!r.ok()) return {};
+  if (n != static_cast<uint64_t>(expected_size)) {
+    r.fail(rt::ErrorCode::kGraphInvalid,
+           "journal: dataset size mismatch (journal has " + std::to_string(n) +
+               " examples, caller has " + std::to_string(expected_size) + ")");
+    return {};
+  }
+  std::vector<int64_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = static_cast<int64_t>(r.u32());
+  return order;
+}
+
+rt::Expected<uint32_t> write_trainer_journal(const std::string& path,
+                                             const TrainConfig& cfg,
+                                             const TrainerSnapshot& s) {
+  ByteWriter w;
+  w.u32(kJournalMagic);
+  w.u32(static_cast<uint32_t>(JournalKind::kTrainer));
+  // Config guard: a journal only resumes into the run that wrote it.
+  w.u32(static_cast<uint32_t>(cfg.epochs));
+  w.u64(static_cast<uint64_t>(cfg.batch_size));
+  w.u64(cfg.seed);
+  w.u32(static_cast<uint32_t>(s.next_epoch));
+  w.u64(static_cast<uint64_t>(s.step));
+  w.f64(s.lr_scale);
+  w.u32(static_cast<uint32_t>(s.recovery_count));
+  w.f64(s.last_loss);
+  w.f64(s.last_acc);
+  w.rng(s.rng);
+  put_order(w, s.order);
+  w.blob(s.ckpt);
+  w.blob(s.opt_state);
+  w.seal();
+  return write_file_atomic(path, w.bytes());
+}
+
+rt::Expected<TrainerSnapshot> read_trainer_journal(const std::string& path,
+                                                   const TrainConfig& cfg,
+                                                   int64_t dataset_size) {
+  auto bytes = read_file_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  ByteReader r(bytes.value());
+  if (r.unseal() != rt::ErrorCode::kOk) return r.error();
+  if (r.u32() != kJournalMagic)
+    return rt::RtError{rt::ErrorCode::kBadMagic,
+                       "journal: not an MNJ1 journal: " + path};
+  if (r.u32() != static_cast<uint32_t>(JournalKind::kTrainer))
+    return rt::RtError{rt::ErrorCode::kGraphInvalid,
+                       "journal: not a trainer journal: " + path};
+  const uint32_t epochs = r.u32();
+  const uint64_t batch = r.u64();
+  const uint64_t seed = r.u64();
+  if (r.ok() && (epochs != static_cast<uint32_t>(cfg.epochs) ||
+                 batch != static_cast<uint64_t>(cfg.batch_size) ||
+                 seed != cfg.seed))
+    return rt::RtError{rt::ErrorCode::kGraphInvalid,
+                       "journal: written under a different train config"};
+  TrainerSnapshot s;
+  s.next_epoch = static_cast<int>(r.u32());
+  s.step = static_cast<int64_t>(r.u64());
+  s.lr_scale = r.f64();
+  s.recovery_count = static_cast<int>(r.u32());
+  s.last_loss = r.f64();
+  s.last_acc = r.f64();
+  s.rng = r.rng();
+  s.order = get_order(r, dataset_size);
+  s.ckpt = r.blob();
+  s.opt_state = r.blob();
+  if (!r.ok()) return r.error();
+  if (r.remaining() != 0)
+    return rt::RtError{rt::ErrorCode::kTrailingBytes,
+                       "journal: trailing bytes after the optimizer state"};
+  return s;
+}
+
 }  // namespace
 
 double sample_beta(double alpha, Rng& rng) {
@@ -54,11 +191,43 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
 
   TrainStats stats;
   int64_t step = 0;
+  int epoch = 0;
+  double lr_scale = 1.0;
+  int recovery_count = 0;
+  const bool sentinel = cfg.max_recoveries > 0;
+  int64_t steps_this_call = 0;  // for the halt_after_steps crash hook
+  std::vector<int64_t> order(static_cast<size_t>(ds.size()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  if (!cfg.resume_from.empty()) {
+    TrainerSnapshot j =
+        read_trainer_journal(cfg.resume_from, cfg, ds.size()).take_or_throw();
+    restore(j, graph, opt, weight_params, rng, train, ds, order);
+    epoch = j.next_epoch;
+    step = j.step;
+    lr_scale = j.lr_scale;
+    recovery_count = j.recovery_count;
+    stats.final_loss = j.last_loss;
+    stats.final_train_accuracy = j.last_acc;
+    stats.epochs_completed = j.next_epoch;
+  }
+
   const int64_t C = graph.feature_shape(graph.output_id()).elements();
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
-    data::shuffle(ds, rng);
+  while (epoch < cfg.epochs) {
+    // Epoch-boundary snapshot: rollback target for the divergence sentinel
+    // and the payload of the crash journal. Taken before the shuffle so a
+    // restore replays the epoch's batches identically.
+    TrainerSnapshot boundary =
+        capture(graph, opt, weight_params, rng, order, epoch, step, lr_scale,
+                recovery_count, stats.final_loss, stats.final_train_accuracy);
+    if (!cfg.journal_path.empty() && epoch % std::max(1, cfg.journal_every) == 0)
+      write_trainer_journal(cfg.journal_path, cfg, boundary).take_or_throw();
+
+    data::shuffle_tracked(ds, rng, order);
     double loss_sum = 0.0, acc_sum = 0.0;
     int64_t batches = 0;
+    bool diverged = false;
+    reliability::RecoveryEvent event;
     for (int64_t first = 0; first < ds.size(); first += cfg.batch_size) {
       data::Batch batch = data::make_batch(ds, first, cfg.batch_size);
       const int64_t N = batch.inputs.shape().dim(0);
@@ -103,15 +272,92 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
         lr_result = softmax_cross_entropy(logits, batch.labels, cfg.label_smoothing);
       }
       graph.backward(lr_result.grad);
-      opt.step(weight_params, sched.lr(step));
+      if (cfg.grad_fault) cfg.grad_fault(epoch, step, weight_params);
+
+      if (sentinel) {
+        // Pre-step checks: loss, then gradients. A trip abandons the epoch.
+        if (!std::isfinite(lr_result.loss)) {
+          event = {epoch, step, reliability::RecoveryKind::kNonFiniteLoss,
+                   lr_scale, "loss"};
+          diverged = true;
+          break;
+        }
+        for (Param* p : weight_params) {
+          if (!reliability::all_finite(
+                  {p->grad.data(), static_cast<size_t>(p->grad.size())})) {
+            event = {epoch, step, reliability::RecoveryKind::kNonFiniteGradient,
+                     lr_scale, p->name};
+            diverged = true;
+            break;
+          }
+        }
+        if (diverged) break;
+      }
+
+      opt.step(weight_params, sched.lr(step) * lr_scale);
       ++step;
+
+      if (sentinel) {
+        // Post-step check: the update itself can overflow a weight.
+        for (Param* p : weight_params) {
+          if (!reliability::all_finite(
+                  {p->value.data(), static_cast<size_t>(p->value.size())})) {
+            event = {epoch, step, reliability::RecoveryKind::kNonFiniteParam,
+                     lr_scale, p->name};
+            diverged = true;
+            break;
+          }
+        }
+        if (diverged) break;
+      }
+
+      if (++steps_this_call == cfg.halt_after_steps) {
+        // Simulated power loss: return mid-epoch without touching the
+        // journal, exactly what a SIGKILL would leave behind.
+        stats.interrupted = true;
+        return stats;
+      }
+
       loss_sum += lr_result.loss;
       acc_sum += accuracy(logits, batch.labels);
       ++batches;
     }
+
+    if (diverged) {
+      ++recovery_count;
+      if (recovery_count > cfg.max_recoveries)
+        throw std::runtime_error(
+            std::string("fit: divergence (") +
+            reliability::recovery_kind_name(event.kind) + " in '" +
+            event.detail + "') persisted after " +
+            std::to_string(cfg.max_recoveries) + " recoveries");
+      // Roll back to the epoch boundary and retry with a smaller LR. The
+      // restored RNG replays the same shuffle/mixup draws; only the LR
+      // scale differs, which is what breaks the divergence.
+      restore(boundary, graph, opt, weight_params, rng, train, ds, order);
+      step = boundary.step;
+      lr_scale *= cfg.lr_backoff;
+      event.lr_scale_after = lr_scale;
+      stats.recoveries.push_back(event);
+      if (cfg.on_recovery) cfg.on_recovery(event);
+      continue;  // re-run the same epoch
+    }
+
     stats.final_loss = loss_sum / static_cast<double>(batches);
     stats.final_train_accuracy = acc_sum / static_cast<double>(batches);
+    stats.epochs_completed = epoch + 1;
     if (cfg.on_epoch) cfg.on_epoch(epoch, stats.final_loss, stats.final_train_accuracy);
+    ++epoch;
+  }
+
+  if (!cfg.journal_path.empty()) {
+    // Completion journal: a resume of a finished run returns immediately
+    // with the recorded stats instead of retraining.
+    const TrainerSnapshot done =
+        capture(graph, opt, weight_params, rng, order, cfg.epochs, step,
+                lr_scale, recovery_count, stats.final_loss,
+                stats.final_train_accuracy);
+    write_trainer_journal(cfg.journal_path, cfg, done).take_or_throw();
   }
   return stats;
 }

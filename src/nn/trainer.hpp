@@ -1,5 +1,14 @@
 // Training loop: SGD with cosine schedule, optional mixup augmentation and
 // knowledge distillation, matching the paper's training recipes (§5.2).
+//
+// Crash safety (PR 2): `fit` can journal its complete state (weights,
+// optimizer momenta, RNG position, schedule position) to a CRC-sealed file
+// at epoch boundaries and resume from that journal bit-identically — an
+// interrupted run continued via `resume_from` reaches exactly the weights
+// an uninterrupted run would have. A divergence sentinel (enabled by
+// `max_recoveries > 0`) detects non-finite loss/gradients/weights, rolls
+// the run back to the last good epoch boundary, scales the learning rate
+// down, and records a structured reliability::RecoveryEvent.
 #pragma once
 
 #include <functional>
@@ -9,6 +18,7 @@
 #include "nn/graph.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "reliability/recovery.hpp"
 
 namespace mn::nn {
 
@@ -27,11 +37,39 @@ struct TrainConfig {
   uint64_t seed = 1;
   // Called once per epoch with (epoch, mean train loss, train accuracy).
   std::function<void(int, double, double)> on_epoch;
+
+  // --- crash safety & divergence recovery ---
+  // Journal the full training state to this file (atomically, CRC-sealed)
+  // at the top of every `journal_every`-th epoch and at completion. Empty
+  // disables journaling. Journaling draws no RNG and never perturbs results.
+  std::string journal_path;
+  int journal_every = 1;
+  // Resume from a journal written by a run with identical config; training
+  // continues from the journaled epoch boundary bit-identically. Throws if
+  // the file is missing, corrupt, or from a mismatched config.
+  std::string resume_from;
+  // Divergence sentinel: > 0 enables non-finite loss/gradient/weight checks
+  // with rollback to the last epoch boundary and LR backoff; after
+  // `max_recoveries` rollbacks the next divergence throws. 0 = off (default,
+  // identical behavior to the pre-sentinel trainer).
+  int max_recoveries = 0;
+  double lr_backoff = 0.5;  // lr scale multiplier applied per recovery
+  std::function<void(const reliability::RecoveryEvent&)> on_recovery;
+  // Testing hooks. `halt_after_steps`: stop abruptly (as a crash would)
+  // after N optimizer steps in this call, leaving the journal as-is and
+  // returning stats with `interrupted = true`; -1 = off. `grad_fault`: called
+  // after backward with (epoch, step, weight params) so fault-injection
+  // campaigns can poison gradients at an exact, reproducible point.
+  int64_t halt_after_steps = -1;
+  std::function<void(int, int64_t, std::span<Param* const>)> grad_fault;
 };
 
 struct TrainStats {
   double final_loss = 0.0;
   double final_train_accuracy = 0.0;
+  int epochs_completed = 0;
+  bool interrupted = false;  // true iff halted by `halt_after_steps`
+  std::vector<reliability::RecoveryEvent> recoveries;
 };
 
 // Trains the weight-group parameters of `graph` on `train`.

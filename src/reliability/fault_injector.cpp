@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <limits>
 #include <unordered_set>
+#include <vector>
 
 namespace mn::reliability {
 
@@ -69,6 +71,58 @@ int64_t FaultInjector::corrupt_samples(std::span<float> samples, double nan_rate
   }
   stats_.samples_corrupted += corrupted;
   return corrupted;
+}
+
+int64_t FaultInjector::inject_nonfinite(std::span<float> values, double nan_rate,
+                                        double inf_rate) {
+  int64_t poisoned = 0;
+  for (float& v : values) {
+    const double u = rng_.uniform();
+    if (u < nan_rate) {
+      v = std::numeric_limits<float>::quiet_NaN();
+      ++poisoned;
+    } else if (u < nan_rate + inf_rate) {
+      v = v < 0.f ? -std::numeric_limits<float>::infinity()
+                  : std::numeric_limits<float>::infinity();
+      ++poisoned;
+    }
+  }
+  stats_.values_poisoned += poisoned;
+  return poisoned;
+}
+
+bool FaultInjector::truncate_file(const std::string& path, int64_t keep_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  keep_bytes = std::clamp<int64_t>(keep_bytes, 0,
+                                   static_cast<int64_t>(bytes.size()));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), keep_bytes);
+  out.close();
+  if (out.fail()) return false;
+  ++stats_.files_corrupted;
+  return true;
+}
+
+bool FaultInjector::flip_file_bits(const std::string& path, int64_t n_bits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+  flip_exact_bits(bytes, n_bits);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (out.fail()) return false;
+  ++stats_.files_corrupted;
+  return true;
 }
 
 }  // namespace mn::reliability

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "tensor/rng.hpp"
 
@@ -19,10 +20,14 @@ namespace mn::reliability {
 struct FaultStats {
   int64_t bits_flipped = 0;
   int64_t samples_corrupted = 0;
+  int64_t values_poisoned = 0;   // floats overwritten with NaN/Inf
+  int64_t files_corrupted = 0;   // checkpoint/journal files truncated or flipped
 
   FaultStats& operator+=(const FaultStats& o) {
     bits_flipped += o.bits_flipped;
     samples_corrupted += o.samples_corrupted;
+    values_poisoned += o.values_poisoned;
+    files_corrupted += o.files_corrupted;
     return *this;
   }
 };
@@ -46,6 +51,23 @@ class FaultInjector {
   // number of samples corrupted.
   int64_t corrupt_samples(std::span<float> samples, double nan_rate,
                           double saturate_rate = 0.0);
+
+  // Training-side fault: overwrites each value with quiet-NaN (probability
+  // `nan_rate`) or +/-Inf (probability `inf_rate`) — models an exploding
+  // gradient or a soft error in the optimizer state. Point this at a
+  // parameter's gradient span to exercise the Trainer/DNAS divergence
+  // sentinel. Returns the number of values poisoned.
+  int64_t inject_nonfinite(std::span<float> values, double nan_rate,
+                           double inf_rate = 0.0);
+
+  // Power-loss model for checkpoint/journal files: truncates `path` to its
+  // first `keep_bytes` bytes in place. Returns false if the file cannot be
+  // opened or resized.
+  bool truncate_file(const std::string& path, int64_t keep_bytes);
+
+  // Storage-corruption model: flips exactly `n_bits` random bit positions of
+  // the file at `path` in place. Returns false on I/O failure.
+  bool flip_file_bits(const std::string& path, int64_t n_bits);
 
   FaultStats stats() const { return stats_; }
   Rng& rng() { return rng_; }

@@ -1,0 +1,55 @@
+// Structured divergence-recovery events for the training/search layer.
+//
+// A multi-hour DNAS run must not be discarded because one exploding gradient
+// poisoned the supernet: the Trainer and run_dnas watch for non-finite
+// loss/gradients/parameters/arch-logits, roll back to the last good
+// epoch-boundary snapshot, shrink the learning rate, and record what
+// happened here — a structured log instead of silently emitted garbage.
+//
+// Header-only on purpose: mn::nn consumes these types, and the reliability
+// *library* links the runtime (which links nn), so a compiled dependency
+// would be a cycle.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace mn::reliability {
+
+enum class RecoveryKind : uint8_t {
+  kNonFiniteLoss,       // NaN/Inf training or penalty loss
+  kNonFiniteGradient,   // NaN/Inf in a parameter gradient (pre-step)
+  kNonFiniteParam,      // NaN/Inf in a weight value (post-step)
+  kNonFiniteArchLogit,  // NaN/Inf in a DNAS architecture logit (post-step)
+};
+
+inline const char* recovery_kind_name(RecoveryKind k) {
+  switch (k) {
+    case RecoveryKind::kNonFiniteLoss: return "non-finite-loss";
+    case RecoveryKind::kNonFiniteGradient: return "non-finite-gradient";
+    case RecoveryKind::kNonFiniteParam: return "non-finite-param";
+    case RecoveryKind::kNonFiniteArchLogit: return "non-finite-arch-logit";
+  }
+  return "unknown";
+}
+
+// One recovery action taken by a training/search loop: what tripped the
+// sentinel, where (epoch/step are deterministic, wall-clock-free), and the
+// learning-rate scale in effect after the backoff.
+struct RecoveryEvent {
+  int epoch = 0;
+  int64_t step = 0;
+  RecoveryKind kind = RecoveryKind::kNonFiniteLoss;
+  double lr_scale_after = 1.0;
+  std::string detail;  // offending tensor name, or "loss"
+};
+
+inline bool all_finite(std::span<const float> v) {
+  for (float x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace mn::reliability

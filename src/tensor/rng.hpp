@@ -10,9 +10,28 @@
 
 namespace mn {
 
+// Complete serializable state of an Rng (the SplitMix64 counter plus the
+// Box-Muller spare), so a stream can be journaled and resumed bit-for-bit.
+struct RngState {
+  uint64_t state = 0;
+  bool have_spare = false;
+  double spare = 0.0;
+};
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  RngState save_state() const { return {state_, have_spare_, spare_}; }
+  void restore_state(const RngState& s) {
+    state_ = s.state;
+    have_spare_ = s.have_spare;
+    spare_ = s.spare;
+  }
+
+  // Stream-position fingerprint for progress logs: changes with every draw,
+  // involves no wall clock, and costs no draw itself.
+  uint64_t fingerprint() const { return state_; }
 
   // SplitMix64 step: fast, high-quality 64-bit stream.
   uint64_t next_u64() {

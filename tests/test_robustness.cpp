@@ -1,0 +1,532 @@
+// Robustness suite: durable CRC-sealed checkpoints, typed error codes for
+// corrupted/truncated images, optimizer-state serialization, the Trainer and
+// DNAS divergence sentinel (rollback + LR backoff), and bit-identical
+// crash-resume through the MNJ1 journals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+
+#include "core/dnas.hpp"
+#include "core/supernet.hpp"
+#include "datasets/kws.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/graph.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/snapshot.hpp"
+#include "nn/trainer.hpp"
+#include "reliability/fault_injector.hpp"
+#include "reliability/recovery.hpp"
+
+namespace mn {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test scratch directory under the system temp dir.
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mn_robust_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+nn::Graph tiny_graph(uint64_t seed) {
+  nn::GraphBuilder b(seed);
+  int x = b.input(Shape{4, 4, 1});
+  nn::Conv2DOptions opt;
+  opt.out_channels = 4;
+  x = b.conv2d(x, opt);
+  x = b.relu(x);
+  x = b.global_avg_pool(x);
+  x = b.dense(x, 2);
+  return b.build(x);
+}
+
+data::Dataset separable_dataset(int n_per_class, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape{4, 4, 1};
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < n_per_class; ++i) {
+      data::Example e;
+      e.input = TensorF(Shape{4, 4, 1});
+      const float base = cls == 0 ? -0.5f : 0.5f;
+      for (int64_t k = 0; k < 16; ++k)
+        e.input[k] = base + static_cast<float>(rng.normal(0, 0.3));
+      e.label = cls;
+      ds.examples.push_back(std::move(e));
+    }
+  }
+  data::shuffle(ds, rng);
+  return ds;
+}
+
+// --- Checkpoint format & typed errors ---------------------------------------
+
+TEST_F(RobustnessTest, CheckpointV2RoundTripsWithNonzeroCrc) {
+  nn::Graph a = tiny_graph(3);
+  nn::Graph b = tiny_graph(4);  // different init, same structure
+  const std::vector<uint8_t> img = nn::save_checkpoint(a);
+  auto crc = nn::try_load_checkpoint(b, img);
+  ASSERT_TRUE(crc.ok()) << crc.error().message;
+  EXPECT_NE(crc.value(), 0u);
+  EXPECT_EQ(nn::save_checkpoint(b), img);
+}
+
+TEST_F(RobustnessTest, TruncatedCheckpointRejectedGraphUntouched) {
+  nn::Graph a = tiny_graph(3);
+  nn::Graph b = tiny_graph(4);
+  const std::vector<uint8_t> before = nn::save_checkpoint(b);
+  std::vector<uint8_t> img = nn::save_checkpoint(a);
+  img.resize(img.size() / 2);
+  auto r = nn::try_load_checkpoint(b, img);
+  ASSERT_FALSE(r.ok());
+  // Cutting the image also cuts the CRC trailer, so the seal check fires.
+  EXPECT_EQ(r.error().code, rt::ErrorCode::kCrcMismatch);
+  EXPECT_EQ(nn::save_checkpoint(b), before);
+
+  img.resize(3);  // shorter than the magic itself
+  EXPECT_EQ(nn::try_load_checkpoint(b, img).error().code,
+            rt::ErrorCode::kTruncated);
+}
+
+TEST_F(RobustnessTest, BitFlippedCheckpointIsCrcMismatch) {
+  nn::Graph a = tiny_graph(3);
+  std::vector<uint8_t> img = nn::save_checkpoint(a);
+  reliability::FaultInjector fi(77);
+  fi.flip_exact_bits({img.data() + 4, img.size() - 8}, 1);  // payload bit
+  nn::Graph b = tiny_graph(4);
+  EXPECT_EQ(nn::try_load_checkpoint(b, img).error().code,
+            rt::ErrorCode::kCrcMismatch);
+}
+
+TEST_F(RobustnessTest, NonCheckpointBytesAreBadMagic) {
+  std::vector<uint8_t> junk(64, 0xAB);
+  nn::Graph g = tiny_graph(1);
+  EXPECT_EQ(nn::try_load_checkpoint(g, junk).error().code,
+            rt::ErrorCode::kBadMagic);
+}
+
+TEST_F(RobustnessTest, WrongGraphIsGraphInvalidAndUntouched) {
+  nn::Graph a = tiny_graph(3);
+  nn::GraphBuilder b2(5);
+  int x = b2.input(Shape{4, 4, 1});
+  x = b2.dense(x, 2);  // structurally different model
+  nn::Graph other = b2.build(x);
+  const std::vector<uint8_t> before = nn::save_checkpoint(other);
+  auto r = nn::try_load_checkpoint(other, nn::save_checkpoint(a));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, rt::ErrorCode::kGraphInvalid);
+  EXPECT_EQ(nn::save_checkpoint(other), before);
+  // The throwing wrapper surfaces the same failure as an exception.
+  EXPECT_THROW(nn::load_checkpoint(other, nn::save_checkpoint(a)),
+               std::runtime_error);
+}
+
+TEST_F(RobustnessTest, LegacyV1ImagesStillLoad) {
+  nn::Graph a = tiny_graph(3);
+  nn::Graph b = tiny_graph(4);
+  auto crc = nn::try_load_checkpoint(b, nn::save_checkpoint_legacy_v1(a));
+  ASSERT_TRUE(crc.ok()) << crc.error().message;
+  EXPECT_EQ(crc.value(), 0u);  // V1 carries no CRC
+  EXPECT_EQ(nn::save_checkpoint(b), nn::save_checkpoint(a));
+}
+
+TEST_F(RobustnessTest, MissingFileIsIoError) {
+  nn::Graph g = tiny_graph(1);
+  auto r = nn::try_load_checkpoint(g, path("does_not_exist.ckpt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, rt::ErrorCode::kIoError);
+}
+
+TEST_F(RobustnessTest, AtomicSaveLeavesNoTempResidue) {
+  nn::Graph a = tiny_graph(3);
+  const std::string p = path("model.ckpt");
+  ASSERT_TRUE(nn::try_save_checkpoint(a, p).ok());
+  int files = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    ++files;
+    EXPECT_EQ(e.path().string(), p);
+  }
+  EXPECT_EQ(files, 1);
+  nn::Graph b = tiny_graph(4);
+  ASSERT_TRUE(nn::try_load_checkpoint(b, p).ok());
+  EXPECT_EQ(nn::save_checkpoint(b), nn::save_checkpoint(a));
+}
+
+// --- FaultInjector training-side faults --------------------------------------
+
+TEST_F(RobustnessTest, InjectNonfiniteIsSeededAndCounted) {
+  std::vector<float> a(256, 1.f), b(256, 1.f);
+  reliability::FaultInjector f1(9), f2(9);
+  const int64_t n1 = f1.inject_nonfinite(a, 0.05, 0.05);
+  const int64_t n2 = f2.inject_nonfinite(b, 0.05, 0.05);
+  EXPECT_EQ(n1, n2);
+  EXPECT_GT(n1, 0);
+  // Same seed, same positions, same bit patterns (NaN != NaN, so memcmp).
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+  EXPECT_EQ(f1.stats().values_poisoned, n1);
+  int nonfinite = 0;
+  for (float v : a)
+    if (!std::isfinite(v)) ++nonfinite;
+  EXPECT_EQ(nonfinite, n1);
+}
+
+TEST_F(RobustnessTest, FileTruncationAndBitFlipsAreDetectedOnLoad) {
+  nn::Graph a = tiny_graph(3);
+  const std::string p = path("model.ckpt");
+  nn::save_checkpoint(a, p);
+  reliability::FaultInjector fi(5);
+  ASSERT_TRUE(fi.truncate_file(p, 32));
+  nn::Graph b = tiny_graph(4);
+  auto r = nn::try_load_checkpoint(b, p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.error().code == rt::ErrorCode::kCrcMismatch ||
+              r.error().code == rt::ErrorCode::kTruncated);
+
+  nn::save_checkpoint(a, p);
+  ASSERT_TRUE(fi.flip_file_bits(p, 3));
+  EXPECT_EQ(nn::try_load_checkpoint(b, p).error().code,
+            rt::ErrorCode::kCrcMismatch);
+  EXPECT_EQ(fi.stats().files_corrupted, 2);
+}
+
+// --- Optimizer state serialization -------------------------------------------
+
+TEST_F(RobustnessTest, OptimizerStateRoundTripReplaysIdentically) {
+  nn::Graph g = tiny_graph(7);
+  const data::Dataset ds = separable_dataset(8, 7);
+  const data::Batch batch = data::make_batch(ds, 0, 16);
+  auto params = g.params();
+  nn::SgdMomentum opt(0.9, 1e-4);
+  auto one_step = [&](nn::Graph& graph, nn::Optimizer& o) {
+    graph.zero_grads();
+    const TensorF logits = graph.forward(batch.inputs, true);
+    graph.backward(nn::softmax_cross_entropy(logits, batch.labels).grad);
+    o.step(graph.params(), 0.05);
+  };
+  one_step(g, opt);
+  one_step(g, opt);
+
+  // Snapshot weights + momenta, advance, restore, advance again: the two
+  // continuations must agree bit-for-bit.
+  const std::vector<uint8_t> ckpt = nn::save_checkpoint(g);
+  nn::ByteWriter w;
+  opt.save_state(params, w);
+  const std::vector<uint8_t> state = w.take();
+
+  one_step(g, opt);
+  const std::vector<uint8_t> ref = nn::save_checkpoint(g);
+
+  nn::load_checkpoint(g, ckpt);
+  nn::ByteReader r(state);
+  opt.load_state(params, r);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  one_step(g, opt);
+  EXPECT_EQ(nn::save_checkpoint(g), ref);
+}
+
+TEST_F(RobustnessTest, OptimizerStateTypeMismatchIsTypedError) {
+  nn::Graph g = tiny_graph(7);
+  auto params = g.params();
+  nn::Adam adam;
+  nn::ByteWriter w;
+  adam.save_state(params, w);
+  const std::vector<uint8_t> state = w.take();
+  nn::SgdMomentum sgd;
+  nn::ByteReader r(state);
+  sgd.load_state(params, r);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, rt::ErrorCode::kGraphInvalid);
+}
+
+// --- Trainer: journaled resume & divergence recovery --------------------------
+
+nn::TrainConfig base_train_config() {
+  nn::TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 16;
+  cfg.lr_start = 0.1;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST_F(RobustnessTest, TrainerResumeAfterKillIsBitIdentical) {
+  const data::Dataset ds = separable_dataset(20, 6);  // 40 ex, 3 steps/epoch
+
+  // Reference: uninterrupted run.
+  nn::Graph ref = tiny_graph(7);
+  const nn::TrainStats ref_stats = fit(ref, ds, base_train_config());
+  const std::vector<uint8_t> ref_bytes = nn::save_checkpoint(ref);
+
+  // Crashed run: journals every epoch, killed mid-epoch 3.
+  nn::Graph crashed = tiny_graph(7);
+  nn::TrainConfig bcfg = base_train_config();
+  bcfg.journal_path = path("train.journal");
+  bcfg.halt_after_steps = 3 * 3 + 1;
+  const nn::TrainStats b_stats = fit(crashed, ds, bcfg);
+  EXPECT_TRUE(b_stats.interrupted);
+
+  // Resumed run: fresh graph (different init seed: the journal overwrites
+  // everything), continues from the epoch-3 boundary to completion.
+  nn::Graph resumed = tiny_graph(99);
+  nn::TrainConfig ccfg = base_train_config();
+  ccfg.resume_from = path("train.journal");
+  const nn::TrainStats c_stats = fit(resumed, ds, ccfg);
+  EXPECT_FALSE(c_stats.interrupted);
+  EXPECT_EQ(c_stats.epochs_completed, 6);
+  EXPECT_EQ(nn::save_checkpoint(resumed), ref_bytes);
+  EXPECT_DOUBLE_EQ(c_stats.final_loss, ref_stats.final_loss);
+  EXPECT_DOUBLE_EQ(c_stats.final_train_accuracy, ref_stats.final_train_accuracy);
+}
+
+TEST_F(RobustnessTest, TrainerResumeOfCompletedRunReturnsRecordedStats) {
+  const data::Dataset ds = separable_dataset(20, 6);
+  nn::Graph g = tiny_graph(7);
+  nn::TrainConfig cfg = base_train_config();
+  cfg.journal_path = path("train.journal");
+  const nn::TrainStats done = fit(g, ds, cfg);
+
+  nn::Graph again = tiny_graph(99);
+  nn::TrainConfig rcfg = base_train_config();
+  rcfg.resume_from = path("train.journal");
+  const nn::TrainStats replay = fit(again, ds, rcfg);
+  EXPECT_EQ(replay.epochs_completed, 6);
+  EXPECT_DOUBLE_EQ(replay.final_loss, done.final_loss);
+  EXPECT_EQ(nn::save_checkpoint(again), nn::save_checkpoint(g));
+}
+
+TEST_F(RobustnessTest, TrainerNaNInjectionRollsBackAndConverges) {
+  const data::Dataset ds = separable_dataset(20, 6);
+  nn::Graph g = tiny_graph(7);
+  nn::TrainConfig cfg = base_train_config();
+  cfg.max_recoveries = 3;
+  reliability::FaultInjector fi(11);
+  bool fired = false;
+  cfg.grad_fault = [&](int epoch, int64_t, std::span<nn::Param* const> ps) {
+    if (epoch == 2 && !fired) {
+      fired = true;
+      fi.inject_nonfinite({ps[0]->grad.data(),
+                           static_cast<size_t>(ps[0]->grad.size())},
+                          1.0);
+    }
+  };
+  int recovery_callbacks = 0;
+  cfg.on_recovery = [&](const reliability::RecoveryEvent& ev) {
+    ++recovery_callbacks;
+    EXPECT_EQ(ev.kind, reliability::RecoveryKind::kNonFiniteGradient);
+    EXPECT_EQ(ev.epoch, 2);
+    EXPECT_DOUBLE_EQ(ev.lr_scale_after, 0.5);
+  };
+  const nn::TrainStats stats = fit(g, ds, cfg);
+  ASSERT_EQ(stats.recoveries.size(), 1u);
+  EXPECT_EQ(recovery_callbacks, 1);
+  EXPECT_EQ(stats.recoveries[0].kind,
+            reliability::RecoveryKind::kNonFiniteGradient);
+  EXPECT_EQ(stats.epochs_completed, 6);
+  EXPECT_GT(stats.final_train_accuracy, 0.9);
+  // The rollback really cleared the poison: all weights are finite.
+  for (nn::Param* p : g.params())
+    EXPECT_TRUE(reliability::all_finite(
+        {p->value.data(), static_cast<size_t>(p->value.size())}));
+}
+
+TEST_F(RobustnessTest, TrainerPersistentDivergenceThrowsAfterBoundedRetries) {
+  const data::Dataset ds = separable_dataset(10, 6);
+  nn::Graph g = tiny_graph(7);
+  nn::TrainConfig cfg = base_train_config();
+  cfg.epochs = 3;
+  cfg.max_recoveries = 2;
+  cfg.grad_fault = [](int, int64_t, std::span<nn::Param* const> ps) {
+    ps[0]->grad[0] = std::numeric_limits<float>::quiet_NaN();  // every step
+  };
+  EXPECT_THROW(fit(g, ds, cfg), std::runtime_error);
+}
+
+TEST_F(RobustnessTest, TrainerSentinelOffPreservesLegacyBehavior) {
+  const data::Dataset ds = separable_dataset(10, 6);
+  nn::Graph g = tiny_graph(7);
+  nn::TrainConfig cfg = base_train_config();
+  cfg.epochs = 2;  // max_recoveries stays 0: no checks, no rollback
+  bool fired = false;
+  cfg.grad_fault = [&](int, int64_t, std::span<nn::Param* const> ps) {
+    if (!fired) {
+      fired = true;
+      ps[0]->grad[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+  };
+  const nn::TrainStats stats = fit(g, ds, cfg);
+  EXPECT_TRUE(stats.recoveries.empty());
+}
+
+TEST_F(RobustnessTest, CorruptedJournalRefusesToResume) {
+  const data::Dataset ds = separable_dataset(10, 6);
+  nn::Graph g = tiny_graph(7);
+  nn::TrainConfig cfg = base_train_config();
+  cfg.epochs = 2;
+  cfg.journal_path = path("train.journal");
+  fit(g, ds, cfg);
+
+  reliability::FaultInjector fi(13);
+  ASSERT_TRUE(fi.flip_file_bits(path("train.journal"), 2));
+  nn::Graph h = tiny_graph(7);
+  nn::TrainConfig rcfg = cfg;
+  rcfg.journal_path.clear();
+  rcfg.resume_from = path("train.journal");
+  EXPECT_THROW(fit(h, ds, rcfg), std::runtime_error);
+}
+
+TEST_F(RobustnessTest, JournalFromDifferentConfigRefusesToResume) {
+  const data::Dataset ds = separable_dataset(10, 6);
+  nn::Graph g = tiny_graph(7);
+  nn::TrainConfig cfg = base_train_config();
+  cfg.epochs = 2;
+  cfg.journal_path = path("train.journal");
+  fit(g, ds, cfg);
+
+  nn::Graph h = tiny_graph(7);
+  nn::TrainConfig rcfg = cfg;
+  rcfg.journal_path.clear();
+  rcfg.resume_from = path("train.journal");
+  rcfg.seed = 999;  // not the run that wrote the journal
+  EXPECT_THROW(fit(h, ds, rcfg), std::runtime_error);
+}
+
+// --- DNAS: journaled resume & divergence recovery -----------------------------
+
+core::DsCnnSearchSpace tiny_space(const data::Dataset& train) {
+  core::DsCnnSearchSpace s;
+  s.input = train.input_shape;
+  s.num_classes = train.num_classes;
+  s.stem_max = 16;
+  s.stem_kh = 3;
+  s.stem_kw = 3;
+  s.blocks = {{16, 1, true}};
+  s.width_fracs = {0.5, 1.0};
+  return s;
+}
+
+core::DnasConfig base_dnas_config() {
+  core::DnasConfig cfg;
+  cfg.epochs = 5;
+  cfg.warmup_epochs = 1;
+  cfg.batch_size = 16;
+  cfg.seed = 31;
+  cfg.constraints.ops_budget = 150'000;
+  cfg.constraints.lambda_ops = 8.0;
+  return cfg;
+}
+
+TEST_F(RobustnessTest, DnasResumeAfterKillIsBitIdentical) {
+  data::KwsConfig kcfg;
+  kcfg.num_keywords = 2;
+  kcfg.num_unknown_words = 3;
+  const data::Dataset train = data::make_kws_dataset(kcfg, 8, 33);
+  const core::DsCnnSearchSpace space = tiny_space(train);
+  models::BuildOptions opt;
+  opt.seed = 9;
+
+  // Reference: uninterrupted search.
+  core::Supernet ref = core::build_ds_cnn_supernet(space, opt);
+  std::vector<core::DnasEpochInfo> ref_epochs;
+  core::DnasConfig acfg = base_dnas_config();
+  acfg.on_epoch = [&](const core::DnasEpochInfo& ep) { ref_epochs.push_back(ep); };
+  const core::DnasResult a = core::run_dnas(ref, train, acfg);
+  const std::vector<uint8_t> ref_bytes = nn::save_checkpoint(ref.graph);
+
+  // Crashed search: journaled, killed mid-epoch 2.
+  core::Supernet crashed = core::build_ds_cnn_supernet(space, opt);
+  core::DnasConfig bcfg = base_dnas_config();
+  bcfg.journal_path = path("dnas.journal");
+  const int64_t steps_per_epoch =
+      (train.size() + bcfg.batch_size - 1) / bcfg.batch_size;
+  bcfg.halt_after_steps = 2 * steps_per_epoch + 1;
+  const core::DnasResult b = core::run_dnas(crashed, train, bcfg);
+  EXPECT_TRUE(b.interrupted);
+
+  // Resumed search: fresh supernet, continues from the journaled boundary.
+  core::Supernet resumed = core::build_ds_cnn_supernet(space, opt);
+  std::vector<core::DnasEpochInfo> res_epochs;
+  core::DnasConfig ccfg = base_dnas_config();
+  ccfg.resume_from = path("dnas.journal");
+  ccfg.on_epoch = [&](const core::DnasEpochInfo& ep) { res_epochs.push_back(ep); };
+  const core::DnasResult c = core::run_dnas(resumed, train, ccfg);
+
+  EXPECT_EQ(nn::save_checkpoint(resumed.graph), ref_bytes);
+  EXPECT_DOUBLE_EQ(c.final_train_accuracy, a.final_train_accuracy);
+  EXPECT_DOUBLE_EQ(c.final_loss, a.final_loss);
+  EXPECT_DOUBLE_EQ(c.final_cost.expected_ops, a.final_cost.expected_ops);
+  EXPECT_DOUBLE_EQ(c.final_cost.expected_flash_bytes,
+                   a.final_cost.expected_flash_bytes);
+  EXPECT_DOUBLE_EQ(c.final_cost.peak_working_memory,
+                   a.final_cost.peak_working_memory);
+
+  // The extracted architecture decision matches.
+  const models::DsCnnConfig arch_a = core::extract_ds_cnn(ref, space);
+  const models::DsCnnConfig arch_c = core::extract_ds_cnn(resumed, space);
+  EXPECT_EQ(arch_c.stem_channels, arch_a.stem_channels);
+  ASSERT_EQ(arch_c.blocks.size(), arch_a.blocks.size());
+
+  // Per-epoch fingerprints of the resumed tail match the reference run's.
+  ASSERT_FALSE(res_epochs.empty());
+  for (const core::DnasEpochInfo& ep : res_epochs) {
+    const core::DnasEpochInfo& ra = ref_epochs[static_cast<size_t>(ep.epoch)];
+    EXPECT_EQ(ep.rng_fingerprint, ra.rng_fingerprint);
+    EXPECT_EQ(ep.gumbel_rng_fingerprint, ra.gumbel_rng_fingerprint);
+    EXPECT_DOUBLE_EQ(ep.loss, ra.loss);
+  }
+}
+
+TEST_F(RobustnessTest, DnasNaNInjectionRollsBackAndFinishes) {
+  data::KwsConfig kcfg;
+  kcfg.num_keywords = 2;
+  kcfg.num_unknown_words = 3;
+  const data::Dataset train = data::make_kws_dataset(kcfg, 8, 33);
+  const core::DsCnnSearchSpace space = tiny_space(train);
+  models::BuildOptions opt;
+  opt.seed = 9;
+  core::Supernet net = core::build_ds_cnn_supernet(space, opt);
+
+  core::DnasConfig cfg = base_dnas_config();
+  cfg.max_recoveries = 3;
+  bool fired = false;
+  cfg.grad_fault = [&](int epoch, int64_t, std::span<nn::Param* const>,
+                       std::span<nn::Param* const> arch) {
+    if (epoch == 2 && !fired) {
+      fired = true;
+      arch[0]->grad[0] = std::numeric_limits<float>::infinity();
+    }
+  };
+  int last_reported_recoveries = 0;
+  cfg.on_epoch = [&](const core::DnasEpochInfo& ep) {
+    last_reported_recoveries = ep.recoveries;
+  };
+  const core::DnasResult r = core::run_dnas(net, train, cfg);
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  EXPECT_EQ(r.recoveries[0].kind,
+            reliability::RecoveryKind::kNonFiniteGradient);
+  EXPECT_EQ(r.recoveries[0].epoch, 2);
+  EXPECT_EQ(last_reported_recoveries, 1);
+  EXPECT_EQ(r.epochs_completed, cfg.epochs);
+  for (nn::Param* p : net.graph.params())
+    EXPECT_TRUE(reliability::all_finite(
+        {p->value.data(), static_cast<size_t>(p->value.size())}));
+}
+
+}  // namespace
+}  // namespace mn
