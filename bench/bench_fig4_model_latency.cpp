@@ -9,25 +9,40 @@ using namespace mn;
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header("Fig. 4: model latency vs ops, random models from two backbones");
+  bench::Reporter report("fig4_model_latency", opt);
   const int count = opt.full ? 1000 : 250;
 
   const std::vector<int> w{16, 16, 10, 16, 14, 12};
   bench::print_row({"backbone", "device", "models", "slope(s/Mop)", "Mops/s", "r^2"}, w);
 
-  double kws_mops = 0, cifar_mops = 0;
+  // The four (backbone, device) sweeps are independent — shard them, print
+  // rows afterwards from the indexed slots.
+  report.phase("characterize");
+  struct Cell {
+    charac::Backbone bb;
+    const mcu::Device* dev;
+    charac::LatencySweep sweep;
+  };
+  std::vector<Cell> cells;
   for (const charac::Backbone bb :
-       {charac::Backbone::kCifar10Cnn, charac::Backbone::kKwsDsCnn}) {
-    for (const mcu::Device* dev : {&mcu::stm32f446re(), &mcu::stm32f746zg()}) {
-      const charac::LatencySweep sweep =
-          charac::characterize_model_latency(*dev, bb, count, opt.seed);
-      bench::print_row({charac::backbone_name(bb), dev->name, std::to_string(count),
-                        bench::fmt(sweep.fit.slope * 1e6, 5),
-                        bench::fmt(sweep.mops_per_s, 1), bench::fmt(sweep.fit.r2, 4)},
-                       w);
-      if (dev == &mcu::stm32f746zg()) {
-        if (bb == charac::Backbone::kKwsDsCnn) kws_mops = sweep.mops_per_s;
-        else cifar_mops = sweep.mops_per_s;
-      }
+       {charac::Backbone::kCifar10Cnn, charac::Backbone::kKwsDsCnn})
+    for (const mcu::Device* dev : {&mcu::stm32f446re(), &mcu::stm32f746zg()})
+      cells.push_back({bb, dev, {}});
+  bench::shard(static_cast<int64_t>(cells.size()), [&](int64_t i) {
+    Cell& c = cells[static_cast<size_t>(i)];
+    c.sweep = charac::characterize_model_latency(*c.dev, c.bb, count, opt.seed);
+  });
+
+  report.phase("report");
+  double kws_mops = 0, cifar_mops = 0;
+  for (const Cell& c : cells) {
+    bench::print_row({charac::backbone_name(c.bb), c.dev->name, std::to_string(count),
+                      bench::fmt(c.sweep.fit.slope * 1e6, 5),
+                      bench::fmt(c.sweep.mops_per_s, 1), bench::fmt(c.sweep.fit.r2, 4)},
+                     w);
+    if (c.dev == &mcu::stm32f746zg()) {
+      if (c.bb == charac::Backbone::kKwsDsCnn) kws_mops = c.sweep.mops_per_s;
+      else cifar_mops = c.sweep.mops_per_s;
     }
   }
 
@@ -45,5 +60,11 @@ int main(int argc, char** argv) {
     bench::print_row({bench::fmt(static_cast<double>(p.ops) / 1e6, 2),
                       bench::fmt(p.latency_s * 1e3, 2)},
                      {12, 14});
+
+  report.metric("models_per_sweep", static_cast<double>(count));
+  report.metric("kws_mops_per_s", kws_mops);
+  report.metric("cifar_mops_per_s", cifar_mops);
+  report.metric("kws_vs_cifar_throughput", kws_mops / cifar_mops);
+  report.finish();
   return 0;
 }

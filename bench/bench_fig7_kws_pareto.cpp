@@ -27,7 +27,9 @@ struct Entry {
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header("Fig. 7: KWS pareto — MicroNet vs DS-CNN vs MBv2 stacks");
+  bench::Reporter report("fig7_kws_pareto", opt);
 
+  report.phase("dataset");
   data::KwsConfig kcfg;  // full 12-class GSC-like task
   const int per_class = opt.full ? 60 : 30;
   data::Dataset all = data::make_kws_dataset(kcfg, per_class, opt.seed);
@@ -53,8 +55,13 @@ int main(int argc, char** argv) {
   specs.push_back({"MBNETV2-M", {}, models::mbv2_kws(MS::kM), true, 90.4, 0.3303});
   specs.push_back({"MBNETV2-L", {}, models::mbv2_kws(MS::kL), true, 91.2, 0.0});
 
-  std::vector<Entry> entries;
-  for (const Spec& s : specs) {
+  // Each spec's footprint measurement + proxy training is independent of the
+  // others: shard them across the worker pool. Entry i lands in slot i, so
+  // the table (and every number in it) is identical at any thread count.
+  report.phase("evaluate_and_train");
+  std::vector<Entry> entries(specs.size());
+  bench::shard(static_cast<int64_t>(specs.size()), [&](int64_t si) {
+    const Spec& s = specs[static_cast<size_t>(si)];
     Entry e;
     e.name = s.name;
     e.paper_acc = s.paper_acc;
@@ -88,11 +95,13 @@ int main(int argc, char** argv) {
     tc.seed = opt.seed;
     const bench::TrainedResult tr = bench::train_and_measure(tg, train, test, tc);
     e.quant_acc = tr.quant_accuracy * 100.0;
-    entries.push_back(std::move(e));
-    std::printf("  [trained %s proxy: int8 accuracy %.1f%%]\n", s.name,
-                entries.back().quant_acc);
-  }
+    entries[static_cast<size_t>(si)] = std::move(e);
+  });
+  for (const Entry& e : entries)
+    std::printf("  [trained %s proxy: int8 accuracy %.1f%%]\n", e.name.c_str(),
+                e.quant_acc);
 
+  report.phase("report");
   bench::print_subheader("results (full-size footprints; proxy accuracy on synthetic GSC)");
   const std::vector<int> w{18, 10, 10, 12, 12, 12, 8, 8, 12, 12};
   bench::print_row({"model", "flash", "SRAM", "lat_M(s)", "ops(M)", "acc(%)*",
@@ -129,5 +138,12 @@ int main(int argc, char** argv) {
               mn_m.quant_acc, ds_l.quant_acc);
   std::printf("  MBNETV2-L deployable nowhere: %s (paper: omitted, does not fit)\n",
               (!entries[8].deploy_s && !entries[8].deploy_m) ? "reproduced" : "NOT reproduced");
+
+  report.metric("models", static_cast<double>(entries.size()));
+  report.metric("micronet_m_acc_pct", mn_m.quant_acc);
+  report.metric("micronet_m_latency_s", mn_m.latency_m_s);
+  report.metric("speedup_vs_dscnn_l", ds_l.latency_m_s / mn_m.latency_m_s);
+  report.metric("pareto_size", static_cast<double>(front.size()));
+  report.finish();
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "kernels/kernels.hpp"
+#include "parallel/pool.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
 
@@ -137,6 +138,58 @@ void BM_AvgPool_S8(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AvgPool_S8)->Arg(16)->Arg(32);
+
+// Thread-scaling runs of the two conv paths: same shapes, explicit worker
+// count via parallel::set_threads. Output is bit-identical across the
+// thread axis (the determinism contract); only wall-clock should move.
+// Note: speedup is only observable on a multi-core host — on a single-core
+// container all thread counts collapse to the serial fallback.
+void BM_Conv2D_S8_Threads(benchmark::State& state) {
+  const auto g = conv_geom(static_cast<int32_t>(state.range(0)),
+                           static_cast<int32_t>(state.range(1)));
+  parallel::set_threads(static_cast<int>(state.range(2)));
+  Rng rng(1);
+  TensorI8 x(Shape{g.in_h, g.in_w, g.in_ch});
+  TensorI8 wgt(Shape{g.out_ch, 3, 3, g.in_ch});
+  TensorI8 y(Shape{g.out_h, g.out_w, g.out_ch});
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (int64_t i = 0; i < wgt.size(); ++i) wgt[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  const auto rq = default_rq(8);
+  for (auto _ : state) {
+    kernels::conv2d_s8(x.span(), wgt.span(), {}, y.span(), g, rq);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.macs(false));
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_Conv2D_S8_Threads)
+    ->Args({20, 64, 1})
+    ->Args({20, 64, 2})
+    ->Args({20, 64, 4});
+
+void BM_Conv2D_S8_Im2col_Threads(benchmark::State& state) {
+  const auto g = conv_geom(static_cast<int32_t>(state.range(0)),
+                           static_cast<int32_t>(state.range(1)));
+  parallel::set_threads(static_cast<int>(state.range(2)));
+  Rng rng(1);
+  TensorI8 x(Shape{g.in_h, g.in_w, g.in_ch});
+  TensorI8 wgt(Shape{g.out_ch, 3, 3, g.in_ch});
+  TensorI8 y(Shape{g.out_h, g.out_w, g.out_ch});
+  std::vector<int8_t> scratch(static_cast<size_t>(kernels::conv2d_scratch_bytes(g)));
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (int64_t i = 0; i < wgt.size(); ++i) wgt[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  const auto rq = default_rq(8);
+  for (auto _ : state) {
+    kernels::conv2d_s8_im2col(x.span(), wgt.span(), {}, y.span(), scratch, g, rq);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.macs(false));
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_Conv2D_S8_Im2col_Threads)
+    ->Args({20, 64, 1})
+    ->Args({20, 64, 2})
+    ->Args({20, 64, 4});
 
 void BM_Softmax_S8(benchmark::State& state) {
   const int32_t cols = static_cast<int32_t>(state.range(0));

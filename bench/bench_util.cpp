@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "nn/loss.hpp"
+#include "nn/snapshot.hpp"
+#include "parallel/pool.hpp"
 #include "tensor/rng.hpp"
 
 namespace mn::bench {
@@ -127,6 +129,114 @@ void print_vs_paper(const std::string& metric, double measured, double paper,
                     const std::string& unit) {
   std::printf("  %-38s measured %10.4f %-6s paper %10.4f %-6s\n", metric.c_str(),
               measured, unit.c_str(), paper, unit.c_str());
+}
+
+void shard(int64_t n, const std::function<void(int64_t)>& fn) {
+  parallel::parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+Reporter::Reporter(std::string bench_name, const BenchOptions& opt)
+    : name_(std::move(bench_name)), full_(opt.full) {}
+
+Reporter::~Reporter() {
+  // Best effort on unwind paths; finish() is a no-op if already called.
+  try {
+    finish();
+  } catch (...) {
+  }
+}
+
+void Reporter::close_phase() {
+  if (!phase_open_) return;
+  const double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - phase_start_)
+                       .count();
+  phases_.back().second = s;
+  phase_open_ = false;
+}
+
+void Reporter::phase(const std::string& name) {
+  close_phase();
+  phases_.emplace_back(name, 0.0);
+  phase_open_ = true;
+  phase_start_ = std::chrono::steady_clock::now();
+}
+
+void Reporter::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, json_number(value));
+}
+
+void Reporter::metric(const std::string& key, const std::string& value) {
+  metrics_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+std::string Reporter::json() const {
+  std::string j = "{\"bench\": \"" + json_escape(name_) + "\"";
+  j += ", \"mode\": \"" + std::string(full_ ? "full" : "fast") + "\"";
+  j += ", \"threads\": " + std::to_string(parallel::max_threads());
+  j += ", \"phases\": [";
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    if (i > 0) j += ", ";
+    j += "{\"name\": \"" + json_escape(phases_[i].first) +
+         "\", \"seconds\": " + json_number(phases_[i].second) + "}";
+  }
+  j += "], \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) j += ", ";
+    j += "\"" + json_escape(metrics_[i].first) + "\": " + metrics_[i].second;
+  }
+  j += "}}";
+  return j;
+}
+
+void Reporter::finish() {
+  if (finished_) return;
+  close_phase();
+  finished_ = true;
+  const std::string doc = json() + "\n";
+  std::printf("\n--- JSON ---\n%s", doc.c_str());
+  const std::string path = "BENCH_" + name_ + ".json";
+  const auto res = nn::write_file_atomic(
+      path, std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(doc.data()), doc.size()));
+  if (res.ok())
+    std::printf("[wrote %s]\n", path.c_str());
+  else
+    std::printf("[failed to write %s]\n", path.c_str());
 }
 
 }  // namespace mn::bench

@@ -6,7 +6,11 @@
 // latency numbers come from the full-size architectures either way.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datasets/dataset.hpp"
@@ -61,5 +65,44 @@ TrainedResult train_and_measure(nn::Graph& graph, const data::Dataset& train,
 // Summary line comparing a measured value against the paper's reported one.
 void print_vs_paper(const std::string& metric, double measured, double paper,
                     const std::string& unit);
+
+// Shards n independent evaluations across the worker pool (respecting
+// MN_THREADS / parallel::set_threads). fn(i) must write only into slot i of
+// the caller's result storage, so the shard is deterministic: slot i holds
+// evaluation i's result at any thread count. Exceptions from any shard are
+// rethrown in the caller.
+void shard(int64_t n, const std::function<void(int64_t)>& fn);
+
+// Per-phase wall-clock accounting plus machine-readable output for a bench
+// run. phase() closes the previous phase and opens a new one; finish()
+// (or the destructor) closes the last phase, prints a JSON block to stdout,
+// and atomically writes BENCH_<name>.json — write-tmp-fsync-rename, like the
+// trainer's checkpoints, so a killed bench can never leave a truncated file.
+class Reporter {
+ public:
+  Reporter(std::string bench_name, const BenchOptions& opt);
+  ~Reporter();
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  void phase(const std::string& name);
+  void metric(const std::string& key, double value);
+  void metric(const std::string& key, const std::string& value);
+  void finish();
+
+  std::string json() const;  // the document finish() writes
+
+ private:
+  void close_phase();
+
+  std::string name_;
+  bool full_ = false;
+  bool finished_ = false;
+  bool phase_open_ = false;
+  std::chrono::steady_clock::time_point phase_start_;
+  std::vector<std::pair<std::string, double>> phases_;
+  // Values stored pre-rendered as JSON literals (number or quoted string).
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 }  // namespace mn::bench

@@ -13,14 +13,8 @@
 
 namespace mn::core {
 
-// A concrete selection: one option index per width decision and per skip
-// decision of a supernet.
-struct ArchSample {
-  std::vector<int> width_choices;
-  std::vector<int> skip_choices;
-
-  bool operator==(const ArchSample&) const = default;
-};
+// ArchSample (one option index per decision) lives in core/dnas.hpp so the
+// DNAS candidate-cost fan-out and the black-box searches share it.
 
 // Freezes the supernet's decision nodes to `arch` (logits one-hot, context
 // frozen): subsequent forwards evaluate exactly that architecture with the

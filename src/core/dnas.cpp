@@ -6,6 +6,7 @@
 
 #include "mcu/perf_model.hpp"
 #include "nn/checkpoint.hpp"
+#include "parallel/pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/snapshot.hpp"
@@ -434,6 +435,118 @@ DnasResult run_dnas(Supernet& net, const data::Dataset& train,
     write_dnas_journal(cfg.journal_path, cfg, done).take_or_throw();
   }
   return result;
+}
+
+// --- Candidate-cost evaluation ---------------------------------------------
+
+namespace {
+
+// Index of a decision node inside the supernet's registries (the ConvCost
+// entries hold raw pointers; ArchSample holds indices).
+template <typename T>
+size_t decision_index(const std::vector<T*>& all, const T* d) {
+  for (size_t i = 0; i < all.size(); ++i)
+    if (all[i] == d) return i;
+  throw std::logic_error("candidate_cost: decision not registered");
+}
+
+}  // namespace
+
+CostBreakdown candidate_cost(const Supernet& net, const ArchSample& arch,
+                             const mcu::Device* latency_device) {
+  if (arch.width_choices.size() != net.width_decisions.size() ||
+      arch.skip_choices.size() != net.skip_decisions.size())
+    throw std::invalid_argument("candidate_cost: arity mismatch with supernet");
+  const auto width_of = [&](const MaskFromLogits* d, int64_t fixed) -> int64_t {
+    if (d == nullptr) return fixed;
+    const size_t i = decision_index(net.width_decisions, d);
+    const int k = arch.width_choices[i];
+    if (k < 0 || k >= d->num_options())
+      throw std::invalid_argument("candidate_cost: width choice out of range");
+    return d->widths()[static_cast<size_t>(k)];
+  };
+
+  CostBreakdown c;
+  std::vector<mcu::LayerDesc> layers;
+  for (size_t i = 0; i < net.conv_costs.size(); ++i) {
+    const ConvCost& cc = net.conv_costs[i];
+    const int64_t in_ch = width_of(cc.in_dec, cc.in_ch_max);
+    const int64_t out_ch = width_of(cc.out_dec, cc.out_ch_max);
+    bool present = true;
+    if (cc.gate != nullptr) {
+      const size_t gi = decision_index(net.skip_decisions, cc.gate);
+      const int k = arch.skip_choices[gi];
+      if (k < 0 || k >= cc.gate->num_options())
+        throw std::invalid_argument("candidate_cost: skip choice out of range");
+      present = k == 0;  // branch 0 = layer present
+    }
+    const double spatial = static_cast<double>(cc.out_h * cc.out_w);
+    const double kk = static_cast<double>(cc.kh * cc.kw);
+    const double macs =
+        present ? (cc.depthwise
+                       ? spatial * kk * static_cast<double>(in_ch)
+                       : spatial * kk * static_cast<double>(in_ch * out_ch))
+                : 0.0;
+    const double params =
+        present ? (cc.depthwise ? kk * static_cast<double>(in_ch)
+                                : kk * static_cast<double>(in_ch * out_ch))
+                : 0.0;
+    c.expected_params += params;
+    c.expected_ops += 2.0 * macs;
+    // Working memory mirrors expected_working_memory: inputs + outputs of
+    // the layer buffers (Eq. 3), independent of the skip gate.
+    const double bytes_per_act = cc.bits == 4 ? 0.5 : 1.0;
+    const double wm = (static_cast<double>(cc.in_h * cc.in_w * in_ch) +
+                       static_cast<double>(cc.out_h * cc.out_w * out_ch)) *
+                      bytes_per_act;
+    if (wm > c.peak_working_memory) {
+      c.peak_working_memory = wm;
+      c.peak_conv_index = static_cast<int>(i);
+    }
+    if (latency_device != nullptr && present) {
+      mcu::LayerDesc l;
+      if (cc.depthwise)
+        l.kind = mcu::LayerKind::kDepthwiseConv2D;
+      else if (cc.in_h == 1 && cc.in_w == 1 && cc.kh * cc.kw == 1)
+        l.kind = mcu::LayerKind::kFullyConnected;
+      else
+        l.kind = mcu::LayerKind::kConv2D;
+      l.ops = static_cast<int64_t>(2.0 * macs);
+      l.in_ch = in_ch;
+      l.out_ch = out_ch;
+      l.kh = cc.kh;
+      l.kw = cc.kw;
+      l.out_h = cc.out_h;
+      l.out_w = cc.out_w;
+      l.bits = cc.bits;
+      layers.push_back(l);
+    }
+  }
+  double bytes_per_weight = 1.0;
+  if (!net.conv_costs.empty() && net.conv_costs.front().bits == 4)
+    bytes_per_weight = 0.5;
+  c.expected_flash_bytes =
+      c.expected_params * bytes_per_weight +
+      static_cast<double>(net.conv_costs.size()) * 640.0 + 2048.0;
+  if (latency_device != nullptr)
+    c.expected_latency_s = mcu::model_latency_s(*latency_device, layers);
+  return c;
+}
+
+std::vector<CostBreakdown> evaluate_candidate_costs(
+    const Supernet& net, std::span<const ArchSample> candidates,
+    const mcu::Device* latency_device) {
+  std::vector<CostBreakdown> out(candidates.size());
+  // Indexed result slots: candidate i lands in out[i] no matter which worker
+  // computes it, so the fan-out is deterministic by construction.
+  parallel::parallel_for(
+      0, static_cast<int64_t>(candidates.size()),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+          out[static_cast<size_t>(i)] = candidate_cost(
+              net, candidates[static_cast<size_t>(i)], latency_device);
+      });
+  return out;
 }
 
 }  // namespace mn::core

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/supernet.hpp"
 #include "datasets/dataset.hpp"
@@ -109,5 +111,31 @@ double constraint_penalty(const CostBreakdown& cost, const DnasConstraints& cn,
 
 DnasResult run_dnas(Supernet& net, const data::Dataset& train,
                     const DnasConfig& cfg);
+
+// --- Candidate-cost evaluation ---------------------------------------------
+
+// A concrete selection: one option index per width decision and per skip
+// decision of a supernet. Shared with the black-box baselines
+// (core/blackbox.hpp).
+struct ArchSample {
+  std::vector<int> width_choices;
+  std::vector<int> skip_choices;
+
+  bool operator==(const ArchSample&) const = default;
+};
+
+// Discrete cost of one frozen candidate, computed WITHOUT mutating the
+// supernet (unlike arch_cost, which freezes the decision logits first):
+// concrete widths from the sample, skip gates 0/1, and — when a device is
+// given — end-to-end latency from the mcu::PerfModel's per-layer throughput
+// tables (layer_latency_s) rather than the smooth differentiable estimate.
+CostBreakdown candidate_cost(const Supernet& net, const ArchSample& arch,
+                             const mcu::Device* latency_device = nullptr);
+
+// Fans candidate-cost evaluation out across the worker pool. Result slot i
+// is candidate i's cost, so the output is identical at any thread count.
+std::vector<CostBreakdown> evaluate_candidate_costs(
+    const Supernet& net, std::span<const ArchSample> candidates,
+    const mcu::Device* latency_device = nullptr);
 
 }  // namespace mn::core

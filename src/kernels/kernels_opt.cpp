@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "kernels/kernels.hpp"
+#include "parallel/pool.hpp"
 
 namespace mn::kernels {
 
@@ -28,10 +30,22 @@ void conv2d_s8_im2col(std::span<const int8_t> input,
   // are filled with input_zp itself.
   const int8_t pad_value = static_cast<int8_t>(
       std::clamp<int32_t>(rq.input_zp, -128, 127));
-  for (int32_t oy = 0; oy < g.out_h; ++oy) {
+  // Row-parallel: the caller's scratch serves the single-chunk (serial)
+  // case; concurrent chunks gather into their own column buffers.
+  const int64_t chunks = parallel::num_chunks(g.out_h, /*grain=*/1);
+  parallel::for_chunks(chunks, [&](int64_t chunk) {
+    const parallel::Range rows = parallel::chunk_range(g.out_h, chunks, chunk);
+    std::vector<int8_t> local;
+    int8_t* colbuf = scratch.data();
+    if (chunks > 1) {
+      local.resize(static_cast<size_t>(ksize));
+      colbuf = local.data();
+    }
+  for (int32_t oy = static_cast<int32_t>(rows.begin);
+       oy < static_cast<int32_t>(rows.end); ++oy) {
     for (int32_t ox = 0; ox < g.out_w; ++ox) {
       // IM2COL: gather one receptive field contiguously.
-      int8_t* col = scratch.data();
+      int8_t* col = colbuf;
       for (int32_t ky = 0; ky < g.kh; ++ky) {
         const int32_t iy = oy * g.stride - g.pad_h + ky;
         for (int32_t kx = 0; kx < g.kw; ++kx) {
@@ -49,7 +63,7 @@ void conv2d_s8_im2col(std::span<const int8_t> input,
       int8_t* out_px = output.data() + (int64_t{oy} * g.out_w + ox) * g.out_ch;
       for (int32_t oc = 0; oc < g.out_ch; ++oc) {
         const int8_t* wr = weights.data() + int64_t{oc} * ksize;
-        const int8_t* xr = scratch.data();
+        const int8_t* xr = colbuf;
         int32_t acc = bias.empty() ? 0 : bias[static_cast<size_t>(oc)];
         int64_t i = 0;
         // Unrolled by 4: the scalar stand-in for the SMLAD dual-MAC path.
@@ -69,6 +83,7 @@ void conv2d_s8_im2col(std::span<const int8_t> input,
       }
     }
   }
+  });
 }
 
 }  // namespace mn::kernels

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "kernels/kernels.hpp"
+#include "parallel/pool.hpp"
 
 namespace mn::kernels {
 
@@ -23,7 +24,10 @@ void conv2d_s8(std::span<const int8_t> input, std::span<const int8_t> weights,
       static_cast<int64_t>(output.size()) < g.output_elements())
     throw std::invalid_argument("conv2d_s8: buffer too small");
   const int64_t ksize = int64_t{g.kh} * g.kw * g.in_ch;
-  for (int32_t oy = 0; oy < g.out_h; ++oy) {
+  // Output rows are disjoint (and integer arithmetic is order-free), so the
+  // row loop parallelizes with exact-match results at any thread count.
+  parallel::parallel_for(0, g.out_h, [&](int64_t oy_lo, int64_t oy_hi) {
+  for (int32_t oy = static_cast<int32_t>(oy_lo); oy < oy_hi; ++oy) {
     for (int32_t ox = 0; ox < g.out_w; ++ox) {
       const int32_t iy0 = oy * g.stride - g.pad_h;
       const int32_t ix0 = ox * g.stride - g.pad_w;
@@ -48,6 +52,7 @@ void conv2d_s8(std::span<const int8_t> input, std::span<const int8_t> weights,
       }
     }
   }
+  });
 }
 
 void depthwise_conv2d_s8(std::span<const int8_t> input,
@@ -56,7 +61,8 @@ void depthwise_conv2d_s8(std::span<const int8_t> input,
                          const ConvGeometry& g, const RequantParams& rq) {
   if (g.in_ch != g.out_ch)
     throw std::invalid_argument("depthwise_conv2d_s8: in_ch != out_ch");
-  for (int32_t oy = 0; oy < g.out_h; ++oy) {
+  parallel::parallel_for(0, g.out_h, [&](int64_t oy_lo, int64_t oy_hi) {
+  for (int32_t oy = static_cast<int32_t>(oy_lo); oy < oy_hi; ++oy) {
     for (int32_t ox = 0; ox < g.out_w; ++ox) {
       const int32_t iy0 = oy * g.stride - g.pad_h;
       const int32_t ix0 = ox * g.stride - g.pad_w;
@@ -78,6 +84,7 @@ void depthwise_conv2d_s8(std::span<const int8_t> input,
       }
     }
   }
+  });
 }
 
 void fully_connected_s8(std::span<const int8_t> input,
@@ -85,14 +92,22 @@ void fully_connected_s8(std::span<const int8_t> input,
                         std::span<const int32_t> bias, std::span<int8_t> output,
                         int32_t in_features, int32_t out_features,
                         const RequantParams& rq) {
-  for (int32_t o = 0; o < out_features; ++o) {
-    const int8_t* wr = weights.data() + int64_t{o} * in_features;
-    int32_t acc = bias.empty() ? 0 : bias[static_cast<size_t>(o)];
-    for (int32_t i = 0; i < in_features; ++i)
-      acc += (static_cast<int32_t>(input[static_cast<size_t>(i)]) - rq.input_zp) *
-             static_cast<int32_t>(wr[i]);
-    output[static_cast<size_t>(o)] = requantize(acc, rq, o);
-  }
+  // Each output feature is an independent dot product; grain keeps tiny
+  // classifier heads from paying dispatch overhead per feature.
+  parallel::parallel_for(
+      0, out_features,
+      [&](int64_t o_lo, int64_t o_hi) {
+        for (int32_t o = static_cast<int32_t>(o_lo); o < o_hi; ++o) {
+          const int8_t* wr = weights.data() + int64_t{o} * in_features;
+          int32_t acc = bias.empty() ? 0 : bias[static_cast<size_t>(o)];
+          for (int32_t i = 0; i < in_features; ++i)
+            acc += (static_cast<int32_t>(input[static_cast<size_t>(i)]) -
+                    rq.input_zp) *
+                   static_cast<int32_t>(wr[i]);
+          output[static_cast<size_t>(o)] = requantize(acc, rq, o);
+        }
+      },
+      /*grain=*/16);
 }
 
 void avg_pool_s8(std::span<const int8_t> input, std::span<int8_t> output,

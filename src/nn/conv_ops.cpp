@@ -3,8 +3,27 @@
 #include <stdexcept>
 
 #include "nn/layers.hpp"
+#include "parallel/pool.hpp"
 
 namespace mn::nn {
+
+namespace {
+
+// Fixed chunk count for per-sample gradient partials. Part of the
+// determinism contract: the number of partial buffers — and therefore the
+// tree_reduce association of the floating-point sums — depends only on the
+// batch size, never on the thread count.
+constexpr int64_t kGradChunks = 8;
+
+int64_t grad_chunks(int64_t batch) { return std::min(batch, kGradChunks); }
+
+void add_into(TensorF& dst, const TensorF& src) {
+  float* d = dst.data();
+  const float* s = src.data();
+  for (int64_t i = 0; i < dst.size(); ++i) d[i] += s[i];
+}
+
+}  // namespace
 
 void init_he_normal(TensorF& w, int64_t fan_in, Rng& rng) {
   const float std = std::sqrt(2.0f / static_cast<float>(std::max<int64_t>(fan_in, 1)));
@@ -82,8 +101,13 @@ TensorF Conv2D::forward(const std::vector<const TensorF*>& in, bool) {
   const TensorF w = effective_weight();
   TensorF y(Shape{N, OH, OW, opt_.out_channels});
   const int64_t ksize = opt_.kh * opt_.kw * C;
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t oy = 0; oy < OH; ++oy) {
+  // Disjoint output rows across (sample, output-row) pairs: no reduction,
+  // so bit-identical at any thread count.
+  parallel::parallel_for(0, N * OH, [&](int64_t r_lo, int64_t r_hi) {
+  for (int64_t r = r_lo; r < r_hi; ++r) {
+    const int64_t n = r / OH;
+    {
+      const int64_t oy = r % OH;
       for (int64_t ox = 0; ox < OW; ++ox) {
         const int64_t iy0 = oy * opt_.stride - pad_h;
         const int64_t ix0 = ox * opt_.stride - pad_w;
@@ -107,6 +131,7 @@ TensorF Conv2D::forward(const std::vector<const TensorF*>& in, bool) {
       }
     }
   }
+  });
   return y;
 }
 
@@ -123,7 +148,21 @@ std::vector<TensorF> Conv2D::backward(const std::vector<const TensorF*>& in,
   // Straight-through estimator: gradients flow as if through the (possibly
   // quantized) weight values used in forward.
   const TensorF w = effective_weight();
-  for (int64_t n = 0; n < N; ++n) {
+  // Per-sample parallelism: input grads (gx) are disjoint per sample, but
+  // weight/bias grads reduce across samples — each chunk sums into its own
+  // partial, combined afterwards by a fixed-shape reduction tree.
+  const int64_t chunks = grad_chunks(N);
+  std::vector<TensorF> wparts(static_cast<size_t>(chunks),
+                              TensorF(weight_.grad.shape(), 0.f));
+  std::vector<TensorF> bparts;
+  if (opt_.use_bias)
+    bparts.assign(static_cast<size_t>(chunks), TensorF(bias_.grad.shape(), 0.f));
+  parallel::for_chunks(chunks, [&](int64_t chunk) {
+    const parallel::Range r = parallel::chunk_range(N, chunks, chunk);
+    float* wpart = wparts[static_cast<size_t>(chunk)].data();
+    float* bpart = opt_.use_bias ? bparts[static_cast<size_t>(chunk)].data()
+                                 : nullptr;
+  for (int64_t n = r.begin; n < r.end; ++n) {
     for (int64_t oy = 0; oy < OH; ++oy) {
       for (int64_t ox = 0; ox < OW; ++ox) {
         const int64_t iy0 = oy * opt_.stride - pad_h;
@@ -132,8 +171,8 @@ std::vector<TensorF> Conv2D::backward(const std::vector<const TensorF*>& in,
         for (int64_t oc = 0; oc < opt_.out_channels; ++oc) {
           const float go = gp[oc];
           if (go == 0.f) continue;
-          if (opt_.use_bias) bias_.grad[oc] += go;
-          float* wg = weight_.grad.data() + oc * ksize;
+          if (opt_.use_bias) bpart[oc] += go;
+          float* wg = wpart + oc * ksize;
           const float* wr = w.data() + oc * ksize;
           for (int64_t ky = 0; ky < opt_.kh; ++ky) {
             const int64_t iy = iy0 + ky;
@@ -154,6 +193,14 @@ std::vector<TensorF> Conv2D::backward(const std::vector<const TensorF*>& in,
       }
     }
   }
+  });
+  parallel::tree_reduce(chunks, [&](int64_t dst, int64_t src) {
+    add_into(wparts[static_cast<size_t>(dst)], wparts[static_cast<size_t>(src)]);
+    if (opt_.use_bias)
+      add_into(bparts[static_cast<size_t>(dst)], bparts[static_cast<size_t>(src)]);
+  });
+  add_into(weight_.grad, wparts[0]);
+  if (opt_.use_bias) add_into(bias_.grad, bparts[0]);
   std::vector<TensorF> grads;
   grads.push_back(std::move(gx));
   return grads;
@@ -196,8 +243,11 @@ TensorF DepthwiseConv2D::forward(const std::vector<const TensorF*>& in, bool) {
   const int64_t pad_w = conv_pad_total(W, opt_.kw, opt_.stride, opt_.padding) / 2;
   const TensorF w = effective_weight();
   TensorF y(Shape{N, OH, OW, C});
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t oy = 0; oy < OH; ++oy) {
+  parallel::parallel_for(0, N * OH, [&](int64_t r_lo, int64_t r_hi) {
+  for (int64_t r = r_lo; r < r_hi; ++r) {
+    const int64_t n = r / OH;
+    {
+      const int64_t oy = r % OH;
       for (int64_t ox = 0; ox < OW; ++ox) {
         const int64_t iy0 = oy * opt_.stride - pad_h;
         const int64_t ix0 = ox * opt_.stride - pad_w;
@@ -217,6 +267,7 @@ TensorF DepthwiseConv2D::forward(const std::vector<const TensorF*>& in, bool) {
       }
     }
   }
+  });
   return y;
 }
 
@@ -230,14 +281,25 @@ std::vector<TensorF> DepthwiseConv2D::backward(
   const int64_t pad_w = conv_pad_total(W, opt_.kw, opt_.stride, opt_.padding) / 2;
   TensorF gx(x.shape(), 0.f);
   const TensorF w = effective_weight();
-  for (int64_t n = 0; n < N; ++n) {
+  const int64_t chunks = grad_chunks(N);
+  std::vector<TensorF> wparts(static_cast<size_t>(chunks),
+                              TensorF(weight_.grad.shape(), 0.f));
+  std::vector<TensorF> bparts;
+  if (opt_.use_bias)
+    bparts.assign(static_cast<size_t>(chunks), TensorF(bias_.grad.shape(), 0.f));
+  parallel::for_chunks(chunks, [&](int64_t chunk) {
+    const parallel::Range r = parallel::chunk_range(N, chunks, chunk);
+    float* wpart = wparts[static_cast<size_t>(chunk)].data();
+    float* bpart = opt_.use_bias ? bparts[static_cast<size_t>(chunk)].data()
+                                 : nullptr;
+  for (int64_t n = r.begin; n < r.end; ++n) {
     for (int64_t oy = 0; oy < OH; ++oy) {
       for (int64_t ox = 0; ox < OW; ++ox) {
         const int64_t iy0 = oy * opt_.stride - pad_h;
         const int64_t ix0 = ox * opt_.stride - pad_w;
         const float* gp = g.data() + g.idx4(n, oy, ox, 0);
         if (opt_.use_bias)
-          for (int64_t c = 0; c < C; ++c) bias_.grad[c] += gp[c];
+          for (int64_t c = 0; c < C; ++c) bpart[c] += gp[c];
         for (int64_t ky = 0; ky < opt_.kh; ++ky) {
           const int64_t iy = iy0 + ky;
           if (iy < 0 || iy >= H) continue;
@@ -248,7 +310,7 @@ std::vector<TensorF> DepthwiseConv2D::backward(
             float* gxr = gx.data() + gx.idx4(n, iy, ix, 0);
             const int64_t koff = (ky * opt_.kw + kx) * C;
             const float* wk = w.data() + koff;
-            float* wg = weight_.grad.data() + koff;
+            float* wg = wpart + koff;
             for (int64_t c = 0; c < C; ++c) {
               wg[c] += gp[c] * xr[c];
               gxr[c] += gp[c] * wk[c];
@@ -258,6 +320,14 @@ std::vector<TensorF> DepthwiseConv2D::backward(
       }
     }
   }
+  });
+  parallel::tree_reduce(chunks, [&](int64_t dst, int64_t src) {
+    add_into(wparts[static_cast<size_t>(dst)], wparts[static_cast<size_t>(src)]);
+    if (opt_.use_bias)
+      add_into(bparts[static_cast<size_t>(dst)], bparts[static_cast<size_t>(src)]);
+  });
+  add_into(weight_.grad, wparts[0]);
+  if (opt_.use_bias) add_into(bias_.grad, bparts[0]);
   std::vector<TensorF> grads;
   grads.push_back(std::move(gx));
   return grads;
@@ -300,15 +370,17 @@ TensorF Dense::forward(const std::vector<const TensorF*>& in, bool) {
   if (F != in_features_) throw std::invalid_argument(name() + ": feature mismatch");
   const TensorF w = effective_weight();
   TensorF y(Shape{N, out_features_});
-  for (int64_t n = 0; n < N; ++n) {
-    const float* xr = x.data() + n * F;
-    for (int64_t o = 0; o < out_features_; ++o) {
-      const float* wr = w.data() + o * F;
-      float acc = use_bias_ ? bias_.value[o] : 0.f;
-      for (int64_t i = 0; i < F; ++i) acc += xr[i] * wr[i];
-      y.at2(n, o) = acc;
+  parallel::parallel_for(0, N, [&](int64_t n_lo, int64_t n_hi) {
+    for (int64_t n = n_lo; n < n_hi; ++n) {
+      const float* xr = x.data() + n * F;
+      for (int64_t o = 0; o < out_features_; ++o) {
+        const float* wr = w.data() + o * F;
+        float acc = use_bias_ ? bias_.value[o] : 0.f;
+        for (int64_t i = 0; i < F; ++i) acc += xr[i] * wr[i];
+        y.at2(n, o) = acc;
+      }
     }
-  }
+  });
   return y;
 }
 
@@ -319,21 +391,40 @@ std::vector<TensorF> Dense::backward(const std::vector<const TensorF*>& in,
   const int64_t F = x.size() / N;
   TensorF gx(x.shape(), 0.f);
   const TensorF w = effective_weight();
-  for (int64_t n = 0; n < N; ++n) {
-    const float* xr = x.data() + n * F;
-    float* gxr = gx.data() + n * F;
-    for (int64_t o = 0; o < out_features_; ++o) {
-      const float go = g.at2(n, o);
-      if (go == 0.f) continue;
-      if (use_bias_) bias_.grad[o] += go;
-      float* wg = weight_.grad.data() + o * F;
-      const float* wr = w.data() + o * F;
-      for (int64_t i = 0; i < F; ++i) {
-        wg[i] += go * xr[i];
-        gxr[i] += go * wr[i];
+  const int64_t chunks = grad_chunks(N);
+  std::vector<TensorF> wparts(static_cast<size_t>(chunks),
+                              TensorF(weight_.grad.shape(), 0.f));
+  std::vector<TensorF> bparts;
+  if (use_bias_)
+    bparts.assign(static_cast<size_t>(chunks), TensorF(bias_.grad.shape(), 0.f));
+  parallel::for_chunks(chunks, [&](int64_t chunk) {
+    const parallel::Range r = parallel::chunk_range(N, chunks, chunk);
+    float* wpart = wparts[static_cast<size_t>(chunk)].data();
+    float* bpart = use_bias_ ? bparts[static_cast<size_t>(chunk)].data()
+                             : nullptr;
+    for (int64_t n = r.begin; n < r.end; ++n) {
+      const float* xr = x.data() + n * F;
+      float* gxr = gx.data() + n * F;
+      for (int64_t o = 0; o < out_features_; ++o) {
+        const float go = g.at2(n, o);
+        if (go == 0.f) continue;
+        if (use_bias_) bpart[o] += go;
+        float* wg = wpart + o * F;
+        const float* wr = w.data() + o * F;
+        for (int64_t i = 0; i < F; ++i) {
+          wg[i] += go * xr[i];
+          gxr[i] += go * wr[i];
+        }
       }
     }
-  }
+  });
+  parallel::tree_reduce(chunks, [&](int64_t dst, int64_t src) {
+    add_into(wparts[static_cast<size_t>(dst)], wparts[static_cast<size_t>(src)]);
+    if (use_bias_)
+      add_into(bparts[static_cast<size_t>(dst)], bparts[static_cast<size_t>(src)]);
+  });
+  add_into(weight_.grad, wparts[0]);
+  if (use_bias_) add_into(bias_.grad, bparts[0]);
   std::vector<TensorF> grads;
   grads.push_back(std::move(gx));
   return grads;

@@ -3,25 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "parallel/pool.hpp"
 
 namespace mn::nn {
 
 TensorF softmax(const TensorF& logits) {
   const int64_t N = logits.shape().dim(0), C = logits.shape().dim(1);
   TensorF p(logits.shape());
-  for (int64_t n = 0; n < N; ++n) {
-    const float* lr = logits.data() + n * C;
-    float* pr = p.data() + n * C;
-    float mx = lr[0];
-    for (int64_t c = 1; c < C; ++c) mx = std::max(mx, lr[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < C; ++c) {
-      pr[c] = std::exp(lr[c] - mx);
-      sum += pr[c];
+  // Rows are independent; all arithmetic stays within a row.
+  parallel::parallel_for(0, N, [&](int64_t n_lo, int64_t n_hi) {
+    for (int64_t n = n_lo; n < n_hi; ++n) {
+      const float* lr = logits.data() + n * C;
+      float* pr = p.data() + n * C;
+      float mx = lr[0];
+      for (int64_t c = 1; c < C; ++c) mx = std::max(mx, lr[c]);
+      double sum = 0.0;
+      for (int64_t c = 0; c < C; ++c) {
+        pr[c] = std::exp(lr[c] - mx);
+        sum += pr[c];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int64_t c = 0; c < C; ++c) pr[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t c = 0; c < C; ++c) pr[c] *= inv;
-  }
+  });
   return p;
 }
 
@@ -32,16 +38,24 @@ LossResult soft_cross_entropy(const TensorF& logits, const TensorF& targets) {
   const TensorF p = softmax(logits);
   LossResult r;
   r.grad = TensorF(logits.shape());
-  double loss = 0.0;
   const float invN = 1.f / static_cast<float>(N);
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t c = 0; c < C; ++c) {
-      const float t = targets.at2(n, c);
-      const float pv = std::max(p.at2(n, c), 1e-12f);
-      if (t > 0.f) loss -= static_cast<double>(t) * std::log(pv);
-      r.grad.at2(n, c) = (p.at2(n, c) - t) * invN;
+  // Per-row losses land in indexed slots and are summed in row order below,
+  // so the reduction association is independent of the thread count.
+  std::vector<double> row_loss(static_cast<size_t>(N), 0.0);
+  parallel::parallel_for(0, N, [&](int64_t n_lo, int64_t n_hi) {
+    for (int64_t n = n_lo; n < n_hi; ++n) {
+      double l = 0.0;
+      for (int64_t c = 0; c < C; ++c) {
+        const float t = targets.at2(n, c);
+        const float pv = std::max(p.at2(n, c), 1e-12f);
+        if (t > 0.f) l -= static_cast<double>(t) * std::log(pv);
+        r.grad.at2(n, c) = (p.at2(n, c) - t) * invN;
+      }
+      row_loss[static_cast<size_t>(n)] = l;
     }
-  }
+  });
+  double loss = 0.0;
+  for (int64_t n = 0; n < N; ++n) loss += row_loss[static_cast<size_t>(n)];
   r.loss = loss / static_cast<double>(N);
   return r;
 }

@@ -6,6 +6,7 @@
 
 #include "nn/checkpoint.hpp"
 #include "nn/snapshot.hpp"
+#include "parallel/pool.hpp"
 #include "tensor/stats.hpp"
 
 namespace mn::nn {
@@ -245,7 +246,10 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
         const int64_t per = batch.inputs.size() / N;
         TensorF mixed(batch.inputs.shape());
         soft_targets = TensorF(Shape{N, C}, 0.f);
-        for (int64_t i = 0; i < N; ++i) {
+        // Each iteration writes only its own row i (reads are of the
+        // immutable originals), so the mixing loop parallelizes cleanly.
+        parallel::parallel_for(0, N, [&](int64_t i_lo, int64_t i_hi) {
+        for (int64_t i = i_lo; i < i_hi; ++i) {
           const int64_t j = perm[static_cast<size_t>(i)];
           const float* a = batch.inputs.data() + i * per;
           const float* b = batch.inputs.data() + j * per;
@@ -254,6 +258,7 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
           soft_targets.at2(i, batch.labels[static_cast<size_t>(i)]) += lam;
           soft_targets.at2(i, batch.labels[static_cast<size_t>(j)]) += 1.f - lam;
         }
+        });
         batch.inputs = std::move(mixed);
         use_soft = true;
       }

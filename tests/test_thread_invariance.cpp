@@ -1,0 +1,350 @@
+// PR 3: bitwise thread-invariance of the full stacks that sit on top of the
+// parallel pool. The determinism contract says threads=N must reproduce
+// threads=1 exactly — not approximately — for:
+//   * nn::fit        — final weights, per-epoch losses, journal bytes
+//   * optimizer slots — SgdMomentum/Adam state after parallel backward passes
+//   * core::run_dnas — weights, costs, RNG fingerprints, journal bytes,
+//                      extracted architecture
+//   * core::evaluate_candidate_costs — the sharded NAS cost fan-out
+// Byte-level comparisons reuse the PR 2 snapshot/journal machinery
+// (save_checkpoint images, ByteWriter optimizer state, MNJ1 journal files).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/dnas.hpp"
+#include "core/supernet.hpp"
+#include "datasets/kws.hpp"
+#include "models/backbones.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/graph.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/snapshot.hpp"
+#include "nn/trainer.hpp"
+#include "parallel/pool.hpp"
+
+namespace mn {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+class ThreadInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mn_threads_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    parallel::set_threads(0);
+    fs::remove_all(dir_);
+  }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+nn::Graph tiny_graph(uint64_t seed) {
+  nn::GraphBuilder b(seed);
+  int x = b.input(Shape{4, 4, 1});
+  nn::Conv2DOptions opt;
+  opt.out_channels = 4;
+  x = b.conv2d(x, opt);
+  x = b.relu(x);
+  x = b.global_avg_pool(x);
+  x = b.dense(x, 2);
+  return b.build(x);
+}
+
+data::Dataset separable_dataset(int n_per_class, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape{4, 4, 1};
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < n_per_class; ++i) {
+      data::Example e;
+      e.input = TensorF(Shape{4, 4, 1});
+      const float base = cls == 0 ? -0.5f : 0.5f;
+      for (int64_t k = 0; k < 16; ++k)
+        e.input[k] = base + static_cast<float>(rng.normal(0, 0.3));
+      e.label = cls;
+      ds.examples.push_back(std::move(e));
+    }
+  }
+  data::shuffle(ds, rng);
+  return ds;
+}
+
+// --- nn::fit ----------------------------------------------------------------
+
+struct FitRun {
+  std::vector<uint8_t> weights;            // save_checkpoint image
+  std::vector<uint8_t> journal;            // MNJ1 journal file bytes
+  double final_loss = 0.0, final_acc = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+TEST_F(ThreadInvarianceTest, FitIsBitIdenticalAcrossThreadCounts) {
+  const data::Dataset ds = separable_dataset(24, 5);
+  FitRun golden;
+  for (const int threads : kThreadCounts) {
+    parallel::set_threads(threads);
+    nn::Graph g = tiny_graph(7);
+    nn::TrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.batch_size = 16;
+    cfg.lr_start = 0.1;
+    cfg.seed = 21;
+    cfg.mixup_alpha = 0.2f;  // exercise the parallel mixup path
+    cfg.journal_path = path("train_t" + std::to_string(threads) + ".journal");
+    FitRun run;
+    cfg.on_epoch = [&](int, double loss, double) { run.epoch_losses.push_back(loss); };
+    const nn::TrainStats stats = fit(g, ds, cfg);
+    run.weights = nn::save_checkpoint(g);
+    run.journal = nn::read_file_bytes(cfg.journal_path).take_or_throw();
+    run.final_loss = stats.final_loss;
+    run.final_acc = stats.final_train_accuracy;
+    if (threads == 1) {
+      golden = std::move(run);
+      ASSERT_FALSE(golden.weights.empty());
+      ASSERT_FALSE(golden.journal.empty());
+      continue;
+    }
+    EXPECT_EQ(run.weights, golden.weights) << "threads=" << threads;
+    EXPECT_EQ(run.journal, golden.journal) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(run.final_loss, golden.final_loss);
+    EXPECT_DOUBLE_EQ(run.final_acc, golden.final_acc);
+    ASSERT_EQ(run.epoch_losses.size(), golden.epoch_losses.size());
+    for (size_t e = 0; e < golden.epoch_losses.size(); ++e)
+      EXPECT_DOUBLE_EQ(run.epoch_losses[e], golden.epoch_losses[e]) << "epoch " << e;
+  }
+}
+
+// --- optimizer slots --------------------------------------------------------
+
+// Hand-rolled training steps so the optimizer's internal slots (momenta,
+// Adam moments + step counter) can be serialized directly via save_state and
+// compared byte-for-byte. The gradients feeding step() come from the
+// parallel backward path, so this pins down the tree-ordered reduction.
+template <typename Opt>
+std::vector<uint8_t> run_steps_and_dump_slots(int threads, uint64_t data_seed) {
+  parallel::set_threads(threads);
+  nn::Graph g = tiny_graph(11);
+  const data::Dataset ds = separable_dataset(8, data_seed);
+  const int64_t n = ds.size();
+  TensorF batch(Shape{n, 4, 4, 1});
+  std::vector<int> labels;
+  for (int64_t i = 0; i < n; ++i) {
+    const data::Example& e = ds.examples[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < 16; ++k) batch[i * 16 + k] = e.input[k];
+    labels.push_back(e.label);
+  }
+  Opt opt;
+  const std::vector<nn::Param*> params = g.params();
+  for (int step = 0; step < 5; ++step) {
+    const TensorF logits = g.forward(batch, /*training=*/true);
+    const nn::LossResult r = nn::softmax_cross_entropy(logits, labels);
+    g.zero_grads();
+    g.backward(r.grad);
+    opt.step(params, 0.05);
+  }
+  nn::ByteWriter w;
+  opt.save_state(params, w);
+  // Append the weights too: slots AND parameters must both be invariant.
+  std::vector<uint8_t> out = w.take();
+  const std::vector<uint8_t> img = nn::save_checkpoint(g);
+  out.insert(out.end(), img.begin(), img.end());
+  return out;
+}
+
+TEST_F(ThreadInvarianceTest, SgdMomentumSlotsBitIdenticalAcrossThreadCounts) {
+  const auto golden = run_steps_and_dump_slots<nn::SgdMomentum>(1, 17);
+  ASSERT_FALSE(golden.empty());
+  for (const int threads : {2, 8})
+    EXPECT_EQ(run_steps_and_dump_slots<nn::SgdMomentum>(threads, 17), golden)
+        << "threads=" << threads;
+}
+
+TEST_F(ThreadInvarianceTest, AdamSlotsBitIdenticalAcrossThreadCounts) {
+  const auto golden = run_steps_and_dump_slots<nn::Adam>(1, 19);
+  ASSERT_FALSE(golden.empty());
+  for (const int threads : {2, 8})
+    EXPECT_EQ(run_steps_and_dump_slots<nn::Adam>(threads, 19), golden)
+        << "threads=" << threads;
+}
+
+// --- core::run_dnas ---------------------------------------------------------
+
+core::DsCnnSearchSpace tiny_space(const data::Dataset& train) {
+  core::DsCnnSearchSpace s;
+  s.input = train.input_shape;
+  s.num_classes = train.num_classes;
+  s.stem_max = 16;
+  s.stem_kh = 3;
+  s.stem_kw = 3;
+  s.blocks = {{16, 1, true}};
+  s.width_fracs = {0.5, 1.0};
+  return s;
+}
+
+core::DnasConfig small_dnas_config() {
+  core::DnasConfig cfg;
+  cfg.epochs = 4;
+  cfg.warmup_epochs = 1;
+  cfg.batch_size = 16;
+  cfg.seed = 31;
+  cfg.constraints.ops_budget = 150'000;
+  cfg.constraints.lambda_ops = 8.0;
+  return cfg;
+}
+
+struct DnasRun {
+  std::vector<uint8_t> weights;
+  std::vector<uint8_t> journal;
+  std::vector<core::DnasEpochInfo> epochs;
+  core::DnasResult result;
+  models::DsCnnConfig arch;
+};
+
+TEST_F(ThreadInvarianceTest, DnasIsBitIdenticalAcrossThreadCounts) {
+  data::KwsConfig kcfg;
+  kcfg.num_keywords = 2;
+  kcfg.num_unknown_words = 3;
+  const data::Dataset train = data::make_kws_dataset(kcfg, 8, 33);
+  const core::DsCnnSearchSpace space = tiny_space(train);
+  models::BuildOptions opt;
+  opt.seed = 9;
+
+  DnasRun golden;
+  for (const int threads : kThreadCounts) {
+    parallel::set_threads(threads);
+    core::Supernet net = core::build_ds_cnn_supernet(space, opt);
+    core::DnasConfig cfg = small_dnas_config();
+    cfg.journal_path = path("dnas_t" + std::to_string(threads) + ".journal");
+    DnasRun run;
+    cfg.on_epoch = [&](const core::DnasEpochInfo& ep) { run.epochs.push_back(ep); };
+    run.result = core::run_dnas(net, train, cfg);
+    run.weights = nn::save_checkpoint(net.graph);
+    run.journal = nn::read_file_bytes(cfg.journal_path).take_or_throw();
+    run.arch = core::extract_ds_cnn(net, space);
+    if (threads == 1) {
+      golden = std::move(run);
+      ASSERT_FALSE(golden.weights.empty());
+      ASSERT_FALSE(golden.epochs.empty());
+      continue;
+    }
+    EXPECT_EQ(run.weights, golden.weights) << "threads=" << threads;
+    EXPECT_EQ(run.journal, golden.journal) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(run.result.final_loss, golden.result.final_loss);
+    EXPECT_DOUBLE_EQ(run.result.final_train_accuracy,
+                     golden.result.final_train_accuracy);
+    EXPECT_DOUBLE_EQ(run.result.final_cost.expected_ops,
+                     golden.result.final_cost.expected_ops);
+    EXPECT_DOUBLE_EQ(run.result.final_cost.expected_flash_bytes,
+                     golden.result.final_cost.expected_flash_bytes);
+    EXPECT_DOUBLE_EQ(run.result.final_cost.peak_working_memory,
+                     golden.result.final_cost.peak_working_memory);
+    // Same NAS decision.
+    EXPECT_EQ(run.arch.stem_channels, golden.arch.stem_channels);
+    ASSERT_EQ(run.arch.blocks.size(), golden.arch.blocks.size());
+    // Per-epoch losses and RNG stream positions line up exactly.
+    ASSERT_EQ(run.epochs.size(), golden.epochs.size());
+    for (size_t e = 0; e < golden.epochs.size(); ++e) {
+      EXPECT_EQ(run.epochs[e].rng_fingerprint, golden.epochs[e].rng_fingerprint);
+      EXPECT_EQ(run.epochs[e].gumbel_rng_fingerprint,
+                golden.epochs[e].gumbel_rng_fingerprint);
+      EXPECT_DOUBLE_EQ(run.epochs[e].loss, golden.epochs[e].loss);
+      EXPECT_DOUBLE_EQ(run.epochs[e].accuracy, golden.epochs[e].accuracy);
+    }
+  }
+}
+
+// --- core::evaluate_candidate_costs -----------------------------------------
+
+// Every (width, skip) combination of the tiny search space.
+std::vector<core::ArchSample> all_candidates(const core::Supernet& net) {
+  std::vector<core::ArchSample> out;
+  core::ArchSample cur;
+  cur.width_choices.assign(net.width_decisions.size(), 0);
+  cur.skip_choices.assign(net.skip_decisions.size(), 0);
+  // Odometer enumeration over all decision options.
+  for (;;) {
+    out.push_back(cur);
+    size_t d = 0;
+    for (; d < cur.width_choices.size(); ++d) {
+      if (++cur.width_choices[d] < net.width_decisions[d]->num_options()) break;
+      cur.width_choices[d] = 0;
+    }
+    if (d < cur.width_choices.size()) continue;
+    for (d = 0; d < cur.skip_choices.size(); ++d) {
+      if (++cur.skip_choices[d] < net.skip_decisions[d]->num_options()) break;
+      cur.skip_choices[d] = 0;
+    }
+    if (d == cur.skip_choices.size()) break;
+  }
+  return out;
+}
+
+TEST_F(ThreadInvarianceTest, CandidateCostFanOutThreadInvariant) {
+  data::KwsConfig kcfg;
+  kcfg.num_keywords = 2;
+  kcfg.num_unknown_words = 3;
+  const data::Dataset train = data::make_kws_dataset(kcfg, 4, 33);
+  models::BuildOptions opt;
+  opt.seed = 9;
+  core::Supernet net = core::build_ds_cnn_supernet(tiny_space(train), opt);
+  const std::vector<core::ArchSample> cands = all_candidates(net);
+  ASSERT_GE(cands.size(), 4u);
+
+  parallel::set_threads(1);
+  const std::vector<core::CostBreakdown> golden =
+      core::evaluate_candidate_costs(net, cands, &mcu::stm32f746zg());
+  ASSERT_EQ(golden.size(), cands.size());
+  for (const int threads : {2, 8}) {
+    parallel::set_threads(threads);
+    const std::vector<core::CostBreakdown> got =
+        core::evaluate_candidate_costs(net, cands, &mcu::stm32f746zg());
+    ASSERT_EQ(got.size(), golden.size());
+    for (size_t i = 0; i < golden.size(); ++i) {
+      // Bitwise: same code evaluates every slot regardless of thread count.
+      EXPECT_EQ(got[i].expected_ops, golden[i].expected_ops) << i;
+      EXPECT_EQ(got[i].expected_params, golden[i].expected_params) << i;
+      EXPECT_EQ(got[i].expected_flash_bytes, golden[i].expected_flash_bytes) << i;
+      EXPECT_EQ(got[i].peak_working_memory, golden[i].peak_working_memory) << i;
+      EXPECT_EQ(got[i].expected_latency_s, golden[i].expected_latency_s) << i;
+    }
+  }
+
+  // Batch evaluation agrees with one-at-a-time candidate_cost.
+  parallel::set_threads(4);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const core::CostBreakdown one =
+        core::candidate_cost(net, cands[i], &mcu::stm32f746zg());
+    EXPECT_EQ(one.expected_ops, golden[i].expected_ops) << i;
+    EXPECT_EQ(one.expected_latency_s, golden[i].expected_latency_s) << i;
+  }
+
+  // Sanity on the cost model itself: skipping a branch can only reduce ops,
+  // and a wider choice can only increase params.
+  double min_ops = golden[0].expected_ops, max_ops = golden[0].expected_ops;
+  for (const auto& c : golden) {
+    min_ops = std::min(min_ops, c.expected_ops);
+    max_ops = std::max(max_ops, c.expected_ops);
+    EXPECT_GT(c.expected_flash_bytes, 0.0);
+    EXPECT_GT(c.expected_latency_s, 0.0);
+  }
+  EXPECT_LT(min_ops, max_ops);
+}
+
+}  // namespace
+}  // namespace mn
