@@ -1,17 +1,30 @@
 // Fig. 3: per-layer latency vs op count on the STM32F767ZI — different layer
 // families show different throughput, 2D convs scatter with channel
 // alignment, and the 138->140 channel anomaly reproduces.
+//
+// Second half: the per-op ProfileReport of a real KWS DS-CNN invoke. The
+// interpreter measures host wall-clock per op, mcu::annotate_profile fills
+// the analytical predicted latency side-by-side, and we report the r^2 of
+// measured-vs-predicted per-layer latency (the paper's per-layer fit) plus a
+// chrome://tracing dump of the invoke (TRACE_fig3_kws.json, loadable in
+// Perfetto).
 #include <array>
 
 #include "bench_util.hpp"
 #include "charac/charac.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "tensor/stats.hpp"
 
 using namespace mn;
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header("Fig. 3: layer latency vs ops (STM32F767ZI, TFLM+CMSIS-NN model)");
+  bench::Reporter report("fig3_layer_latency", opt);
   const int count = opt.full ? 2000 : 400;
+
+  report.phase("characterize");
   const auto samples = charac::characterize_layers(mcu::stm32f767zi(), count, opt.seed);
 
   struct FamilyStats {
@@ -61,5 +74,66 @@ int main(int argc, char** argv) {
               anomaly.latency_140_s * 1e3);
   bench::print_vs_paper("speedup from 138->140 channels", anomaly.speedup,
                         37.5 / 21.5, "x");
+
+  // --- per-op profile of a real KWS invoke ----------------------------------
+  report.phase("profile_kws");
+  models::BuildOptions bo;
+  bo.seed = opt.seed;
+  bo.qat = false;
+  nn::Graph g = models::build_ds_cnn(models::micronet_kws(models::ModelSize::kM), bo);
+  rt::Interpreter interp =
+      bench::calibrated_interpreter(g, Shape{49, 10, 1}, "micronet-kws-m");
+
+  obs::trace_reserve(4096);
+  obs::set_tracing(true);
+  interp.set_profiling(true);
+  const int invokes = opt.full ? 50 : 10;
+  TensorF input(Shape{49, 10, 1});
+  Rng rng(opt.seed);
+  for (int64_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.normal());
+  for (int k = 0; k < invokes; ++k) interp.invoke(input);
+  obs::set_tracing(false);
+
+  rt::ProfileReport prof = interp.profile_report();
+  const mcu::Device& dev = mcu::stm32f767zi();
+  mcu::annotate_profile(dev, interp.model(), &prof);
+  bench::print_subheader("per-op profile, micronet-kws-m (" +
+                         std::to_string(invokes) + " invokes)");
+  std::printf("%s", prof.table().c_str());
+
+  // r^2 of measured host latency against the analytical prediction and
+  // against raw op count — per-layer analog of Fig. 4's model-level fit.
+  std::vector<double> host_us, pred_us, op_counts;
+  for (const rt::OpProfile& op : prof.ops) {
+    if (op.macs <= 0) continue;  // pools/softmax: latency is not MAC-bound
+    host_us.push_back(op.measured_us());
+    pred_us.push_back(op.predicted_us());
+    op_counts.push_back(2.0 * static_cast<double>(op.macs));
+  }
+  const LineFit fit_pred = fit_line(pred_us, host_us);
+  const LineFit fit_ops = fit_line(op_counts, host_us);
+  std::printf("  host-vs-predicted per-layer fit: r^2 = %.4f (%zu MAC layers)\n",
+              fit_pred.r2, host_us.size());
+  std::printf("  host-vs-ops per-layer fit:       r^2 = %.4f\n", fit_ops.r2);
+
+  if (obs::tracing_enabled() || obs::trace_size() > 0) {
+    const std::string trace_path = "TRACE_fig3_kws.json";
+    if (obs::write_text_file(trace_path, obs::chrome_trace_json()))
+      std::printf("  chrome trace (%zu events) -> %s\n", obs::trace_size(),
+                  trace_path.c_str());
+  }
+
+  report.metric("layer_samples", static_cast<double>(count));
+  report.metric("conv_mean_mops", fams[0].sum / std::max(fams[0].n, 1));
+  report.metric("dw_mean_mops", fams[1].sum / std::max(fams[1].n, 1));
+  report.metric("fc_mean_mops", fams[2].sum / std::max(fams[2].n, 1));
+  report.metric("anomaly_speedup", anomaly.speedup);
+  report.metric("kws_profile_invokes", static_cast<double>(invokes));
+  report.metric("kws_mac_layers", static_cast<double>(host_us.size()));
+  report.metric("kws_predicted_us_per_invoke", prof.total_predicted_s() * 1e6);
+  report.metric("r2_host_vs_predicted", fit_pred.r2);
+  report.metric("r2_host_vs_ops", fit_ops.r2);
+  report.finish();
   return 0;
 }

@@ -52,9 +52,10 @@ int main() {
   tcfg.epochs = 14;
   tcfg.batch_size = 32;
   tcfg.lr_start = 0.1;  // cosine-decayed, as in the paper
-  tcfg.on_epoch = [](int epoch, double loss, double acc) {
-    if (epoch % 4 == 0)
-      std::printf("      epoch %2d: loss %.3f, train acc %.3f\n", epoch, loss, acc);
+  tcfg.on_epoch = [](const nn::EpochInfo& ep) {
+    if (ep.epoch % 4 == 0)
+      std::printf("      epoch %2d: loss %.3f, train acc %.3f\n", ep.epoch,
+                  ep.loss, ep.accuracy);
   };
   nn::fit(graph, train, tcfg);
   std::printf("      float test accuracy: %.1f%%\n",

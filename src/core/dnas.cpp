@@ -6,6 +6,7 @@
 
 #include "mcu/perf_model.hpp"
 #include "nn/checkpoint.hpp"
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -275,6 +276,9 @@ DnasResult run_dnas(Supernet& net, const data::Dataset& train,
   }
 
   while (epoch < cfg.epochs) {
+    // Observation only: never touches RNG, journal, or supernet state.
+    obs::SpanScope epoch_span("dnas_epoch", obs::Cat::kSearch, "epoch", epoch,
+                              "step", step);
     // Epoch-boundary snapshot: rollback target for the divergence sentinel
     // and the payload of the crash journal. Taken before the shuffle and
     // before any Gumbel draw, so a restore replays the epoch identically.
@@ -408,6 +412,7 @@ DnasResult run_dnas(Supernet& net, const data::Dataset& train,
     result.final_train_accuracy = acc_sum / static_cast<double>(batches);
     result.final_loss = loss_sum / static_cast<double>(batches);
     result.epochs_completed = epoch + 1;
+    obs::counter_add(obs::Counter::kDnasEpochs, 1);
     if (cfg.on_epoch) {
       DnasEpochInfo info;
       info.epoch = epoch;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kernels/kernels.hpp"
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 
 namespace mn::kernels {
@@ -41,6 +42,12 @@ void conv2d_s4(std::span<const uint8_t> input, std::span<const uint8_t> weights,
                std::span<const int32_t> bias, std::span<uint8_t> output,
                const ConvGeometry& g, const RequantParams& rq) {
   const int64_t ksize = int64_t{g.kh} * g.kw * g.in_ch;
+  obs::counter_add(obs::Counter::kKernelMacs, g.macs(/*depthwise=*/false));
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   packed_size_s4(g.input_elements()) +
+                       packed_size_s4(int64_t{g.out_ch} * ksize));
+  obs::counter_add(obs::Counter::kKernelBytesWritten,
+                   packed_size_s4(g.output_elements()));
   // store_s4 read-modify-writes a shared byte holding two nibbles, so chunks
   // must never split a byte: parallelize over *pairs* of output rows. A pair
   // starts at element offset 2*p*out_w*out_ch — always even, so each chunk
@@ -91,6 +98,12 @@ void depthwise_conv2d_s4(std::span<const uint8_t> input,
                          const ConvGeometry& g, const RequantParams& rq) {
   if (g.in_ch != g.out_ch)
     throw std::invalid_argument("depthwise_conv2d_s4: in_ch != out_ch");
+  obs::counter_add(obs::Counter::kKernelMacs, g.macs(/*depthwise=*/true));
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   packed_size_s4(g.input_elements()) +
+                       packed_size_s4(int64_t{g.kh} * g.kw * g.in_ch));
+  obs::counter_add(obs::Counter::kKernelBytesWritten,
+                   packed_size_s4(g.output_elements()));
   // Row pairs for packed-byte safety (see conv2d_s4).
   const int64_t row_pairs = (int64_t{g.out_h} + 1) / 2;
   parallel::parallel_for(0, row_pairs, [&](int64_t p_lo, int64_t p_hi) {
@@ -126,6 +139,13 @@ void fully_connected_s4(std::span<const uint8_t> input,
                         std::span<const int32_t> bias, std::span<uint8_t> output,
                         int32_t in_features, int32_t out_features,
                         const RequantParams& rq) {
+  obs::counter_add(obs::Counter::kKernelMacs,
+                   int64_t{in_features} * out_features);
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   packed_size_s4(in_features) +
+                       packed_size_s4(int64_t{in_features} * out_features));
+  obs::counter_add(obs::Counter::kKernelBytesWritten,
+                   packed_size_s4(out_features));
   // Output-feature *pairs* so no two chunks share a packed output byte.
   const int64_t out_pairs = (int64_t{out_features} + 1) / 2;
   parallel::parallel_for(
@@ -148,6 +168,10 @@ void fully_connected_s4(std::span<const uint8_t> input,
 
 void avg_pool_s4(std::span<const uint8_t> input, std::span<uint8_t> output,
                  const PoolGeometry& g, int32_t act_min, int32_t act_max) {
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   packed_size_s4(int64_t{g.in_h} * g.in_w * g.ch));
+  obs::counter_add(obs::Counter::kKernelBytesWritten,
+                   packed_size_s4(int64_t{g.out_h} * g.out_w * g.ch));
   for (int32_t oy = 0; oy < g.out_h; ++oy) {
     for (int32_t ox = 0; ox < g.out_w; ++ox) {
       for (int32_t c = 0; c < g.ch; ++c) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "kernels/kernels.hpp"
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 
 namespace mn::kernels {
@@ -24,6 +25,10 @@ void conv2d_s8(std::span<const int8_t> input, std::span<const int8_t> weights,
       static_cast<int64_t>(output.size()) < g.output_elements())
     throw std::invalid_argument("conv2d_s8: buffer too small");
   const int64_t ksize = int64_t{g.kh} * g.kw * g.in_ch;
+  obs::counter_add(obs::Counter::kKernelMacs, g.macs(/*depthwise=*/false));
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   g.input_elements() + int64_t{g.out_ch} * ksize);
+  obs::counter_add(obs::Counter::kKernelBytesWritten, g.output_elements());
   // Output rows are disjoint (and integer arithmetic is order-free), so the
   // row loop parallelizes with exact-match results at any thread count.
   parallel::parallel_for(0, g.out_h, [&](int64_t oy_lo, int64_t oy_hi) {
@@ -61,6 +66,10 @@ void depthwise_conv2d_s8(std::span<const int8_t> input,
                          const ConvGeometry& g, const RequantParams& rq) {
   if (g.in_ch != g.out_ch)
     throw std::invalid_argument("depthwise_conv2d_s8: in_ch != out_ch");
+  obs::counter_add(obs::Counter::kKernelMacs, g.macs(/*depthwise=*/true));
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   g.input_elements() + int64_t{g.kh} * g.kw * g.in_ch);
+  obs::counter_add(obs::Counter::kKernelBytesWritten, g.output_elements());
   parallel::parallel_for(0, g.out_h, [&](int64_t oy_lo, int64_t oy_hi) {
   for (int32_t oy = static_cast<int32_t>(oy_lo); oy < oy_hi; ++oy) {
     for (int32_t ox = 0; ox < g.out_w; ++ox) {
@@ -92,6 +101,11 @@ void fully_connected_s8(std::span<const int8_t> input,
                         std::span<const int32_t> bias, std::span<int8_t> output,
                         int32_t in_features, int32_t out_features,
                         const RequantParams& rq) {
+  obs::counter_add(obs::Counter::kKernelMacs,
+                   int64_t{in_features} * out_features);
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   in_features + int64_t{in_features} * out_features);
+  obs::counter_add(obs::Counter::kKernelBytesWritten, out_features);
   // Each output feature is an independent dot product; grain keeps tiny
   // classifier heads from paying dispatch overhead per feature.
   parallel::parallel_for(
@@ -112,6 +126,10 @@ void fully_connected_s8(std::span<const int8_t> input,
 
 void avg_pool_s8(std::span<const int8_t> input, std::span<int8_t> output,
                  const PoolGeometry& g, int32_t act_min, int32_t act_max) {
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   int64_t{g.in_h} * g.in_w * g.ch);
+  obs::counter_add(obs::Counter::kKernelBytesWritten,
+                   int64_t{g.out_h} * g.out_w * g.ch);
   for (int32_t oy = 0; oy < g.out_h; ++oy) {
     for (int32_t ox = 0; ox < g.out_w; ++ox) {
       int8_t* out_px = output.data() + (int64_t{oy} * g.out_w + ox) * g.ch;
@@ -139,6 +157,10 @@ void avg_pool_s8(std::span<const int8_t> input, std::span<int8_t> output,
 
 void max_pool_s8(std::span<const int8_t> input, std::span<int8_t> output,
                  const PoolGeometry& g, int32_t act_min, int32_t act_max) {
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   int64_t{g.in_h} * g.in_w * g.ch);
+  obs::counter_add(obs::Counter::kKernelBytesWritten,
+                   int64_t{g.out_h} * g.out_w * g.ch);
   for (int32_t oy = 0; oy < g.out_h; ++oy) {
     for (int32_t ox = 0; ox < g.out_w; ++ox) {
       int8_t* out_px = output.data() + (int64_t{oy} * g.out_w + ox) * g.ch;
@@ -163,6 +185,10 @@ void add_s8(std::span<const int8_t> a, std::span<const int8_t> b,
             std::span<int8_t> output, const AddParams& p) {
   if (a.size() != b.size() || a.size() != output.size())
     throw std::invalid_argument("add_s8: size mismatch");
+  obs::counter_add(obs::Counter::kKernelBytesRead,
+                   static_cast<int64_t>(a.size() + b.size()));
+  obs::counter_add(obs::Counter::kKernelBytesWritten,
+                   static_cast<int64_t>(output.size()));
   for (size_t i = 0; i < a.size(); ++i) {
     const int32_t sa = (static_cast<int32_t>(a[i]) - p.a_zp) << p.left_shift;
     const int32_t sb = (static_cast<int32_t>(b[i]) - p.b_zp) << p.left_shift;
@@ -178,6 +204,8 @@ void softmax_s8(std::span<const int8_t> input, std::span<int8_t> output,
                 int32_t rows, int32_t cols, float input_scale) {
   // Float-internal softmax quantized to the TFLite convention
   // (scale 1/256, zero point -128).
+  obs::counter_add(obs::Counter::kKernelBytesRead, int64_t{rows} * cols);
+  obs::counter_add(obs::Counter::kKernelBytesWritten, int64_t{rows} * cols);
   for (int32_t r = 0; r < rows; ++r) {
     const int8_t* in = input.data() + int64_t{r} * cols;
     int8_t* out = output.data() + int64_t{r} * cols;

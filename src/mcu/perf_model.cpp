@@ -147,6 +147,16 @@ double model_latency_s(const Device& dev, const rt::ModelDef& model) {
   return model_latency_s(dev, layers_of(model));
 }
 
+void annotate_profile(const Device& dev, const rt::ModelDef& model,
+                      rt::ProfileReport* report) {
+  const std::vector<LayerDesc> layers = layers_of(model);
+  const size_t n = std::min(layers.size(), report->ops.size());
+  for (size_t i = 0; i < n; ++i)
+    report->ops[i].predicted_s = layer_latency_s(dev, layers[i]);
+  report->device_name = dev.name;
+  report->clock_mhz = dev.clock_mhz;
+}
+
 double model_latency_reference_kernels_s(const Device& dev,
                                          const rt::ModelDef& model) {
   std::vector<LayerDesc> layers = layers_of(model);

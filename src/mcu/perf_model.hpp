@@ -51,6 +51,14 @@ double layer_latency_s(const Device& dev, const LayerDesc& layer);
 // Layer descriptions for every op of a runtime model.
 std::vector<LayerDesc> layers_of(const rt::ModelDef& model);
 
+// Fills the predicted_s slot of every op in a ProfileReport from the
+// analytical latency model (layers_of is 1:1 with model.ops), plus the
+// device identity/clock, turning an Interpreter profile into the
+// predicted-vs-measured table of Fig. 3. The report must come from an
+// Interpreter over the same `model`.
+void annotate_profile(const Device& dev, const rt::ModelDef& model,
+                      rt::ProfileReport* report);
+
 // End-to-end single-inference latency (sum of layers + interpreter dispatch).
 double model_latency_s(const Device& dev, const rt::ModelDef& model);
 double model_latency_s(const Device& dev, const std::vector<LayerDesc>& layers);

@@ -6,6 +6,7 @@
 
 #include "nn/checkpoint.hpp"
 #include "nn/snapshot.hpp"
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "tensor/stats.hpp"
 
@@ -215,6 +216,10 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
 
   const int64_t C = graph.feature_shape(graph.output_id()).elements();
   while (epoch < cfg.epochs) {
+    // Observation only: the span reads the wall clock into the obs ring, the
+    // counter is a relaxed atomic — neither touches RNG, journal, or weights.
+    obs::SpanScope epoch_span("train_epoch", obs::Cat::kTrain, "epoch", epoch,
+                              "step", step);
     // Epoch-boundary snapshot: rollback target for the divergence sentinel
     // and the payload of the crash journal. Taken before the shuffle so a
     // restore replays the epoch's batches identically.
@@ -351,7 +356,18 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
     stats.final_loss = loss_sum / static_cast<double>(batches);
     stats.final_train_accuracy = acc_sum / static_cast<double>(batches);
     stats.epochs_completed = epoch + 1;
-    if (cfg.on_epoch) cfg.on_epoch(epoch, stats.final_loss, stats.final_train_accuracy);
+    obs::counter_add(obs::Counter::kTrainerEpochs, 1);
+    if (cfg.on_epoch) {
+      EpochInfo info;
+      info.epoch = epoch;
+      info.step = step;
+      info.loss = stats.final_loss;
+      info.accuracy = stats.final_train_accuracy;
+      info.lr_scale = lr_scale;
+      info.rng_fingerprint = rng.fingerprint();
+      info.recoveries = recovery_count;
+      cfg.on_epoch(info);
+    }
     ++epoch;
   }
 
@@ -402,6 +418,8 @@ double fit_autoencoder(Graph& graph, const data::Dataset& train,
   double final_mse = 0.0;
   int64_t step = 0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::SpanScope epoch_span("autoencoder_epoch", obs::Cat::kTrain, "epoch",
+                              epoch, "step", step);
     data::shuffle(ds, rng);
     double mse_sum = 0.0;
     int64_t batches = 0;
@@ -428,7 +446,15 @@ double fit_autoencoder(Graph& graph, const data::Dataset& train,
       ++batches;
     }
     final_mse = mse_sum / static_cast<double>(batches);
-    if (cfg.on_epoch) cfg.on_epoch(epoch, final_mse, 0.0);
+    obs::counter_add(obs::Counter::kTrainerEpochs, 1);
+    if (cfg.on_epoch) {
+      EpochInfo info;
+      info.epoch = epoch;
+      info.step = step;
+      info.loss = final_mse;
+      info.rng_fingerprint = rng.fingerprint();
+      cfg.on_epoch(info);
+    }
   }
   return final_mse;
 }

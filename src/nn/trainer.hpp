@@ -22,6 +22,22 @@
 
 namespace mn::nn {
 
+// Per-epoch progress snapshot handed to TrainConfig::on_epoch — the trainer
+// analog of core::DnasEpochInfo. Carries only deterministic quantities (no
+// wall clock), so callbacks can log or journal it without perturbing the
+// bitwise resume/thread-invariance guarantees.
+struct EpochInfo {
+  int epoch = 0;
+  int64_t step = 0;          // global optimizer steps completed
+  double loss = 0.0;         // mean train loss this epoch
+  double accuracy = 0.0;     // mean train accuracy (0 for autoencoder fits)
+  double lr_scale = 1.0;     // divergence-recovery LR backoff in effect
+  // SplitMix64 stream position of the shuffle/mixup RNG after this epoch
+  // (wall-clock-free progress marker).
+  uint64_t rng_fingerprint = 0;
+  int recoveries = 0;        // divergence recoveries so far in this run
+};
+
 struct TrainConfig {
   int epochs = 10;
   int64_t batch_size = 32;
@@ -35,8 +51,8 @@ struct TrainConfig {
   float distill_alpha = 0.5f;
   float distill_temperature = 4.f;
   uint64_t seed = 1;
-  // Called once per epoch with (epoch, mean train loss, train accuracy).
-  std::function<void(int, double, double)> on_epoch;
+  // Called once per completed epoch with the progress snapshot above.
+  std::function<void(const EpochInfo&)> on_epoch;
 
   // --- crash safety & divergence recovery ---
   // Journal the full training state to this file (atomically, CRC-sealed)

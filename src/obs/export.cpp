@@ -1,0 +1,108 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace mn::obs {
+
+namespace {
+
+// Span names are static literals under our control, but escape defensively
+// so a stray quote can never produce an unloadable trace.
+std::string json_escape(const char* s) {
+  std::string out;
+  if (s == nullptr) return out;
+  for (; *s != '\0'; ++s) {
+    const char ch = *s;
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+      out += buf;
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+std::string us(int64_t ns) {
+  // Microseconds with ns precision, the unit chrome://tracing expects.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000) : ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = trace_snapshot();
+  std::string j = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) j += ",";
+    j += "\n{\"name\": \"" + json_escape(e.name) + "\"";
+    j += ", \"cat\": \"" + std::string(cat_name(e.cat)) + "\"";
+    j += ", \"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+    j += ", \"ts\": " + us(e.start_ns);
+    j += ", \"dur\": " + us(e.dur_ns);
+    j += ", \"args\": {";
+    bool first = true;
+    if (e.arg_a_name != nullptr) {
+      j += "\"" + json_escape(e.arg_a_name) + "\": " + std::to_string(e.arg_a);
+      first = false;
+    }
+    if (e.arg_b_name != nullptr) {
+      if (!first) j += ", ";
+      j += "\"" + json_escape(e.arg_b_name) + "\": " + std::to_string(e.arg_b);
+    }
+    j += "}}";
+  }
+  j += "\n]}\n";
+  return j;
+}
+
+std::string metrics_json() {
+  std::string j = "{\"counters\": {";
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Counter::kCount); ++i) {
+    const Counter c = static_cast<Counter>(i);
+    if (i > 0) j += ", ";
+    j += "\"" + std::string(counter_name(c)) +
+         "\": " + std::to_string(counter_value(c));
+  }
+  j += "}, \"gauges\": {";
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Gauge::kCount); ++i) {
+    const Gauge g = static_cast<Gauge>(i);
+    if (i > 0) j += ", ";
+    j += "\"" + std::string(gauge_name(g)) +
+         "\": " + std::to_string(gauge_value(g));
+  }
+  j += "}}\n";
+  return j;
+}
+
+std::vector<std::pair<std::string, int64_t>> metrics_flat() {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Counter::kCount); ++i) {
+    const Counter c = static_cast<Counter>(i);
+    out.emplace_back(counter_name(c), counter_value(c));
+  }
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Gauge::kCount); ++i) {
+    const Gauge g = static_cast<Gauge>(i);
+    out.emplace_back(gauge_name(g), gauge_value(g));
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  return n == content.size() && rc == 0;
+}
+
+}  // namespace mn::obs

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace mn::parallel {
 namespace {
 
@@ -58,15 +60,19 @@ class Pool {
 
   void run(int64_t n, const std::function<void(int64_t)>& fn) {
     if (n <= 0) return;
+    obs::counter_add(obs::Counter::kPoolRegions, 1);
+    obs::gauge_set_max(obs::Gauge::kPoolRegionChunksMax, n);
     // Serial fallback: same chunk schedule, executed inline. Covers
     // threads=1, a degenerate single-chunk region, and nested calls.
     if (n == 1 || tl_in_region || max_threads() <= 1) {
       RegionGuard guard;
       for (int64_t i = 0; i < n; ++i) fn(i);
+      obs::counter_add(obs::Counter::kPoolChunks, n);
       return;
     }
     // One region at a time; concurrent top-level callers queue here.
     std::lock_guard<std::mutex> serialize(run_m_);
+    obs::SpanScope span("parallel_region", obs::Cat::kParallel, "chunks", n);
     auto job = std::make_shared<Job>();
     job->fn = fn;
     job->total = n;
@@ -75,11 +81,13 @@ class Pool {
     {
       std::lock_guard<std::mutex> lk(m_);
       ensure_workers_locked(want);
+      obs::gauge_set_max(obs::Gauge::kPoolWorkers,
+                         static_cast<int64_t>(workers_.size()));
       job_ = job;
       ++job_id_;
     }
     cv_.notify_all();
-    execute(*job);  // the caller claims chunks too
+    execute(*job, /*is_caller=*/true);  // the caller claims chunks too
     {
       std::unique_lock<std::mutex> lk(m_);
       done_cv_.wait(lk, [&] { return job->completed == job->total; });
@@ -106,12 +114,12 @@ class Pool {
       seen = job_id_;
       std::shared_ptr<Job> job = job_;
       lk.unlock();
-      execute(*job);
+      execute(*job, /*is_caller=*/false);
       lk.lock();
     }
   }
 
-  void execute(Job& job) {
+  void execute(Job& job, bool is_caller) {
     RegionGuard guard;
     int64_t done = 0;
     for (;;) {
@@ -126,6 +134,8 @@ class Pool {
       ++done;
     }
     if (done > 0) {
+      obs::counter_add(obs::Counter::kPoolChunks, done);
+      if (!is_caller) obs::counter_add(obs::Counter::kPoolStolenChunks, done);
       std::lock_guard<std::mutex> lk(m_);
       job.completed += done;
       if (job.completed == job.total) done_cv_.notify_all();
@@ -155,6 +165,16 @@ void set_threads(int n) {
 }
 
 bool in_parallel_region() { return tl_in_region; }
+
+PoolStats pool_stats() {
+  PoolStats s;
+  s.regions = obs::counter_value(obs::Counter::kPoolRegions);
+  s.chunks = obs::counter_value(obs::Counter::kPoolChunks);
+  s.stolen_chunks = obs::counter_value(obs::Counter::kPoolStolenChunks);
+  s.max_region_chunks = obs::gauge_value(obs::Gauge::kPoolRegionChunksMax);
+  s.workers = obs::gauge_value(obs::Gauge::kPoolWorkers);
+  return s;
+}
 
 int64_t num_chunks(int64_t n, int64_t grain) {
   if (n <= 0) return 0;

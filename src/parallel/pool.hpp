@@ -68,6 +68,26 @@ void parallel_for(int64_t begin, int64_t end,
 // unpack buffers). Same blocking/exception semantics as parallel_for.
 void for_chunks(int64_t chunks, const std::function<void(int64_t)>& fn);
 
+// Execution statistics, accumulated into the obs:: counter registry since
+// process start (or the last obs::reset_counters()). Always-zero in
+// MN_OBS=OFF builds. "Stolen" chunks ran on a pool worker rather than the
+// calling thread — stolen/chunks is the load-sharing ratio, and
+// max_region_chunks is the widest fan-out (peak queue depth) seen.
+struct PoolStats {
+  int64_t regions = 0;           // parallel regions (incl. serial fallback)
+  int64_t chunks = 0;            // chunks executed, all regions and threads
+  int64_t stolen_chunks = 0;     // chunks executed by non-caller workers
+  int64_t max_region_chunks = 0; // widest single region
+  int64_t workers = 0;           // worker threads spawned (excludes caller)
+
+  double stolen_fraction() const {
+    return chunks > 0 ? static_cast<double>(stolen_chunks) /
+                            static_cast<double>(chunks)
+                      : 0.0;
+  }
+};
+PoolStats pool_stats();
+
 // Combines `parts` partial results with a fixed stride-doubling tree:
 //   stride 1: combine(0,1) combine(2,3) ...
 //   stride 2: combine(0,2) combine(4,6) ...

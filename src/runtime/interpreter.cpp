@@ -1,9 +1,12 @@
 #include "runtime/interpreter.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace mn::rt {
 
@@ -44,6 +47,13 @@ Interpreter::Interpreter(ModelDef model) : model_(std::move(model)) {
       scratch = std::max(scratch, kernels::conv2d_scratch_bytes(prepared_[i].conv));
   scratch_.assign(static_cast<size_t>(scratch), 0);
   expected_weights_crc_ = model_.weights_crc();
+  op_macs_.resize(model_.ops.size());
+  op_wall_ns_.assign(model_.ops.size(), 0);
+  for (size_t i = 0; i < model_.ops.size(); ++i)
+    op_macs_[i] = model_.ops[i].macs(model_.tensors);
+  obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, plan_.arena_bytes);
+  obs::gauge_set_max(obs::Gauge::kScratchPeakBytes,
+                     static_cast<int64_t>(scratch_.size()));
 }
 
 void Interpreter::fill_guards() {
@@ -288,7 +298,28 @@ Expected<TensorI8> Interpreter::try_invoke_quantized(const TensorI8& input) {
       for (int64_t i = 0; i < input.size(); ++i)
         kernels::store_s4(in_b, i, input[i]);
     }
-    for (size_t i = 0; i < model_.ops.size(); ++i) run_op(i);
+    {
+      obs::SpanScope invoke_span("invoke", obs::Cat::kRuntime, "ops",
+                                 static_cast<int64_t>(model_.ops.size()));
+      obs::counter_add(obs::Counter::kInterpreterInvokes, 1);
+      obs::counter_add(obs::Counter::kInterpreterOps,
+                       static_cast<int64_t>(model_.ops.size()));
+      for (size_t i = 0; i < model_.ops.size(); ++i) {
+        obs::SpanScope op_span(op_type_name(model_.ops[i].type),
+                               obs::Cat::kKernel, "op",
+                               static_cast<int64_t>(i), "macs", op_macs_[i]);
+        if (profiling_) {
+          const auto t0 = std::chrono::steady_clock::now();
+          run_op(i);
+          op_wall_ns_[i] += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        } else {
+          run_op(i);
+        }
+      }
+      if (profiling_) ++profiled_invocations_;
+    }
     ++invocations_;
     if (auto err = check_canaries()) return *err;
     const TensorDef& out_t = model_.tensors[static_cast<size_t>(model_.output_tensor)];
@@ -331,6 +362,31 @@ TensorI8 Interpreter::invoke_quantized(const TensorI8& input) {
 
 TensorF Interpreter::invoke(const TensorF& input_image) {
   return try_invoke(input_image).take_or_throw();
+}
+
+void Interpreter::set_profiling(bool on) { profiling_ = on; }
+
+void Interpreter::reset_profile() {
+  std::fill(op_wall_ns_.begin(), op_wall_ns_.end(), int64_t{0});
+  profiled_invocations_ = 0;
+}
+
+ProfileReport Interpreter::profile_report() const {
+  ProfileReport r;
+  r.model_name = model_.name;
+  r.invocations = profiled_invocations_;
+  r.ops.resize(model_.ops.size());
+  for (size_t i = 0; i < model_.ops.size(); ++i) {
+    OpProfile& op = r.ops[i];
+    op.op_index = static_cast<int>(i);
+    op.type = model_.ops[i].type;
+    op.output_name =
+        model_.tensors[static_cast<size_t>(model_.ops[i].output)].name;
+    op.macs = op_macs_[i];
+    op.invocations = profiled_invocations_;
+    op.wall_ns = op_wall_ns_[i];
+  }
+  return r;
 }
 
 MemoryReport Interpreter::memory_report() const {

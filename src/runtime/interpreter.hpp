@@ -10,6 +10,7 @@
 #include "kernels/kernels.hpp"
 #include "runtime/model.hpp"
 #include "runtime/planner.hpp"
+#include "runtime/profile.hpp"
 #include "runtime/rt_error.hpp"
 #include "tensor/tensor.hpp"
 
@@ -84,6 +85,16 @@ class Interpreter {
   // Number of invocations served (used by examples/benches).
   int64_t invocation_count() const { return invocations_; }
 
+  // --- per-op profiling ----------------------------------------------------
+  // When on, every invoke accumulates host wall-clock per op (std::chrono;
+  // independent of MN_OBS). profile_report() snapshots the accumulated
+  // timings; hand the snapshot to mcu::annotate_profile() to fill in the
+  // analytical predicted latencies side-by-side.
+  void set_profiling(bool on);
+  bool profiling() const { return profiling_; }
+  void reset_profile();
+  ProfileReport profile_report() const;
+
  private:
   struct PreparedOp {
     kernels::RequantParams rq;      // conv/dw/fc
@@ -111,6 +122,12 @@ class Interpreter {
   int64_t invocations_ = 0;
   uint32_t expected_weights_crc_ = 0;
   bool verify_weights_crc_ = false;
+  // Profiling state: per-op MACs (precomputed), accumulated wall-clock, and
+  // the number of invokes captured while profiling was on.
+  bool profiling_ = false;
+  std::vector<int64_t> op_macs_;
+  std::vector<int64_t> op_wall_ns_;
+  int64_t profiled_invocations_ = 0;
 };
 
 }  // namespace mn::rt

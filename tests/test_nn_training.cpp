@@ -226,7 +226,7 @@ TEST(Trainer, OverfitsTinyDataset) {
   cfg.batch_size = 16;
   cfg.lr_start = 0.1;
   int epochs_seen = 0;
-  cfg.on_epoch = [&](int, double, double) { ++epochs_seen; };
+  cfg.on_epoch = [&](const nn::EpochInfo&) { ++epochs_seen; };
   const TrainStats stats = fit(g, ds, cfg);
   EXPECT_EQ(epochs_seen, 10);
   EXPECT_GT(stats.final_train_accuracy, 0.95);

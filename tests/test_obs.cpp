@@ -1,0 +1,363 @@
+// PR 4: observability subsystem. Counter/gauge registry semantics, the
+// fixed-capacity trace ring (wrap + drop accounting), exporter output
+// (chrome://tracing JSON, metrics JSON), interpreter per-op profiling with
+// mcu-predicted latencies, pool statistics — and the determinism guard: with
+// tracing and profiling ON, training produces bit-identical journal bytes,
+// checkpoint images, and RNG fingerprints to a run with everything OFF.
+//
+// Compiled in both MN_OBS configurations. In -DMN_OBS=OFF builds the
+// MN_OBS_DISABLED branches assert the no-op collapse instead: counters pin
+// to zero, tracing cannot be enabled, spans record nothing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+#include "kernels/kernels.hpp"
+#include "mcu/perf_model.hpp"
+#include "models/backbones.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/graph.hpp"
+#include "nn/trainer.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "parallel/pool.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+#include "tensor/rng.hpp"
+
+namespace mn {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Every test starts from a clean registry and a quiet ring.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_tracing(false);
+    obs::reset_counters();
+    obs::trace_clear();
+  }
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::reset_counters();
+    obs::trace_clear();
+  }
+};
+
+#if !defined(MN_OBS_DISABLED)
+
+TEST_F(ObsTest, CountersAccumulateAndReset) {
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelMacs), 0);
+  obs::counter_add(obs::Counter::kKernelMacs, 100);
+  obs::counter_add(obs::Counter::kKernelMacs, 23);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelMacs), 123);
+  obs::reset_counters();
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelMacs), 0);
+}
+
+TEST_F(ObsTest, GaugesKeepHighWaterMark) {
+  obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, 512);
+  obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, 64);   // lower: ignored
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kArenaPeakBytes), 512);
+  obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, 1024);
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kArenaPeakBytes), 1024);
+}
+
+TEST_F(ObsTest, KernelCallCountsMacsAndBytes) {
+  // 3-in, 2-out FC: 6 MACs, reads 3 input + 6 weight bytes, writes 2.
+  const std::vector<int8_t> in{1, 2, 3}, w{1, 0, 0, 0, 1, 0};
+  std::vector<int8_t> out(2);
+  kernels::RequantParams rq;
+  rq.mult = quant::quantize_multiplier(0.5);
+  kernels::fully_connected_s8(in, w, {}, out, 3, 2, rq);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelMacs), 6);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelBytesRead), 9);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelBytesWritten), 2);
+}
+
+TEST_F(ObsTest, SpanRecordsOnlyWhileTracing) {
+  { obs::SpanScope s("untraced_span", obs::Cat::kBench); }
+  EXPECT_EQ(obs::trace_size(), 0u);
+  obs::set_tracing(true);
+  { obs::SpanScope s("traced_span", obs::Cat::kBench, "k", 42); }
+  obs::set_tracing(false);
+  ASSERT_EQ(obs::trace_size(), 1u);
+  const auto events = obs::trace_snapshot();
+  EXPECT_STREQ(events[0].name, "traced_span");
+  EXPECT_EQ(events[0].cat, obs::Cat::kBench);
+  EXPECT_STREQ(events[0].arg_a_name, "k");
+  EXPECT_EQ(events[0].arg_a, 42);
+  EXPECT_GE(events[0].dur_ns, 0);
+}
+
+TEST_F(ObsTest, RingEvictsOldestAndCountsDrops) {
+  obs::trace_reserve(16);  // the documented minimum
+  EXPECT_EQ(obs::trace_capacity(), 16u);
+  obs::set_tracing(true);
+  static const char* const kNames[] = {"ring_a", "ring_b"};
+  for (int i = 0; i < 24; ++i) {
+    obs::TraceEvent e;
+    e.name = kNames[i >= 8 ? 1 : 0];  // first 8 get evicted
+    e.start_ns = i;
+    obs::trace_emit(e);
+  }
+  obs::set_tracing(false);
+  EXPECT_EQ(obs::trace_size(), 16u);
+  EXPECT_EQ(obs::trace_dropped(), 8);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kTraceDropped), 8);
+  const auto events = obs::trace_snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  for (const obs::TraceEvent& e : events) EXPECT_STREQ(e.name, "ring_b");
+  // Oldest-first order survived the wrap.
+  for (size_t i = 1; i < events.size(); ++i)
+    EXPECT_GT(events[i].start_ns, events[i - 1].start_ns);
+  obs::trace_clear();
+  EXPECT_EQ(obs::trace_size(), 0u);
+  EXPECT_EQ(obs::trace_capacity(), 16u);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonStructure) {
+  obs::trace_reserve(64);
+  obs::set_tracing(true);
+  { obs::SpanScope s("json_span\"quoted", obs::Cat::kKernel, "macs", 7); }
+  obs::set_tracing(false);
+  const std::string j = obs::chrome_trace_json();
+  EXPECT_NE(j.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("json_span\\\"quoted"), std::string::npos);  // escaped
+  EXPECT_NE(j.find("\"cat\": \"kernel\""), std::string::npos);
+  EXPECT_NE(j.find("\"macs\": 7"), std::string::npos);
+}
+
+TEST_F(ObsTest, PoolStatsCountChunksAndRegions) {
+  parallel::set_threads(4);
+  std::vector<int64_t> sums(64, 0);
+  parallel::parallel_for(0, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sums[static_cast<size_t>(i)] = i;
+  });
+  parallel::set_threads(0);
+  const parallel::PoolStats s = parallel::pool_stats();
+  EXPECT_EQ(s.regions, 1);
+  EXPECT_EQ(s.chunks, parallel::num_chunks(64, 1));
+  EXPECT_EQ(s.max_region_chunks, parallel::num_chunks(64, 1));
+  EXPECT_GE(s.stolen_chunks, 0);
+  EXPECT_LE(s.stolen_chunks, s.chunks);
+  EXPECT_GE(s.stolen_fraction(), 0.0);
+  EXPECT_LE(s.stolen_fraction(), 1.0);
+}
+
+#else  // MN_OBS_DISABLED: the whole registry is compiled out.
+
+TEST_F(ObsTest, DisabledBuildPinsEverythingToZero) {
+  obs::counter_add(obs::Counter::kKernelMacs, 123);
+  obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, 456);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelMacs), 0);
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kArenaPeakBytes), 0);
+  obs::set_tracing(true);
+  EXPECT_FALSE(obs::tracing_enabled());
+  { obs::SpanScope s("noop", obs::Cat::kKernel); }
+  EXPECT_EQ(obs::trace_size(), 0u);
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+  const parallel::PoolStats stats = parallel::pool_stats();
+  EXPECT_EQ(stats.chunks, 0);
+}
+
+TEST_F(ObsTest, DisabledBuildExportersStillRender) {
+  // Exporters stay linked (names compile unconditionally) so tooling that
+  // writes metrics files works in every configuration — values are zeros.
+  const std::string m = obs::metrics_json();
+  EXPECT_NE(m.find("\"kernel_macs\": 0"), std::string::npos);
+  const std::string t = obs::chrome_trace_json();
+  EXPECT_NE(t.find("\"traceEvents\": ["), std::string::npos);
+}
+
+#endif  // MN_OBS_DISABLED
+
+TEST_F(ObsTest, MetricsJsonListsEveryCounterAndGauge) {
+  const std::string j = obs::metrics_json();
+  for (uint32_t i = 0; i < static_cast<uint32_t>(obs::Counter::kCount); ++i)
+    EXPECT_NE(j.find(obs::counter_name(static_cast<obs::Counter>(i))),
+              std::string::npos);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(obs::Gauge::kCount); ++i)
+    EXPECT_NE(j.find(obs::gauge_name(static_cast<obs::Gauge>(i))),
+              std::string::npos);
+  const auto flat = obs::metrics_flat();
+  EXPECT_EQ(flat.size(), static_cast<size_t>(obs::Counter::kCount) +
+                             static_cast<size_t>(obs::Gauge::kCount));
+}
+
+// --- interpreter profiling (works in both MN_OBS configurations) ------------
+
+rt::ModelDef profiled_model(uint64_t seed) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{12, 8, 1};
+  cfg.num_classes = 4;
+  cfg.stem_channels = 8;
+  cfg.blocks = {{8, 1}};
+  models::BuildOptions opt;
+  opt.seed = seed;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  Rng rng(seed + 1);
+  TensorF batch(Shape{2, 12, 8, 1});
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  const rt::RangeMap ranges = rt::calibrate_ranges(g, batch);
+  rt::ConvertOptions co;
+  co.name = "profiled";
+  return rt::convert(g, co, &ranges);
+}
+
+TEST_F(ObsTest, ProfileReportMeasuresEveryOp) {
+  rt::Interpreter interp(profiled_model(3));
+  interp.set_profiling(true);
+  const TensorF input(Shape{12, 8, 1}, 0.25f);
+  interp.invoke(input);
+  interp.invoke(input);
+  const rt::ProfileReport prof = interp.profile_report();
+  EXPECT_EQ(prof.model_name, "profiled");
+  EXPECT_EQ(prof.invocations, 2);
+  ASSERT_EQ(prof.ops.size(), interp.model().ops.size());
+  int64_t mac_total = 0;
+  for (const rt::OpProfile& op : prof.ops) {
+    EXPECT_EQ(op.invocations, 2);
+    EXPECT_GE(op.wall_ns, 0);
+    mac_total += op.macs;
+  }
+  EXPECT_EQ(mac_total, interp.model().total_macs());
+  EXPECT_GT(prof.total_wall_ns(), 0);
+  EXPECT_FALSE(prof.has_predictions());
+  // reset_profile zeroes timings but keeps the per-op structure.
+  interp.reset_profile();
+  const rt::ProfileReport fresh = interp.profile_report();
+  EXPECT_EQ(fresh.invocations, 0);
+  EXPECT_EQ(fresh.total_wall_ns(), 0);
+  EXPECT_EQ(fresh.ops.size(), prof.ops.size());
+}
+
+TEST_F(ObsTest, AnnotateProfileFillsPredictionsAndTableRenders) {
+  rt::Interpreter interp(profiled_model(4));
+  interp.set_profiling(true);
+  interp.invoke(TensorF(Shape{12, 8, 1}, 0.1f));
+  rt::ProfileReport prof = interp.profile_report();
+  const mcu::Device& dev = mcu::stm32f746zg();
+  mcu::annotate_profile(dev, interp.model(), &prof);
+  EXPECT_TRUE(prof.has_predictions());
+  EXPECT_EQ(prof.device_name, dev.name);
+  EXPECT_DOUBLE_EQ(prof.clock_mhz, dev.clock_mhz);
+  double pred_sum = 0.0;
+  for (size_t i = 0; i < prof.ops.size(); ++i) {
+    EXPECT_GT(prof.ops[i].predicted_s, 0.0) << "op " << i;
+    EXPECT_GT(prof.predicted_cycles(i), 0) << "op " << i;
+    pred_sum += prof.ops[i].predicted_s;
+  }
+  EXPECT_DOUBLE_EQ(prof.total_predicted_s(), pred_sum);
+  // Sum of per-op predictions stays below the whole-model latency (which
+  // adds the interpreter dispatch overhead) but accounts for most of it.
+  const double model_s = mcu::model_latency_s(dev, interp.model());
+  EXPECT_LT(pred_sum, model_s);
+  EXPECT_GT(pred_sum, 0.5 * model_s);
+  const std::string table = prof.table();
+  EXPECT_NE(table.find("CONV_2D"), std::string::npos);
+  EXPECT_NE(table.find("pred cycles"), std::string::npos);
+  EXPECT_NE(table.find(dev.name), std::string::npos);
+}
+
+// --- the determinism guard ---------------------------------------------------
+
+struct GuardRun {
+  std::vector<uint8_t> journal;   // MNJ1 file bytes
+  std::vector<uint8_t> weights;   // save_checkpoint image
+  std::vector<uint64_t> rng_fingerprints;
+  double final_loss = 0.0;
+};
+
+data::Dataset guard_dataset(int n_per_class, uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.num_classes = 2;
+  ds.input_shape = Shape{4, 4, 1};
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < n_per_class; ++i) {
+      data::Example e;
+      e.input = TensorF(Shape{4, 4, 1});
+      const float base = cls == 0 ? -0.5f : 0.5f;
+      for (int64_t k = 0; k < 16; ++k)
+        e.input[k] = base + static_cast<float>(rng.normal(0, 0.3));
+      e.label = cls;
+      ds.examples.push_back(std::move(e));
+    }
+  }
+  return ds;
+}
+
+nn::Graph guard_graph(uint64_t seed) {
+  nn::GraphBuilder b(seed);
+  int x = b.input(Shape{4, 4, 1});
+  nn::Conv2DOptions opt;
+  opt.out_channels = 4;
+  x = b.conv2d(x, opt);
+  x = b.relu(x);
+  x = b.global_avg_pool(x);
+  x = b.dense(x, 2);
+  return b.build(x);
+}
+
+GuardRun run_guarded_fit(const std::string& journal_path, bool observe) {
+  if (observe) {
+    obs::trace_reserve(4096);
+    obs::set_tracing(true);
+  }
+  nn::Graph g = guard_graph(9);
+  const data::Dataset ds = guard_dataset(16, 5);
+  nn::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 8;
+  cfg.lr_start = 0.1;
+  cfg.seed = 33;
+  cfg.mixup_alpha = 0.2f;  // RNG-hungry path: any extra draw would show
+  cfg.journal_path = journal_path;
+  GuardRun run;
+  cfg.on_epoch = [&](const nn::EpochInfo& ep) {
+    run.rng_fingerprints.push_back(ep.rng_fingerprint);
+  };
+  const nn::TrainStats stats = nn::fit(g, ds, cfg);
+  if (observe) obs::set_tracing(false);
+  run.final_loss = stats.final_loss;
+  run.weights = nn::save_checkpoint(g);
+  run.journal = nn::read_file_bytes(journal_path).take_or_throw();
+  return run;
+}
+
+TEST_F(ObsTest, TracingNeverPerturbsTrainingArtifacts) {
+  const fs::path dir =
+      fs::temp_directory_path() / "mn_obs_determinism_guard";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const GuardRun off = run_guarded_fit((dir / "off.journal").string(), false);
+  const GuardRun on = run_guarded_fit((dir / "on.journal").string(), true);
+  // Observation ON vs OFF: journal bytes, checkpoint image, RNG stream
+  // positions, and losses are all bit-identical. This is the contract that
+  // keeps PR 2's resume-equivalence and PR 3's thread-invariance intact
+  // under tracing.
+  EXPECT_EQ(on.journal, off.journal);
+  EXPECT_EQ(on.weights, off.weights);
+  EXPECT_EQ(on.rng_fingerprints, off.rng_fingerprints);
+  EXPECT_DOUBLE_EQ(on.final_loss, off.final_loss);
+  ASSERT_FALSE(off.journal.empty());
+  ASSERT_FALSE(off.weights.empty());
+#if !defined(MN_OBS_DISABLED)
+  // The observed run actually recorded spans (it wasn't a silent no-op).
+  EXPECT_GT(obs::trace_size(), 0u);
+  EXPECT_GE(obs::counter_value(obs::Counter::kTrainerEpochs), 3);
+#endif
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mn

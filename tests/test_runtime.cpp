@@ -1,6 +1,7 @@
 // Unit tests: model format, memory planner, converter, interpreter.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "models/backbones.hpp"
@@ -8,6 +9,7 @@
 #include "runtime/converter.hpp"
 #include "runtime/interpreter.hpp"
 #include "runtime/planner.hpp"
+#include "runtime/summary.hpp"
 #include "tensor/rng.hpp"
 
 namespace mn::rt {
@@ -339,6 +341,76 @@ TEST(Interpreter, Int4TracksInt8Predictions) {
     if ((o8[1] > o8[0]) == (o4[1] > o4[0])) ++agree;
   }
   EXPECT_GE(agree, total * 3 / 5);
+}
+
+TEST(Summary, ModelSummaryGoldenTable) {
+  // Golden per-op table: conversion is deterministic given the seed, so any
+  // drift in op enumeration, shape printing, or the paper's MAC convention
+  // shows up as a diff against this literal.
+  const ModelDef m = tiny_model();
+  const char* kGolden =
+      "model 'tiny': 7 ops, 20 tensors\n"
+      "#    op                   input              output                     MACs\n"
+      "0    CONV_2D              [12, 8, 1]         [6, 4, 8]                  1728\n"
+      "1    DEPTHWISE_CONV_2D    [6, 4, 8]          [6, 4, 8]                  1728\n"
+      "2    CONV_2D              [6, 4, 8]          [6, 4, 8]                  1536\n"
+      "3    DEPTHWISE_CONV_2D    [6, 4, 8]          [6, 4, 8]                  1728\n"
+      "4    CONV_2D              [6, 4, 8]          [6, 4, 12]                 2304\n"
+      "5    AVERAGE_POOL_2D      [6, 4, 12]         [1, 1, 12]                    0\n"
+      "6    FULLY_CONNECTED      [1, 1, 12]         [4]                          48\n"
+      "totals: 0.02 Mops (0.01 MMACs), 0 KB weights, 3 KB model\n";
+  EXPECT_EQ(model_summary(m), kGolden);
+}
+
+TEST(Summary, DeploymentSummaryMatchesPlanAndReport) {
+  Interpreter interp(tiny_model());
+  const std::string s = deployment_summary(interp);
+  // Starts with the model table, then renders every planned allocation with
+  // its exact [offset, end) and lifetime, then the memory-report totals.
+  EXPECT_EQ(s.find(model_summary(interp.model())), 0u);
+  const MemoryPlan& plan = interp.memory_plan();
+  char line[128];
+  for (const TensorAllocation& a : plan.allocations) {
+    const TensorDef& t =
+        interp.model().tensors.at(static_cast<size_t>(a.tensor_id));
+    std::snprintf(line, sizeof(line), "  [%7lld, %7lld) %-24s life ops [%d, %d]\n",
+                  static_cast<long long>(a.offset),
+                  static_cast<long long>(a.offset + a.bytes), t.name.c_str(),
+                  a.first_op, a.last_op);
+    EXPECT_NE(s.find(line), std::string::npos) << "missing plan line: " << line;
+  }
+  const MemoryReport r = interp.memory_report();
+  std::snprintf(line, sizeof(line),
+                "SRAM: %lld KB (arena %lld + persistent %lld + runtime %lld)\n",
+                static_cast<long long>(r.total_sram() / 1024),
+                static_cast<long long>(r.arena_bytes / 1024),
+                static_cast<long long>(r.persistent_bytes / 1024),
+                static_cast<long long>(r.runtime_sram_bytes / 1024));
+  EXPECT_NE(s.find(line), std::string::npos);
+  std::snprintf(line, sizeof(line), "flash: %lld KB (model %lld + code %lld)\n",
+                static_cast<long long>(r.total_flash() / 1024),
+                static_cast<long long>(r.model_flash() / 1024),
+                static_cast<long long>(r.code_flash_bytes / 1024));
+  EXPECT_NE(s.find(line), std::string::npos);
+}
+
+TEST(Interpreter, MemoryReportArenaMatchesPlanExactly) {
+  const ModelDef m = tiny_model(7);
+  Interpreter interp(m);
+  const MemoryPlan& plan = interp.memory_plan();
+  const MemoryReport r = interp.memory_report();
+  // The report's arena number is the planner's, byte for byte, and the plan
+  // itself is tight: arena_bytes equals the furthest allocation end.
+  EXPECT_EQ(r.arena_bytes, plan.arena_bytes);
+  int64_t max_end = 0;
+  for (const TensorAllocation& a : plan.allocations)
+    max_end = std::max(max_end, a.offset + a.bytes);
+  EXPECT_EQ(plan.arena_bytes, max_end);
+  EXPECT_EQ(r.persistent_bytes, TflmOverheads::persistent_sram_bytes(m));
+  EXPECT_EQ(r.model_sram(), r.arena_bytes + r.persistent_bytes);
+  // The live arena span covers plan + both guard bands.
+  EXPECT_EQ(static_cast<int64_t>(interp.mutable_arena().size()),
+            plan.arena_bytes + 2 * Interpreter::kArenaGuardBytes);
 }
 
 TEST(TflmOverheadsModel, ScalesWithGraphSize) {

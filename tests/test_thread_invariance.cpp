@@ -108,7 +108,9 @@ TEST_F(ThreadInvarianceTest, FitIsBitIdenticalAcrossThreadCounts) {
     cfg.mixup_alpha = 0.2f;  // exercise the parallel mixup path
     cfg.journal_path = path("train_t" + std::to_string(threads) + ".journal");
     FitRun run;
-    cfg.on_epoch = [&](int, double loss, double) { run.epoch_losses.push_back(loss); };
+    cfg.on_epoch = [&](const nn::EpochInfo& ep) {
+      run.epoch_losses.push_back(ep.loss);
+    };
     const nn::TrainStats stats = fit(g, ds, cfg);
     run.weights = nn::save_checkpoint(g);
     run.journal = nn::read_file_bytes(cfg.journal_path).take_or_throw();
