@@ -8,7 +8,9 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header(
       "Fig. 2: memory occupancy of a KWS model on TFLM / STM32F746ZG");
+  bench::Reporter report("fig2_memory_map", opt);
 
+  report.phase("build");
   models::BuildOptions bo;
   bo.seed = opt.seed;
   bo.qat = false;
@@ -51,5 +53,28 @@ int main(int argc, char** argv) {
   std::printf("  lifetime-planned arena: %s (naive sum of activations: %s)\n",
               bench::fmt_kb(interp.memory_plan().arena_bytes).c_str(),
               bench::fmt_kb(rt::unplanned_activation_bytes(interp.model())).c_str());
+
+  // Machine-readable memory map. The occupancy series is the per-op live
+  // activation bytes — the curve a Fig.-2-style arena plot renders; the gap
+  // to arena_bytes is planner fragmentation.
+  report.phase("report");
+  const int num_ops = static_cast<int>(interp.model().ops.size());
+  std::vector<double> occupancy;
+  for (int64_t b : interp.memory_plan().occupancy_timeline(num_ops))
+    occupancy.push_back(static_cast<double>(b));
+  report.series("arena_live_bytes_per_op", occupancy);
+  report.metric("arena_bytes", static_cast<double>(r.arena_bytes));
+  report.metric("arena_live_peak_bytes",
+                static_cast<double>(interp.memory_plan().peak_live_bytes(num_ops)));
+  report.metric("unplanned_activation_bytes",
+                static_cast<double>(rt::unplanned_activation_bytes(interp.model())));
+  report.metric("persistent_bytes", static_cast<double>(r.persistent_bytes));
+  report.metric("runtime_sram_bytes", static_cast<double>(r.runtime_sram_bytes));
+  report.metric("total_sram_bytes", static_cast<double>(r.total_sram()));
+  report.metric("weights_bytes", static_cast<double>(r.weights_bytes));
+  report.metric("graph_def_bytes", static_cast<double>(r.graph_def_bytes));
+  report.metric("code_flash_bytes", static_cast<double>(r.code_flash_bytes));
+  report.metric("total_flash_bytes", static_cast<double>(r.total_flash()));
+  report.finish();
   return 0;
 }

@@ -12,14 +12,15 @@
 
 #include "bench_util.hpp"
 #include "charac/charac.hpp"
-#include "obs/export.hpp"
-#include "obs/obs.hpp"
 #include "tensor/stats.hpp"
 
 using namespace mn;
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions opt = bench::parse_args(argc, argv);
+  bench::BenchOptions opt = bench::parse_args(argc, argv);
+  // The Fig. 3 trace is a CI artifact; it is always written (override the
+  // destination with --trace-out=PATH).
+  if (opt.trace_out.empty()) opt.trace_out = "TRACE_fig3_kws.json";
   bench::print_header("Fig. 3: layer latency vs ops (STM32F767ZI, TFLM+CMSIS-NN model)");
   bench::Reporter report("fig3_layer_latency", opt);
   const int count = opt.full ? 2000 : 400;
@@ -83,9 +84,12 @@ int main(int argc, char** argv) {
   nn::Graph g = models::build_ds_cnn(models::micronet_kws(models::ModelSize::kM), bo);
   rt::Interpreter interp =
       bench::calibrated_interpreter(g, Shape{49, 10, 1}, "micronet-kws-m");
+  const mcu::Device& dev = mcu::stm32f767zi();
+  // Install the per-op energy attribution so the trace carries the
+  // "op_energy_uj" counter track next to arena/scratch/MAC occupancy.
+  interp.set_op_energy_uj(mcu::per_op_energy_uj(dev, interp.model()));
 
-  obs::trace_reserve(4096);
-  obs::set_tracing(true);
+  bench::start_trace_if_requested(opt, 4096);
   interp.set_profiling(true);
   const int invokes = opt.full ? 50 : 10;
   TensorF input(Shape{49, 10, 1});
@@ -93,10 +97,8 @@ int main(int argc, char** argv) {
   for (int64_t i = 0; i < input.size(); ++i)
     input[i] = static_cast<float>(rng.normal());
   for (int k = 0; k < invokes; ++k) interp.invoke(input);
-  obs::set_tracing(false);
 
   rt::ProfileReport prof = interp.profile_report();
-  const mcu::Device& dev = mcu::stm32f767zi();
   mcu::annotate_profile(dev, interp.model(), &prof);
   bench::print_subheader("per-op profile, micronet-kws-m (" +
                          std::to_string(invokes) + " invokes)");
@@ -117,14 +119,24 @@ int main(int argc, char** argv) {
               fit_pred.r2, host_us.size());
   std::printf("  host-vs-ops per-layer fit:       r^2 = %.4f\n", fit_ops.r2);
 
-  if (obs::tracing_enabled() || obs::trace_size() > 0) {
-    const std::string trace_path = "TRACE_fig3_kws.json";
-    if (obs::write_text_file(trace_path, obs::chrome_trace_json()))
-      std::printf("  chrome trace (%zu events) -> %s\n", obs::trace_size(),
-                  trace_path.c_str());
-  }
+  bench::write_trace_if_requested(opt);
+
+  // Memory & energy telemetry: the occupancy timeline the trace's
+  // arena_bytes track renders, plus whole-invoke energy attribution.
+  const std::vector<double> energy_uj = mcu::per_op_energy_uj(dev, interp.model());
+  double energy_total_uj = 0.0;
+  for (double e : energy_uj) energy_total_uj += e;
+  std::vector<double> occupancy;
+  for (int64_t b : interp.op_live_bytes()) occupancy.push_back(static_cast<double>(b));
+  report.series("kws_arena_live_bytes_per_op", occupancy);
+  report.series("kws_op_energy_uj", energy_uj);
 
   report.metric("layer_samples", static_cast<double>(count));
+  report.metric("kws_arena_bytes", static_cast<double>(interp.memory_plan().arena_bytes));
+  report.metric("kws_arena_live_peak_bytes",
+                static_cast<double>(interp.memory_plan().peak_live_bytes(
+                    static_cast<int>(interp.model().ops.size()))));
+  report.metric("kws_energy_uj_per_invoke", energy_total_uj);
   report.metric("conv_mean_mops", fams[0].sum / std::max(fams[0].n, 1));
   report.metric("dw_mean_mops", fams[1].sum / std::max(fams[1].n, 1));
   report.metric("fc_mean_mops", fams[2].sum / std::max(fams[2].n, 1));

@@ -3,12 +3,14 @@
 // latency is linear in ops within a backbone (0.95 < r^2 < 0.99).
 #include "bench_util.hpp"
 #include "charac/charac.hpp"
+#include "obs/obs.hpp"
 
 using namespace mn;
 
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header("Fig. 4: model latency vs ops, random models from two backbones");
+  bench::start_trace_if_requested(opt);
   bench::Reporter report("fig4_model_latency", opt);
   const int count = opt.full ? 1000 : 250;
 
@@ -28,10 +30,14 @@ int main(int argc, char** argv) {
        {charac::Backbone::kCifar10Cnn, charac::Backbone::kKwsDsCnn})
     for (const mcu::Device* dev : {&mcu::stm32f446re(), &mcu::stm32f746zg()})
       cells.push_back({bb, dev, {}});
-  bench::shard(static_cast<int64_t>(cells.size()), [&](int64_t i) {
-    Cell& c = cells[static_cast<size_t>(i)];
-    c.sweep = charac::characterize_model_latency(*c.dev, c.bb, count, opt.seed);
-  });
+  {
+    obs::SpanScope span("fig4_characterize", obs::Cat::kBench, "sweeps",
+                        static_cast<int64_t>(cells.size()));
+    bench::shard(static_cast<int64_t>(cells.size()), [&](int64_t i) {
+      Cell& c = cells[static_cast<size_t>(i)];
+      c.sweep = charac::characterize_model_latency(*c.dev, c.bb, count, opt.seed);
+    });
+  }
 
   report.phase("report");
   double kws_mops = 0, cifar_mops = 0;
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
                       bench::fmt(p.latency_s * 1e3, 2)},
                      {12, 14});
 
+  bench::write_trace_if_requested(opt);
   report.metric("models_per_sweep", static_cast<double>(count));
   report.metric("kws_mops_per_s", kws_mops);
   report.metric("cifar_mops_per_s", cifar_mops);

@@ -10,8 +10,10 @@ using namespace mn;
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header("Fig. 5: power & energy of 400 random CIFAR10-backbone models");
+  bench::Reporter report("fig5_energy", opt);
   const int count = opt.full ? 1000 : 400;
 
+  report.phase("characterize");
   const std::vector<int> w{16, 14, 14, 14, 12};
   bench::print_row({"device", "mean P (W)", "sigma/mu", "energy r^2", "J per Gop"}, w);
   charac::EnergySweep small_sweep, medium_sweep;
@@ -43,5 +45,22 @@ int main(int argc, char** argv) {
                       bench::fmt(p.power_w, 4), bench::fmt(p.energy_j * 1e3, 2)},
                      {12, 12, 12});
   }
+
+  report.phase("report");
+  std::vector<double> energy_mj;
+  for (const auto& p : small_sweep.points) energy_mj.push_back(p.energy_j * 1e3);
+  report.series("f446re_energy_mj_per_model", energy_mj);
+  report.metric("models_per_device", static_cast<double>(count));
+  report.metric("f446re_power_mean_w", small_sweep.power.mean);
+  report.metric("f446re_power_cv", small_sweep.power.cv());
+  report.metric("f446re_energy_r2", small_sweep.energy_fit.r2);
+  report.metric("f446re_j_per_gop", small_sweep.energy_fit.slope * 1e9);
+  report.metric("f746zg_power_mean_w", medium_sweep.power.mean);
+  report.metric("f746zg_power_cv", medium_sweep.power.cv());
+  report.metric("f746zg_energy_r2", medium_sweep.energy_fit.r2);
+  report.metric("f746zg_j_per_gop", medium_sweep.energy_fit.slope * 1e9);
+  report.metric("energy_slope_ratio_s_over_m",
+                small_sweep.energy_fit.slope / medium_sweep.energy_fit.slope);
+  report.finish();
   return 0;
 }

@@ -5,6 +5,7 @@
 // (identical code path, laptop-scale; see EXPERIMENTS.md).
 #include "bench_util.hpp"
 #include "datasets/kws.hpp"
+#include "obs/obs.hpp"
 #include "tensor/stats.hpp"
 
 using namespace mn;
@@ -27,6 +28,7 @@ struct Entry {
 int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header("Fig. 7: KWS pareto — MicroNet vs DS-CNN vs MBv2 stacks");
+  bench::start_trace_if_requested(opt);
   bench::Reporter report("fig7_kws_pareto", opt);
 
   report.phase("dataset");
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
   // the table (and every number in it) is identical at any thread count.
   report.phase("evaluate_and_train");
   std::vector<Entry> entries(specs.size());
+  {
+  obs::SpanScope eval_span("fig7_evaluate_and_train", obs::Cat::kBench,
+                           "specs", static_cast<int64_t>(specs.size()));
   bench::shard(static_cast<int64_t>(specs.size()), [&](int64_t si) {
     const Spec& s = specs[static_cast<size_t>(si)];
     Entry e;
@@ -97,6 +102,7 @@ int main(int argc, char** argv) {
     e.quant_acc = tr.quant_accuracy * 100.0;
     entries[static_cast<size_t>(si)] = std::move(e);
   });
+  }
   for (const Entry& e : entries)
     std::printf("  [trained %s proxy: int8 accuracy %.1f%%]\n", e.name.c_str(),
                 e.quant_acc);
@@ -139,6 +145,7 @@ int main(int argc, char** argv) {
   std::printf("  MBNETV2-L deployable nowhere: %s (paper: omitted, does not fit)\n",
               (!entries[8].deploy_s && !entries[8].deploy_m) ? "reproduced" : "NOT reproduced");
 
+  bench::write_trace_if_requested(opt);
   report.metric("models", static_cast<double>(entries.size()));
   report.metric("micronet_m_acc_pct", mn_m.quant_acc);
   report.metric("micronet_m_latency_s", mn_m.latency_m_s);

@@ -6,6 +6,8 @@
 
 #include "nn/loss.hpp"
 #include "nn/snapshot.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "tensor/rng.hpp"
 
@@ -16,8 +18,27 @@ BenchOptions parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
     if (std::strcmp(argv[i], "--fast") == 0) opt.full = false;
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) opt.trace_out = argv[i] + 12;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
+      opt.trace_out = argv[++i];
   }
   return opt;
+}
+
+void start_trace_if_requested(const BenchOptions& opt, std::size_t capacity) {
+  if (opt.trace_out.empty()) return;
+  obs::trace_reserve(capacity);
+  obs::set_tracing(true);
+}
+
+void write_trace_if_requested(const BenchOptions& opt) {
+  if (opt.trace_out.empty()) return;
+  obs::set_tracing(false);
+  if (obs::write_text_file(opt.trace_out, obs::chrome_trace_json()))
+    std::printf("  chrome trace (%zu events) -> %s\n", obs::trace_size(),
+                opt.trace_out.c_str());
+  else
+    std::printf("  [failed to write trace %s]\n", opt.trace_out.c_str());
 }
 
 void print_header(const std::string& title) {
@@ -204,6 +225,10 @@ void Reporter::metric(const std::string& key, const std::string& value) {
   metrics_.emplace_back(key, "\"" + json_escape(value) + "\"");
 }
 
+void Reporter::series(const std::string& key, const std::vector<double>& values) {
+  series_.emplace_back(key, values);
+}
+
 std::string Reporter::json() const {
   std::string j = "{\"bench\": \"" + json_escape(name_) + "\"";
   j += ", \"mode\": \"" + std::string(full_ ? "full" : "fast") + "\"";
@@ -218,6 +243,16 @@ std::string Reporter::json() const {
   for (size_t i = 0; i < metrics_.size(); ++i) {
     if (i > 0) j += ", ";
     j += "\"" + json_escape(metrics_[i].first) + "\": " + metrics_[i].second;
+  }
+  j += "}, \"series\": {";
+  for (size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) j += ", ";
+    j += "\"" + json_escape(series_[i].first) + "\": [";
+    for (size_t k = 0; k < series_[i].second.size(); ++k) {
+      if (k > 0) j += ", ";
+      j += json_number(series_[i].second[k]);
+    }
+    j += "]";
   }
   j += "}}";
   return j;

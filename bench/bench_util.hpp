@@ -25,8 +25,21 @@ namespace mn::bench {
 struct BenchOptions {
   bool full = false;
   uint64_t seed = 1;
+  // --trace-out=PATH (or --trace-out PATH): record obs spans + counter
+  // tracks for the whole run and write a chrome://tracing JSON there.
+  // Empty = tracing stays off (benches may install a default path).
+  std::string trace_out;
 };
 BenchOptions parse_args(int argc, char** argv);
+
+// Shared --trace-out implementation. start_trace_if_requested arms span
+// recording (reserving `capacity` ring slots) when opt.trace_out is set;
+// write_trace_if_requested stops recording and writes the chrome trace JSON
+// to opt.trace_out. Both are no-ops when the flag was not given (and in
+// -DMN_OBS=OFF builds the written trace is valid but empty).
+void start_trace_if_requested(const BenchOptions& opt,
+                              std::size_t capacity = 16384);
+void write_trace_if_requested(const BenchOptions& opt);
 
 // Pretty-printers.
 void print_header(const std::string& title);
@@ -88,6 +101,11 @@ class Reporter {
   void phase(const std::string& name);
   void metric(const std::string& key, double value);
   void metric(const std::string& key, const std::string& value);
+  // Named array of samples (e.g. the per-op arena-occupancy timeline or an
+  // energy sweep), rendered under a top-level "series" object. Series are
+  // informational: the regression gate (tools/mn_regress) only diffs the
+  // scalar "metrics".
+  void series(const std::string& key, const std::vector<double>& values);
   void finish();
 
   std::string json() const;  // the document finish() writes
@@ -103,6 +121,7 @@ class Reporter {
   std::vector<std::pair<std::string, double>> phases_;
   // Values stored pre-rendered as JSON literals (number or quoted string).
   std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
 };
 
 }  // namespace mn::bench

@@ -150,11 +150,25 @@ double model_latency_s(const Device& dev, const rt::ModelDef& model) {
 void annotate_profile(const Device& dev, const rt::ModelDef& model,
                       rt::ProfileReport* report) {
   const std::vector<LayerDesc> layers = layers_of(model);
+  const double power_w = model_power_w(dev, model_structure_hash(model));
   const size_t n = std::min(layers.size(), report->ops.size());
-  for (size_t i = 0; i < n; ++i)
+  for (size_t i = 0; i < n; ++i) {
     report->ops[i].predicted_s = layer_latency_s(dev, layers[i]);
+    report->ops[i].predicted_uj = power_w * report->ops[i].predicted_s * 1e6;
+  }
   report->device_name = dev.name;
   report->clock_mhz = dev.clock_mhz;
+}
+
+std::vector<double> per_op_energy_uj(const Device& dev,
+                                     const rt::ModelDef& model) {
+  const std::vector<LayerDesc> layers = layers_of(model);
+  const double power_w = model_power_w(dev, model_structure_hash(model));
+  std::vector<double> out;
+  out.reserve(layers.size());
+  for (const LayerDesc& l : layers)
+    out.push_back(power_w * layer_latency_s(dev, l) * 1e6);
+  return out;
 }
 
 double model_latency_reference_kernels_s(const Device& dev,

@@ -77,6 +77,14 @@ double model_energy_j(const Device& dev, const rt::ModelDef& model);
 double model_energy_j(const Device& dev, const std::vector<LayerDesc>& layers,
                       uint64_t model_hash);
 
+// Per-op energy attribution, microjoules: model_power_w × per-layer latency
+// for every op (index-aligned with model.ops). Power is constant across a
+// model's layers (§3 / Fig. 5), so the split is proportional to predicted
+// latency. Feed the table to rt::Interpreter::set_op_energy_uj to get the
+// "op_energy_uj" counter track in traces.
+std::vector<double> per_op_energy_uj(const Device& dev,
+                                     const rt::ModelDef& model);
+
 // Deployability: does the model fit the device under TFLM overheads?
 struct DeployCheck {
   bool sram_ok = false;

@@ -1,6 +1,7 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -178,6 +179,50 @@ double sample_beta(double alpha, Rng& rng) {
   return a / std::max(a + b, 1e-12);
 }
 
+namespace {
+
+// Epoch stopwatch: wall-clock for EpochInfo::samples_per_sec plus the manual
+// per-epoch trace span. The span is emitted by hand rather than via
+// SpanScope because its "samples_per_sec" arg is only known at epoch end,
+// and SpanScope args are fixed at construction. Observation only: two
+// std::chrono reads per epoch, no RNG, nothing journaled.
+class EpochTimer {
+ public:
+  EpochTimer()
+      : traced_(obs::tracing_enabled()),
+        trace_start_ns_(traced_ ? obs::now_ns() : 0),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  double samples_per_sec(int64_t samples) const {
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0_)
+                         .count();
+    return s > 0.0 ? static_cast<double>(samples) / s : 0.0;
+  }
+
+  void emit_span(const char* name, int epoch, double sps) const {
+    if (!traced_) return;
+    obs::TraceEvent ev;
+    ev.name = name;
+    ev.cat = obs::Cat::kTrain;
+    ev.tid = obs::thread_ordinal();
+    ev.start_ns = trace_start_ns_;
+    ev.dur_ns = obs::now_ns() - trace_start_ns_;
+    ev.arg_a_name = "epoch";
+    ev.arg_a = epoch;
+    ev.arg_b_name = "samples_per_sec";
+    ev.arg_b = static_cast<int64_t>(sps);
+    obs::trace_emit(ev);
+  }
+
+ private:
+  bool traced_;
+  int64_t trace_start_ns_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
 TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg) {
   Rng rng(cfg.seed);
   data::Dataset ds = train;  // local copy reshuffled per epoch
@@ -216,10 +261,7 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
 
   const int64_t C = graph.feature_shape(graph.output_id()).elements();
   while (epoch < cfg.epochs) {
-    // Observation only: the span reads the wall clock into the obs ring, the
-    // counter is a relaxed atomic — neither touches RNG, journal, or weights.
-    obs::SpanScope epoch_span("train_epoch", obs::Cat::kTrain, "epoch", epoch,
-                              "step", step);
+    const EpochTimer epoch_timer;
     // Epoch-boundary snapshot: rollback target for the divergence sentinel
     // and the payload of the crash journal. Taken before the shuffle so a
     // restore replays the epoch's batches identically.
@@ -350,6 +392,10 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
       event.lr_scale_after = lr_scale;
       stats.recoveries.push_back(event);
       if (cfg.on_recovery) cfg.on_recovery(event);
+      // The aborted attempt still gets a span (throughput over the batches
+      // it processed) so recoveries are visible on the trace timeline.
+      epoch_timer.emit_span("train_epoch", epoch,
+                            epoch_timer.samples_per_sec(batches * cfg.batch_size));
       continue;  // re-run the same epoch
     }
 
@@ -357,6 +403,8 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
     stats.final_train_accuracy = acc_sum / static_cast<double>(batches);
     stats.epochs_completed = epoch + 1;
     obs::counter_add(obs::Counter::kTrainerEpochs, 1);
+    const double sps = epoch_timer.samples_per_sec(ds.size());
+    epoch_timer.emit_span("train_epoch", epoch, sps);
     if (cfg.on_epoch) {
       EpochInfo info;
       info.epoch = epoch;
@@ -366,6 +414,7 @@ TrainStats fit(Graph& graph, const data::Dataset& train, const TrainConfig& cfg)
       info.lr_scale = lr_scale;
       info.rng_fingerprint = rng.fingerprint();
       info.recoveries = recovery_count;
+      info.samples_per_sec = sps;
       cfg.on_epoch(info);
     }
     ++epoch;
@@ -418,8 +467,7 @@ double fit_autoencoder(Graph& graph, const data::Dataset& train,
   double final_mse = 0.0;
   int64_t step = 0;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
-    obs::SpanScope epoch_span("autoencoder_epoch", obs::Cat::kTrain, "epoch",
-                              epoch, "step", step);
+    const EpochTimer epoch_timer;
     data::shuffle(ds, rng);
     double mse_sum = 0.0;
     int64_t batches = 0;
@@ -447,12 +495,15 @@ double fit_autoencoder(Graph& graph, const data::Dataset& train,
     }
     final_mse = mse_sum / static_cast<double>(batches);
     obs::counter_add(obs::Counter::kTrainerEpochs, 1);
+    const double sps = epoch_timer.samples_per_sec(ds.size());
+    epoch_timer.emit_span("autoencoder_epoch", epoch, sps);
     if (cfg.on_epoch) {
       EpochInfo info;
       info.epoch = epoch;
       info.step = step;
       info.loss = final_mse;
       info.rng_fingerprint = rng.fingerprint();
+      info.samples_per_sec = sps;
       cfg.on_epoch(info);
     }
   }

@@ -23,9 +23,11 @@
 namespace mn::nn {
 
 // Per-epoch progress snapshot handed to TrainConfig::on_epoch — the trainer
-// analog of core::DnasEpochInfo. Carries only deterministic quantities (no
-// wall clock), so callbacks can log or journal it without perturbing the
-// bitwise resume/thread-invariance guarantees.
+// analog of core::DnasEpochInfo. Every field except samples_per_sec is
+// deterministic, so callbacks can log or journal them without perturbing the
+// bitwise resume/thread-invariance guarantees. samples_per_sec is the one
+// wall-clock-derived field (pure observation: it is computed from two
+// std::chrono reads and never feeds a journal, checkpoint, or RNG).
 struct EpochInfo {
   int epoch = 0;
   int64_t step = 0;          // global optimizer steps completed
@@ -36,6 +38,9 @@ struct EpochInfo {
   // (wall-clock-free progress marker).
   uint64_t rng_fingerprint = 0;
   int recoveries = 0;        // divergence recoveries so far in this run
+  // Training throughput this epoch: examples processed / epoch wall-clock.
+  // Also surfaced as the "samples_per_sec" arg of the per-epoch trace span.
+  double samples_per_sec = 0.0;
 };
 
 struct TrainConfig {

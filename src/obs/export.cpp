@@ -36,6 +36,12 @@ std::string us(int64_t ns) {
   return buf;
 }
 
+std::string counter_value_str(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
 }  // namespace
 
 std::string chrome_trace_json() {
@@ -46,6 +52,15 @@ std::string chrome_trace_json() {
     if (i > 0) j += ",";
     j += "\n{\"name\": \"" + json_escape(e.name) + "\"";
     j += ", \"cat\": \"" + std::string(cat_name(e.cat)) + "\"";
+    if (e.ph == Ph::kCounter) {
+      // Counter track sample. Perfetto groups "C" events by (pid, name) into
+      // one counter track per name; the single "value" series keeps each
+      // track a plain line chart.
+      j += ", \"ph\": \"C\", \"pid\": 1";
+      j += ", \"ts\": " + us(e.start_ns);
+      j += ", \"args\": {\"value\": " + counter_value_str(e.value) + "}}";
+      continue;
+    }
     j += ", \"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
     j += ", \"ts\": " + us(e.start_ns);
     j += ", \"dur\": " + us(e.dur_ns);

@@ -14,7 +14,10 @@
 namespace mn::obs {
 
 // Chrome Trace Event Format document: {"traceEvents": [...], ...} with one
-// complete ("ph": "X") event per recorded span, timestamps in microseconds.
+// complete ("ph": "X") event per recorded span and one counter ("ph": "C")
+// event per trace_counter() sample, timestamps in microseconds. Perfetto
+// renders each distinct counter name as its own counter track interleaved
+// with the span rows.
 std::string chrome_trace_json();
 
 // {"counters": {...}, "gauges": {...}} with snake_case keys.

@@ -23,6 +23,7 @@ const char* counter_name(Counter c) {
     case Counter::kTrainerEpochs: return "trainer_epochs";
     case Counter::kDnasEpochs: return "dnas_epochs";
     case Counter::kTraceDropped: return "trace_dropped";
+    case Counter::kCounterSamples: return "counter_samples";
     case Counter::kCount: break;
   }
   return "unknown_counter";
@@ -35,6 +36,7 @@ const char* gauge_name(Gauge g) {
     case Gauge::kPoolWorkers: return "pool_workers";
     case Gauge::kPoolRegionChunksMax: return "pool_region_chunks_max";
     case Gauge::kTraceHighWater: return "trace_high_water";
+    case Gauge::kArenaLiveBytesPeak: return "arena_live_bytes_peak";
     case Gauge::kCount: break;
   }
   return "unknown_gauge";
@@ -113,6 +115,11 @@ void reset_counters() {
   for (auto& g : g_gauges) g.store(0, std::memory_order_relaxed);
 }
 
+void reset_all() {
+  reset_counters();
+  trace_clear();
+}
+
 void trace_reserve(size_t capacity) {
   std::lock_guard<std::mutex> lk(g_trace_m);
   g_ring.assign(std::max(capacity, kMinTraceCapacity), TraceEvent{});
@@ -176,6 +183,19 @@ void trace_emit(const TraceEvent& ev) {
     ++g_size;
     gauge_set_max(Gauge::kTraceHighWater, static_cast<int64_t>(g_size));
   }
+}
+
+void trace_counter(const char* track, double value, Cat cat) {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.name = track;
+  ev.cat = cat;
+  ev.ph = Ph::kCounter;
+  ev.tid = thread_ordinal();
+  ev.start_ns = now_ns();
+  ev.value = value;
+  counter_add(Counter::kCounterSamples, 1);
+  trace_emit(ev);
 }
 
 int64_t now_ns() {

@@ -40,6 +40,7 @@ enum class Counter : uint32_t {
   kTrainerEpochs,        // nn::fit / fit_autoencoder epochs completed
   kDnasEpochs,           // core::run_dnas epochs completed
   kTraceDropped,         // span events evicted by ring-buffer wrap
+  kCounterSamples,       // counter-track samples recorded via trace_counter
   kCount
 };
 
@@ -51,6 +52,7 @@ enum class Gauge : uint32_t {
   kPoolWorkers,          // worker threads spawned (excludes the caller)
   kPoolRegionChunksMax,  // widest region's chunk count (peak queue depth)
   kTraceHighWater,       // most events ever resident in the ring buffer
+  kArenaLiveBytesPeak,   // largest per-op sum of live activation tensors
   kCount
 };
 
@@ -62,14 +64,23 @@ const char* gauge_name(Gauge g);
 enum class Cat : uint8_t { kKernel, kRuntime, kTrain, kSearch, kParallel, kBench };
 const char* cat_name(Cat c);
 
-// One completed span. `name` and the arg names must outlive the buffer
+// Trace event phase: a completed span (chrome "ph":"X") or one sample on a
+// counter track (chrome "ph":"C"). Perfetto renders each distinct counter
+// name as its own counter track alongside the span rows.
+enum class Ph : uint8_t { kComplete, kCounter };
+
+// One trace record. `name` and the arg names must outlive the buffer
 // (string literals); numeric args render into the trace's "args" object.
+// Counter samples use `name` as the track name and `value` as the sample;
+// dur_ns and the named args are ignored for them.
 struct TraceEvent {
   const char* name = nullptr;
   Cat cat = Cat::kRuntime;
+  Ph ph = Ph::kComplete;
   uint32_t tid = 0;       // small per-thread ordinal, stable within a run
   int64_t start_ns = 0;   // offset from the process trace epoch
   int64_t dur_ns = 0;
+  double value = 0.0;     // counter sample value (ph == kCounter)
   const char* arg_a_name = nullptr;
   int64_t arg_a = 0;
   const char* arg_b_name = nullptr;
@@ -84,8 +95,13 @@ void counter_add(Counter c, int64_t delta);
 int64_t counter_value(Counter c);
 void gauge_set_max(Gauge g, int64_t value);  // keeps max(current, value)
 int64_t gauge_value(Gauge g);
-// Zeroes every counter and gauge (not the trace buffer).
+// Zeroes every counter AND every gauge. The trace ring buffer is untouched;
+// use reset_all() to also drop recorded events.
 void reset_counters();
+// Full registry reset: counters, gauges, and the trace ring's recorded
+// events (reserved capacity and the tracing on/off switch are kept). The
+// state a test fixture wants between cases.
+void reset_all();
 
 // --- span tracing -----------------------------------------------------------
 
@@ -106,6 +122,11 @@ std::vector<TraceEvent> trace_snapshot();
 // Records a completed span directly (the non-RAII form used by profilers
 // that measured the interval themselves).
 void trace_emit(const TraceEvent& ev);
+// Records one sample on the counter track `track` (a static-lifetime string
+// literal) at the current trace time. No-op while tracing is off. Samples
+// share the span ring buffer, so they are subject to the same capacity and
+// drop-oldest eviction.
+void trace_counter(const char* track, double value, Cat cat = Cat::kRuntime);
 
 // Monotonic nanoseconds since the process trace epoch.
 int64_t now_ns();
@@ -136,6 +157,7 @@ inline int64_t counter_value(Counter) { return 0; }
 inline void gauge_set_max(Gauge, int64_t) {}
 inline int64_t gauge_value(Gauge) { return 0; }
 inline void reset_counters() {}
+inline void reset_all() {}
 
 inline void trace_reserve(std::size_t) {}
 inline void set_tracing(bool) {}
@@ -146,6 +168,7 @@ inline std::size_t trace_capacity() { return 0; }
 inline int64_t trace_dropped() { return 0; }
 inline std::vector<TraceEvent> trace_snapshot() { return {}; }
 inline void trace_emit(const TraceEvent&) {}
+inline void trace_counter(const char*, double, Cat = Cat::kRuntime) {}
 inline int64_t now_ns() { return 0; }
 inline uint32_t thread_ordinal() { return 0; }
 

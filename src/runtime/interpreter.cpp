@@ -51,9 +51,26 @@ Interpreter::Interpreter(ModelDef model) : model_(std::move(model)) {
   op_wall_ns_.assign(model_.ops.size(), 0);
   for (size_t i = 0; i < model_.ops.size(); ++i)
     op_macs_[i] = model_.ops[i].macs(model_.tensors);
+  op_live_bytes_ = plan_.occupancy_timeline(static_cast<int>(model_.ops.size()));
+  op_scratch_bytes_.assign(model_.ops.size(), 0);
+  for (size_t i = 0; i < model_.ops.size(); ++i) {
+    const TensorDef& in =
+        model_.tensors[static_cast<size_t>(model_.ops[i].inputs[0])];
+    if (model_.ops[i].type == OpType::kConv2D && in.bits == 8)
+      op_scratch_bytes_[i] = kernels::conv2d_scratch_bytes(prepared_[i].conv);
+  }
   obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, plan_.arena_bytes);
   obs::gauge_set_max(obs::Gauge::kScratchPeakBytes,
                      static_cast<int64_t>(scratch_.size()));
+  obs::gauge_set_max(obs::Gauge::kArenaLiveBytesPeak,
+                     plan_.peak_live_bytes(static_cast<int>(model_.ops.size())));
+}
+
+void Interpreter::set_op_energy_uj(std::vector<double> energy_uj) {
+  if (energy_uj.size() != model_.ops.size())
+    throw std::runtime_error(
+        "Interpreter: energy table must have one entry per op");
+  op_energy_uj_ = std::move(energy_uj);
 }
 
 void Interpreter::fill_guards() {
@@ -316,6 +333,21 @@ Expected<TensorI8> Interpreter::try_invoke_quantized(const TensorI8& input) {
                                 .count();
         } else {
           run_op(i);
+        }
+        // Per-op counter-track samples: the arena fill/drain curve (Fig. 2
+        // over the trace timeline), scratch in use, the global MAC counter,
+        // and — when a table was injected — the op's predicted energy.
+        if (obs::tracing_enabled()) {
+          obs::trace_counter("arena_bytes",
+                             static_cast<double>(op_live_bytes_[i]));
+          obs::trace_counter("scratch_bytes",
+                             static_cast<double>(op_scratch_bytes_[i]));
+          obs::trace_counter(
+              "cumulative_macs",
+              static_cast<double>(
+                  obs::counter_value(obs::Counter::kKernelMacs)));
+          if (!op_energy_uj_.empty())
+            obs::trace_counter("op_energy_uj", op_energy_uj_[i]);
         }
       }
       if (profiling_) ++profiled_invocations_;

@@ -95,6 +95,18 @@ class Interpreter {
   void reset_profile();
   ProfileReport profile_report() const;
 
+  // --- memory & energy counter tracks --------------------------------------
+  // While obs tracing is on, every invoke emits per-op samples on the
+  // "arena_bytes" (live activation bytes), "scratch_bytes" (im2col column
+  // buffer in use) and "cumulative_macs" counter tracks — the arena
+  // fill/drain curve of the paper's Fig. 2 rendered over the trace timeline.
+  // Installing a per-op energy table (from mcu::per_op_energy_uj; one entry
+  // per op, microjoules) adds the "op_energy_uj" track. The runtime cannot
+  // depend on mcu, so the table is injected rather than computed here.
+  void set_op_energy_uj(std::vector<double> energy_uj);
+  // Per-op live activation bytes, index-aligned with model().ops.
+  const std::vector<int64_t>& op_live_bytes() const { return op_live_bytes_; }
+
  private:
   struct PreparedOp {
     kernels::RequantParams rq;      // conv/dw/fc
@@ -128,6 +140,11 @@ class Interpreter {
   std::vector<int64_t> op_macs_;
   std::vector<int64_t> op_wall_ns_;
   int64_t profiled_invocations_ = 0;
+  // Counter-track state: per-op live arena bytes / scratch bytes (from the
+  // plan, fixed at construction) and the optional injected energy table.
+  std::vector<int64_t> op_live_bytes_;
+  std::vector<int64_t> op_scratch_bytes_;
+  std::vector<double> op_energy_uj_;
 };
 
 }  // namespace mn::rt

@@ -11,6 +11,25 @@ const TensorAllocation* MemoryPlan::find(int tensor_id) const {
   return nullptr;
 }
 
+int64_t MemoryPlan::live_bytes_at(int op_index) const {
+  int64_t live = 0;
+  for (const TensorAllocation& a : allocations)
+    if (a.first_op <= op_index && op_index <= a.last_op) live += a.bytes;
+  return live;
+}
+
+std::vector<int64_t> MemoryPlan::occupancy_timeline(int num_ops) const {
+  std::vector<int64_t> out(static_cast<size_t>(std::max(num_ops, 0)));
+  for (int i = 0; i < num_ops; ++i) out[static_cast<size_t>(i)] = live_bytes_at(i);
+  return out;
+}
+
+int64_t MemoryPlan::peak_live_bytes(int num_ops) const {
+  int64_t peak = 0;
+  for (int i = 0; i < num_ops; ++i) peak = std::max(peak, live_bytes_at(i));
+  return peak;
+}
+
 MemoryPlan plan_memory(const ModelDef& model) {
   // Lifetime per activation tensor: [first writer, last reader].
   std::vector<TensorAllocation> allocs;

@@ -22,6 +22,20 @@ struct MemoryPlan {
 
   // Allocation entry for a tensor, or nullptr if not an arena tensor.
   const TensorAllocation* find(int tensor_id) const;
+
+  // Sum of bytes of all tensors live while op `op_index` executes (lifetime
+  // [first_op, last_op] covers the index). Always <= arena_bytes; the gap is
+  // fragmentation the greedy planner could not pack away.
+  int64_t live_bytes_at(int op_index) const;
+
+  // live_bytes_at for every op index 0..num_ops-1 — the arena fill/drain
+  // curve over the inference timeline (the paper's Fig. 2 memory map), ready
+  // to emit as a counter track or a bench JSON series.
+  std::vector<int64_t> occupancy_timeline(int num_ops) const;
+
+  // max over the timeline: the tightest arena any planner could achieve for
+  // these lifetimes (lower bound; arena_bytes >= this).
+  int64_t peak_live_bytes(int num_ops) const;
 };
 
 // Plans all non-const tensors of the model into a single arena.

@@ -25,6 +25,8 @@ struct OpProfile {
   int64_t invocations = 0;   // profiled invokes this op participated in
   int64_t wall_ns = 0;       // accumulated host wall-clock across invokes
   double predicted_s = 0.0;  // per-invoke analytical latency (0 = unannotated)
+  double predicted_uj = 0.0; // per-invoke predicted energy, microjoules
+                             // (power × predicted_s; 0 = unannotated)
 
   // Mean measured host latency per invoke, microseconds.
   double measured_us() const {

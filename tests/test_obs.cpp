@@ -10,8 +10,10 @@
 // to zero, tracing cannot be enabled, spans record nothing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,13 +41,11 @@ class ObsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     obs::set_tracing(false);
-    obs::reset_counters();
-    obs::trace_clear();
+    obs::reset_all();
   }
   void TearDown() override {
     obs::set_tracing(false);
-    obs::reset_counters();
-    obs::trace_clear();
+    obs::reset_all();
   }
 };
 
@@ -121,6 +121,62 @@ TEST_F(ObsTest, RingEvictsOldestAndCountsDrops) {
   EXPECT_EQ(obs::trace_capacity(), 16u);
 }
 
+TEST_F(ObsTest, ResetAllClearsCountersGaugesAndRing) {
+  obs::counter_add(obs::Counter::kKernelMacs, 5);
+  obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, 99);
+  obs::set_tracing(true);
+  { obs::SpanScope s("reset_me", obs::Cat::kBench); }
+  obs::set_tracing(false);
+  ASSERT_EQ(obs::trace_size(), 1u);
+  obs::reset_all();
+  EXPECT_EQ(obs::counter_value(obs::Counter::kKernelMacs), 0);
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kArenaPeakBytes), 0);
+  EXPECT_EQ(obs::trace_size(), 0u);
+  // reset_counters alone keeps the ring (the doc'd contrast with reset_all).
+  obs::set_tracing(true);
+  { obs::SpanScope s("survives_counter_reset", obs::Cat::kBench); }
+  obs::set_tracing(false);
+  obs::reset_counters();
+  EXPECT_EQ(obs::trace_size(), 1u);
+}
+
+TEST_F(ObsTest, CounterTrackRecordsSamplesInOrder) {
+  obs::trace_reserve(64);
+  // Counters only record while tracing, like spans.
+  obs::trace_counter("arena_bytes", 100.0);
+  EXPECT_EQ(obs::trace_size(), 0u);
+  obs::set_tracing(true);
+  obs::trace_counter("arena_bytes", 100.0);
+  obs::trace_counter("arena_bytes", 250.5);
+  obs::trace_counter("cumulative_macs", 1e6);
+  obs::set_tracing(false);
+  ASSERT_EQ(obs::trace_size(), 3u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCounterSamples), 3);
+  const auto events = obs::trace_snapshot();
+  for (const obs::TraceEvent& e : events)
+    EXPECT_EQ(e.ph, obs::Ph::kCounter);
+  EXPECT_STREQ(events[0].name, "arena_bytes");
+  EXPECT_DOUBLE_EQ(events[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(events[1].value, 250.5);
+  EXPECT_STREQ(events[2].name, "cumulative_macs");
+  // Samples on one track export in nondecreasing timestamp order.
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+}
+
+TEST_F(ObsTest, CounterTrackExportsAsChromeCounterEvents) {
+  obs::trace_reserve(64);
+  obs::set_tracing(true);
+  { obs::SpanScope s("beside_counters", obs::Cat::kBench); }
+  obs::trace_counter("scratch_bytes", 4096.0);
+  obs::set_tracing(false);
+  const std::string j = obs::chrome_trace_json();
+  // Spans and counters interleave in one traceEvents array.
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\": \"scratch_bytes\""), std::string::npos);
+  EXPECT_NE(j.find("\"args\": {\"value\": 4096}"), std::string::npos);
+}
+
 TEST_F(ObsTest, ChromeTraceJsonStructure) {
   obs::trace_reserve(64);
   obs::set_tracing(true);
@@ -161,6 +217,8 @@ TEST_F(ObsTest, DisabledBuildPinsEverythingToZero) {
   obs::set_tracing(true);
   EXPECT_FALSE(obs::tracing_enabled());
   { obs::SpanScope s("noop", obs::Cat::kKernel); }
+  obs::trace_counter("arena_bytes", 123.0);  // counter tracks collapse too
+  obs::reset_all();                          // and reset_all is a safe no-op
   EXPECT_EQ(obs::trace_size(), 0u);
   EXPECT_TRUE(obs::trace_snapshot().empty());
   const parallel::PoolStats stats = parallel::pool_stats();
@@ -266,7 +324,112 @@ TEST_F(ObsTest, AnnotateProfileFillsPredictionsAndTableRenders) {
   EXPECT_NE(table.find("CONV_2D"), std::string::npos);
   EXPECT_NE(table.find("pred cycles"), std::string::npos);
   EXPECT_NE(table.find(dev.name), std::string::npos);
+  // annotate_profile also attributes per-op energy (power x predicted time).
+  double uj_sum = 0.0;
+  for (const rt::OpProfile& op : prof.ops) {
+    EXPECT_GT(op.predicted_uj, 0.0);
+    uj_sum += op.predicted_uj;
+  }
+  const double power_w =
+      mcu::model_power_w(dev, mcu::model_structure_hash(interp.model()));
+  EXPECT_NEAR(uj_sum, power_w * prof.total_predicted_s() * 1e6, 1e-6);
 }
+
+// --- arena lifetime telemetry (works in both MN_OBS configurations) ---------
+
+TEST_F(ObsTest, MemoryPlanLifetimesAreConsistent) {
+  rt::Interpreter interp(profiled_model(6));
+  const rt::MemoryPlan& plan = interp.memory_plan();
+  const int num_ops = static_cast<int>(interp.model().ops.size());
+  ASSERT_FALSE(plan.allocations.empty());
+  int64_t alloc_sum = 0;
+  for (const rt::TensorAllocation& a : plan.allocations) {
+    EXPECT_GE(a.offset, 0);
+    EXPECT_LE(a.offset + a.bytes, plan.arena_bytes);  // fits in the arena
+    EXPECT_LE(a.first_op, a.last_op);
+    EXPECT_GE(a.first_op, -1);       // -1: model input, live before op 0
+    EXPECT_LE(a.last_op, num_ops);   // ops.size(): output, live past the end
+    alloc_sum += a.bytes;
+  }
+  // Per-op live bytes: timeline == live_bytes_at pointwise, peak == max,
+  // and the packed arena is sandwiched between the true peak and the naive
+  // no-reuse sum (the gap to the peak is planner fragmentation).
+  const std::vector<int64_t> timeline = plan.occupancy_timeline(num_ops);
+  ASSERT_EQ(timeline.size(), static_cast<size_t>(num_ops));
+  int64_t max_seen = 0;
+  for (int op = 0; op < num_ops; ++op) {
+    EXPECT_EQ(timeline[static_cast<size_t>(op)], plan.live_bytes_at(op));
+    max_seen = std::max(max_seen, timeline[static_cast<size_t>(op)]);
+  }
+  EXPECT_EQ(plan.peak_live_bytes(num_ops), max_seen);
+  EXPECT_GT(max_seen, 0);
+  EXPECT_LE(max_seen, plan.arena_bytes);
+  EXPECT_LE(plan.arena_bytes, alloc_sum);
+  EXPECT_EQ(alloc_sum, rt::unplanned_activation_bytes(interp.model()));
+  // The interpreter caches the same timeline for its counter track.
+  EXPECT_EQ(interp.op_live_bytes(), timeline);
+}
+
+TEST_F(ObsTest, EnergyTableMustMatchOpCount) {
+  rt::Interpreter interp(profiled_model(7));
+  const std::vector<double> good =
+      mcu::per_op_energy_uj(mcu::stm32f746zg(), interp.model());
+  ASSERT_EQ(good.size(), interp.model().ops.size());
+  for (double uj : good) EXPECT_GT(uj, 0.0);
+  EXPECT_NO_THROW(interp.set_op_energy_uj(good));
+  EXPECT_THROW(interp.set_op_energy_uj(std::vector<double>(good.size() + 1)),
+               std::runtime_error);
+}
+
+#if !defined(MN_OBS_DISABLED)
+
+TEST_F(ObsTest, InterpreterEmitsCounterTracksPerOp) {
+  rt::Interpreter interp(profiled_model(8));
+  interp.set_op_energy_uj(
+      mcu::per_op_energy_uj(mcu::stm32f746zg(), interp.model()));
+  obs::trace_reserve(1024);
+  obs::set_tracing(true);
+  interp.invoke(TensorF(Shape{12, 8, 1}, 0.2f));
+  obs::set_tracing(false);
+  const size_t num_ops = interp.model().ops.size();
+  size_t arena = 0, scratch = 0, macs = 0, energy = 0;
+  int64_t last_cum_macs = -1;
+  std::vector<double> arena_values;
+  for (const obs::TraceEvent& e : obs::trace_snapshot()) {
+    if (e.ph != obs::Ph::kCounter) continue;
+    const std::string name = e.name;
+    if (name == "arena_bytes") {
+      ++arena;
+      arena_values.push_back(e.value);
+    } else if (name == "scratch_bytes") {
+      ++scratch;
+    } else if (name == "cumulative_macs") {
+      // Cumulative: nondecreasing across the invoke.
+      EXPECT_GE(static_cast<int64_t>(e.value), last_cum_macs);
+      last_cum_macs = static_cast<int64_t>(e.value);
+      ++macs;
+    } else if (name == "op_energy_uj") {
+      EXPECT_GT(e.value, 0.0);
+      ++energy;
+    }
+  }
+  // One sample per op on each of the four tracks.
+  EXPECT_EQ(arena, num_ops);
+  EXPECT_EQ(scratch, num_ops);
+  EXPECT_EQ(macs, num_ops);
+  EXPECT_EQ(energy, num_ops);
+  // The arena track replays the planner's occupancy timeline.
+  ASSERT_EQ(arena_values.size(), interp.op_live_bytes().size());
+  for (size_t i = 0; i < arena_values.size(); ++i)
+    EXPECT_DOUBLE_EQ(arena_values[i],
+                     static_cast<double>(interp.op_live_bytes()[i]));
+  // And the final cumulative-MAC sample equals the global counter.
+  EXPECT_EQ(last_cum_macs, obs::counter_value(obs::Counter::kKernelMacs));
+  EXPECT_EQ(obs::gauge_value(obs::Gauge::kArenaLiveBytesPeak),
+            interp.memory_plan().peak_live_bytes(static_cast<int>(num_ops)));
+}
+
+#endif  // !MN_OBS_DISABLED
 
 // --- the determinism guard ---------------------------------------------------
 
@@ -357,6 +520,39 @@ TEST_F(ObsTest, TracingNeverPerturbsTrainingArtifacts) {
   EXPECT_GE(obs::counter_value(obs::Counter::kTrainerEpochs), 3);
 #endif
   fs::remove_all(dir);
+}
+
+TEST_F(ObsTest, EpochInfoReportsSamplesPerSec) {
+#if !defined(MN_OBS_DISABLED)
+  obs::trace_reserve(256);
+  obs::set_tracing(true);
+#endif
+  nn::Graph g = guard_graph(11);
+  const data::Dataset ds = guard_dataset(8, 7);
+  nn::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 8;
+  cfg.seed = 13;
+  std::vector<double> sps;
+  cfg.on_epoch = [&](const nn::EpochInfo& ep) {
+    sps.push_back(ep.samples_per_sec);
+  };
+  nn::fit(g, ds, cfg);
+  ASSERT_EQ(sps.size(), 2u);
+  for (double v : sps) EXPECT_GT(v, 0.0);  // wall-clock throughput, not zero
+#if !defined(MN_OBS_DISABLED)
+  obs::set_tracing(false);
+  // Each epoch emitted a train_epoch span carrying the throughput arg.
+  int spans = 0;
+  for (const obs::TraceEvent& e : obs::trace_snapshot()) {
+    if (std::string(e.name) != "train_epoch") continue;
+    EXPECT_STREQ(e.arg_a_name, "epoch");
+    EXPECT_STREQ(e.arg_b_name, "samples_per_sec");
+    EXPECT_GT(e.arg_b, 0);
+    ++spans;
+  }
+  EXPECT_EQ(spans, 2);
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// PR 5: the perf/memory regression gate (tools/mn_regress). Covers the
+// mini JSON reader against the exact documents bench::Reporter writes, the
+// name-driven rule classification, and the gate semantics the CI target
+// relies on: identical runs pass, >10% latency drift fails naming the
+// metric, byte metrics fail on any drift, r^2 metrics are lower-bounded.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "mini_json.hpp"
+#include "regress_core.hpp"
+
+namespace mn {
+namespace {
+
+using tools::JsonParser;
+using tools::JsonValue;
+using tools::RegressConfig;
+using tools::RegressResult;
+using tools::Rule;
+
+JsonValue parse_ok(const std::string& text) {
+  JsonParser p;
+  JsonValue v;
+  EXPECT_TRUE(p.parse(text, &v)) << p.error();
+  return v;
+}
+
+TEST(MiniJson, ParsesScalarsArraysObjects) {
+  const JsonValue v = parse_ok(
+      R"({"s": "a\"b\nc", "n": -12.5e2, "t": true, "f": false, "z": null,)"
+      R"( "arr": [1, 2, 3], "obj": {"k": 1}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->str, "a\"b\nc");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -1250.0);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_FALSE(v.find("f")->boolean);
+  EXPECT_EQ(v.find("z")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(v.find("arr")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("arr")->array[1].number, 2.0);
+  EXPECT_DOUBLE_EQ(v.find("obj")->find("k")->number, 1.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(MiniJson, RejectsMalformedInput) {
+  JsonParser p;
+  JsonValue v;
+  EXPECT_FALSE(p.parse("{\"a\": 1", &v));       // unterminated object
+  EXPECT_FALSE(p.parse("{\"a\": }", &v));       // missing value
+  EXPECT_FALSE(p.parse("[1, 2,]", &v));         // trailing comma
+  EXPECT_FALSE(p.parse("\"unterminated", &v));  // unterminated string
+  EXPECT_FALSE(p.parse("{} trailing", &v));     // garbage after document
+  EXPECT_FALSE(p.error().empty());
+}
+
+TEST(MiniJson, RoundTripsReporterOutput) {
+  // The reader must accept exactly what bench::Reporter writes.
+  bench::BenchOptions opt;
+  bench::Reporter r("gate_selftest", opt);
+  r.phase("work");
+  r.metric("arena_bytes", 40000.0);
+  r.metric("latency_us", 177.25);
+  r.metric("device", "STM32F746ZG");
+  r.series("occupancy", {1.0, 2.0, 3.0});
+  const JsonValue doc = parse_ok(r.json());
+  EXPECT_EQ(doc.find("bench")->str, "gate_selftest");
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->find("arena_bytes")->number, 40000.0);
+  EXPECT_DOUBLE_EQ(metrics->find("latency_us")->number, 177.25);
+  EXPECT_EQ(metrics->find("device")->str, "STM32F746ZG");
+  ASSERT_EQ(doc.find("series")->find("occupancy")->array.size(), 3u);
+  // Reporter::finish() would also write BENCH_gate_selftest.json; json()
+  // alone does not touch the filesystem, so nothing to clean up.
+}
+
+TEST(RegressRules, ClassifiesByMetricName) {
+  EXPECT_EQ(tools::classify_metric("kws_arena_bytes"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("total_flash_bytes"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("layer_samples"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("kws_profile_invokes"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("pareto_size"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("r2_host_vs_predicted"),
+            Rule::kR2LowerBound);
+  EXPECT_EQ(tools::classify_metric("f446re_energy_r2"), Rule::kR2LowerBound);
+  EXPECT_EQ(tools::classify_metric("kws_predicted_us_per_invoke"),
+            Rule::kRelative);
+  EXPECT_EQ(tools::classify_metric("kws_energy_uj_per_invoke"),
+            Rule::kRelative);
+  EXPECT_EQ(tools::classify_metric("anomaly_speedup"), Rule::kRelative);
+}
+
+std::string report_doc(const std::string& metrics) {
+  return R"({"bench": "unit", "mode": "fast", "threads": 1, "phases": [],)"
+         R"( "metrics": {)" + metrics + R"(}, "series": {}})";
+}
+
+RegressResult diff(const std::string& base_metrics,
+                   const std::string& cur_metrics,
+                   const RegressConfig& cfg = {}) {
+  const JsonValue b = parse_ok(report_doc(base_metrics));
+  const JsonValue c = parse_ok(report_doc(cur_metrics));
+  return tools::compare_reports(b, c, cfg);
+}
+
+TEST(RegressGate, IdenticalRunsPass) {
+  const std::string m =
+      R"("arena_bytes": 40000, "latency_us": 177.2, "r2_fit": 0.85)";
+  const RegressResult r = diff(m, m);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.failures(), 0);
+  EXPECT_EQ(r.bench, "unit");
+}
+
+TEST(RegressGate, LatencyDriftBeyondTolFailsNamingMetric) {
+  // +15% drift on a relative metric with the default 10% tolerance.
+  const RegressResult r =
+      diff(R"("latency_us": 100.0)", R"("latency_us": 115.0)");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.checks.size(), 1u);
+  EXPECT_EQ(r.checks[0].name, "latency_us");
+  EXPECT_FALSE(r.checks[0].pass);
+  EXPECT_NE(tools::render_table(r).find("latency_us"), std::string::npos);
+  EXPECT_NE(tools::render_table(r).find("FAIL"), std::string::npos);
+  // +9% stays inside the default tolerance; a tightened tolerance catches it.
+  EXPECT_TRUE(diff(R"("latency_us": 100.0)", R"("latency_us": 109.0)").ok());
+  RegressConfig tight;
+  tight.rel_tol = 0.05;
+  EXPECT_FALSE(
+      diff(R"("latency_us": 100.0)", R"("latency_us": 109.0)", tight).ok());
+}
+
+TEST(RegressGate, ByteMetricsFailOnAnyDrift) {
+  EXPECT_TRUE(diff(R"("arena_bytes": 40000)", R"("arena_bytes": 40000)").ok());
+  // One byte of drift on an exact metric fails, even though it is far
+  // inside any relative tolerance.
+  const RegressResult r =
+      diff(R"("arena_bytes": 40000)", R"("arena_bytes": 40001)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kExact);
+}
+
+TEST(RegressGate, R2IsLowerBoundedOnly) {
+  // Improving r^2 always passes; dropping more than r2_drop fails.
+  EXPECT_TRUE(diff(R"("r2_fit": 0.85)", R"("r2_fit": 0.99)").ok());
+  EXPECT_TRUE(diff(R"("r2_fit": 0.85)", R"("r2_fit": 0.60)").ok());
+  const RegressResult r = diff(R"("r2_fit": 0.85)", R"("r2_fit": 0.50)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kR2LowerBound);
+}
+
+TEST(RegressGate, MissingAndStructuralCasesFail) {
+  // Baseline metric absent from the current run: fail.
+  const RegressResult missing = diff(R"("arena_bytes": 40000)", "");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.checks[0].detail, "missing from current run");
+  // Metric only in the current run: informational pass.
+  const RegressResult extra = diff("", R"("new_metric": 1.0)");
+  EXPECT_TRUE(extra.ok());
+  ASSERT_EQ(extra.checks.size(), 1u);
+  EXPECT_EQ(extra.checks[0].baseline_str, "(new)");
+  // String metrics compare exactly.
+  EXPECT_TRUE(diff(R"("device": "F746ZG")", R"("device": "F746ZG")").ok());
+  EXPECT_FALSE(diff(R"("device": "F746ZG")", R"("device": "F446RE")").ok());
+  // A document without "metrics" is a structural error, not a crash.
+  const JsonValue no_metrics = parse_ok(R"({"bench": "x"})");
+  const JsonValue ok_doc = parse_ok(report_doc(""));
+  RegressConfig cfg;
+  EXPECT_FALSE(tools::compare_reports(no_metrics, ok_doc, cfg).ok());
+  EXPECT_FALSE(tools::compare_reports(ok_doc, no_metrics, cfg).ok());
+}
+
+}  // namespace
+}  // namespace mn

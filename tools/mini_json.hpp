@@ -1,0 +1,214 @@
+// Minimal recursive-descent JSON reader for the regression gate.
+//
+// Scope: exactly what BENCH_*.json / TRACE_*.json need — objects, arrays,
+// numbers, strings (with the escapes our writers emit), booleans, null.
+// It is a validating reader for *our own* output files, not a general JSON
+// library; on malformed input parse() returns false with a position-stamped
+// error message instead of throwing.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mn::tools {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion order preserved separately so reports read in file order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  // Parses `text` into *out. Returns false and fills error() on failure;
+  // trailing garbage after the top-level value is an error.
+  bool parse(const std::string& text, JsonValue* out) {
+    text_ = &text;
+    pos_ = 0;
+    error_.clear();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const std::string& why) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " at byte %zu", pos_);
+    error_ = why + buf;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_->size() &&
+           std::isspace(static_cast<unsigned char>((*text_)[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_->size() && (*text_)[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word, JsonValue* out, JsonValue::Kind kind, bool b) {
+    const std::string w(word);
+    if (text_->compare(pos_, w.size(), w) != 0)
+      return fail("unrecognized literal");
+    pos_ += w.size();
+    out->kind = kind;
+    out->boolean = b;
+    return true;
+  }
+
+  bool string_body(std::string* out) {
+    // Caller consumed the opening quote.
+    out->clear();
+    while (pos_ < text_->size()) {
+      const char c = (*text_)[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_->size()) break;
+      const char esc = (*text_)[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_->size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = (*text_)[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // Our writers only emit \u00xx for control bytes; decode the
+          // low byte and accept (but do not UTF-8-encode) anything wider.
+          out->push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_->size()) return fail("unexpected end of input");
+    const char c = (*text_)[pos_];
+    switch (c) {
+      case '{': return object_body(out);
+      case '[': return array_body(out);
+      case '"':
+        ++pos_;
+        out->kind = JsonValue::Kind::kString;
+        return string_body(&out->str);
+      case 't': return literal("true", out, JsonValue::Kind::kBool, true);
+      case 'f': return literal("false", out, JsonValue::Kind::kBool, false);
+      case 'n': return literal("null", out, JsonValue::Kind::kNull, false);
+      default: return number_body(out);
+    }
+  }
+
+  bool number_body(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_->size() && ((*text_)[pos_] == '-' || (*text_)[pos_] == '+'))
+      ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_->size() &&
+             std::isdigit(static_cast<unsigned char>((*text_)[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_->size() && (*text_)[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_->size() && ((*text_)[pos_] == 'e' || (*text_)[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_->size() && ((*text_)[pos_] == '-' || (*text_)[pos_] == '+'))
+        ++pos_;
+      eat_digits();
+    }
+    if (!digits) return fail("expected a value");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(text_->substr(start, pos_ - start));
+    return true;
+  }
+
+  bool array_body(JsonValue* out) {
+    ++pos_;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->array.push_back(std::move(v));
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool object_body(JsonValue* out) {
+    ++pos_;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      if (!consume('"')) return fail("expected string key in object");
+      std::string key;
+      if (!string_body(&key)) return false;
+      if (!consume(':')) return fail("expected ':' after object key");
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string* text_ = nullptr;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace mn::tools
