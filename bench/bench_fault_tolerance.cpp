@@ -73,8 +73,19 @@ int main(int argc, char** argv) {
   auto [train, test] = data::split(all, 0.3);
   const int divisor = opt.full ? 2 : 4;
 
-  const std::vector<double> rates{0.0,  1e-5, 3e-5, 1e-4,
-                                  3e-4, 1e-3, 3e-3, 1e-2};
+  // --chaos=<seed>:<rate> (shared with bench_serving, see bench_util) pins
+  // the campaign to one fault schedule: the injection seed comes from the
+  // chaos seed and the sweep collapses to {clean, rate}.
+  std::vector<double> rates{0.0,  1e-5, 3e-5, 1e-4,
+                            3e-4, 1e-3, 3e-3, 1e-2};
+  uint64_t inject_seed = opt.seed;
+  if (opt.chaos.enabled) {
+    rates = {0.0, opt.chaos.rate};
+    inject_seed = opt.chaos.seed;
+    std::printf("  chaos schedule: seed %llu, rate %g\n",
+                static_cast<unsigned long long>(opt.chaos.seed),
+                opt.chaos.rate);
+  }
   const int trials = opt.full ? 6 : 3;
 
   struct ModelRun {
@@ -144,7 +155,7 @@ int main(int argc, char** argv) {
       for (int t = 0; t < trials; ++t) {
         rt::ModelDef corrupted = base;
         reliability::FaultInjector fi(hash_combine(
-            hash_combine(opt.seed, static_cast<uint64_t>(bits) * 1000 + ri),
+            hash_combine(inject_seed, static_cast<uint64_t>(bits) * 1000 + ri),
             static_cast<uint64_t>(t)));
         flips_sum += static_cast<double>(
             fi.flip_bits(corrupted.weights_blob, pt.rate));

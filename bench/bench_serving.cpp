@@ -1,0 +1,350 @@
+// Fleet-serving bench: sustained streams/minute and tail latency for the
+// resilient multi-tenant serving engine (serve::ServingEngine), at baseline
+// and under a deterministic chaos schedule.
+//
+// Two phases, each on a fresh engine:
+//   baseline  — arrivals sized under pool capacity; the contract is ZERO
+//               deadline violations and ZERO shed requests, plus a sustained
+//               throughput floor (>= 100k simulated streams/minute).
+//   chaos     — tenant 0 is deliberately overloaded while the chaos schedule
+//               injects weight bit-flips, arena soft errors, stalls, and
+//               NaN inputs. The contract flips from "perfect" to "graceful":
+//               no crash, no hang, bounded shedding, quarantined replicas
+//               recover, and every count is bit-deterministic (the virtual
+//               -time scheduler) so the regression gate pins them EXACTLY.
+//
+// All scheduling counts are virtual-time deterministic; only the *_host_us
+// and streams_per_min metrics read the host clock, and the regression gate
+// applies tail/throughput rules (not exact) to those.
+//
+// Flags: --full, --chaos=<seed>:<rate> (shared with bench_fault_tolerance),
+// --trace-out=PATH (chrome://tracing spans + serve_queue_depth/serve_inflight
+// counter tracks), --skip-throughput-floor (for sanitizer smoke runs, where
+// instrumentation slows invokes 10x+).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/obs.hpp"
+#include "serve/engine.hpp"
+
+using namespace mn;
+
+namespace {
+
+rt::ModelDef kws_variant(uint64_t seed, int weight_bits, int64_t stem,
+                         std::vector<models::DsCnnBlock> blocks,
+                         const std::string& name) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{12, 8, 1};
+  cfg.num_classes = 4;
+  cfg.stem_channels = stem;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  cfg.blocks = std::move(blocks);
+  models::BuildOptions bo;
+  bo.seed = seed;
+  bo.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, bo);
+  return bench::calibrated_model(g, cfg.input, name, weight_bits, weight_bits);
+}
+
+std::vector<TensorF> make_inputs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TensorF> inputs;
+  for (int i = 0; i < n; ++i) {
+    TensorF t(Shape{12, 8, 1});
+    for (int64_t k = 0; k < t.size(); ++k)
+      t[k] = static_cast<float>(rng.normal(0.0, 0.5));
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+serve::TenantConfig tenant_kws(const std::string& name) {
+  serve::TenantConfig tc;
+  tc.name = name;
+  tc.queue_capacity = 32;
+  tc.deadline_ticks = 24;
+  tc.max_retries = 2;
+  tc.retry_backoff_ticks = 1;
+  tc.breaker_threshold = 8;
+  tc.breaker_cooldown_ticks = 16;
+  return tc;
+}
+
+struct PhaseResult {
+  serve::ServeStats stats;
+  serve::LatencyDigest virt;
+  serve::LatencyDigest wall_us;
+  double wall_seconds = 0.0;
+  uint64_t fingerprint = 0;
+  int64_t final_sweep_detections = 0;
+  bool drained = false;
+  bool healthy = false;
+};
+
+// Runs `ticks` of the submit schedule then drains; finishes with a shutdown
+// integrity scrub so replicas poisoned by a late soft error (after the last
+// canary) are also caught and rebuilt.
+template <typename SubmitFn>
+PhaseResult run_phase(serve::ServingEngine& engine, int64_t ticks,
+                      SubmitFn&& submit) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t tick = 0; tick < ticks; ++tick) {
+    submit(engine, tick);
+    engine.step();
+  }
+  PhaseResult r;
+  r.drained = engine.drain(ticks * 4 + 1024) >= 0 && engine.idle();
+  for (int idx = 0; idx < engine.pool().num_instances(); ++idx) {
+    if (engine.pool().health_check(idx)) {
+      engine.pool().quarantine(idx, engine.now());
+      ++r.final_sweep_detections;
+    }
+  }
+  r.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  r.stats = engine.stats();
+  r.virt = engine.virtual_latency();
+  r.wall_us = engine.wall_latency_us();
+  r.fingerprint = engine.fingerprint();
+  r.healthy = engine.pool().all_healthy();
+  return r;
+}
+
+void print_stats(const serve::ServeStats& s) {
+  std::printf(
+      "  submitted %lld  admitted %lld  served %lld (degraded %lld, late "
+      "%lld)\n  shed %lld (queue_full %lld, breaker %lld, dropped %lld, "
+      "expired %lld)\n  failed %lld  retries %lld  quarantines %lld (canary "
+      "%lld)  degrade %lld/%lld  trips %lld\n",
+      static_cast<long long>(s.submitted), static_cast<long long>(s.admitted),
+      static_cast<long long>(s.total_served()),
+      static_cast<long long>(s.served_degraded),
+      static_cast<long long>(s.served_late),
+      static_cast<long long>(s.total_shed()),
+      static_cast<long long>(s.rejected_queue_full),
+      static_cast<long long>(s.rejected_breaker),
+      static_cast<long long>(s.dropped_oldest),
+      static_cast<long long>(s.expired_in_queue),
+      static_cast<long long>(s.failed), static_cast<long long>(s.retries),
+      static_cast<long long>(s.quarantines),
+      static_cast<long long>(s.canary_detections),
+      static_cast<long long>(s.degrade_enters),
+      static_cast<long long>(s.degrade_exits),
+      static_cast<long long>(s.breaker_trips));
+}
+
+int register_fleet(serve::ServingEngine& engine, uint64_t seed,
+                   bool with_fallback) {
+  // Tenant 0: KWS int8 primary + a smaller int4 fallback, drop-oldest.
+  serve::VariantSpec primary;
+  primary.model = kws_variant(seed, 8, 8, {{8, 1}, {12, 1}}, "kws_int8");
+  primary.service_ticks = 4;
+  primary.instances = 3;
+  serve::VariantSpec fallback;
+  fallback.model = kws_variant(seed + 7, 4, 4, {{8, 1}}, "kws_int4");
+  fallback.service_ticks = 2;
+  fallback.instances = 2;
+  serve::TenantConfig t0 = tenant_kws("kws_dropoldest");
+  t0.shed_policy = serve::ShedPolicy::kDropOldest;
+  t0.degrade_queue_depth = 6;
+  t0.degrade_hold_ticks = 8;
+  engine.register_tenant(
+      t0, std::move(primary),
+      with_fallback ? std::optional<serve::VariantSpec>(std::move(fallback))
+                    : std::nullopt,
+      make_inputs(8, seed + 100));
+
+  // Tenant 1: its own smaller primary, reject-newest, no fallback.
+  serve::VariantSpec p1;
+  p1.model = kws_variant(seed + 13, 8, 8, {{8, 1}}, "kws_b");
+  p1.service_ticks = 4;
+  p1.instances = 2;
+  serve::TenantConfig t1 = tenant_kws("kws_reject");
+  t1.shed_policy = serve::ShedPolicy::kRejectNewest;
+  t1.deadline_ticks = 16;
+  engine.register_tenant(t1, std::move(p1), std::nullopt,
+                         make_inputs(8, seed + 200));
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_args(argc, argv);
+  bool skip_throughput_floor = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--skip-throughput-floor") == 0)
+      skip_throughput_floor = true;
+
+  bench::print_header("Fleet serving: throughput & tails under chaos");
+  bench::start_trace_if_requested(opt);
+  bench::Reporter rep("serving", opt);
+  int failures = 0;
+
+  const int64_t base_ticks = opt.full ? 6000 : 1500;
+  const int64_t chaos_ticks = opt.full ? 4000 : 1200;
+
+  // --- phase 1: baseline (no chaos, arrivals under capacity) ----------------
+  rep.phase("baseline");
+  bench::print_subheader("baseline (no faults, under capacity)");
+  PhaseResult base;
+  {
+    serve::ServingEngine engine{serve::EngineConfig{}};
+    register_fleet(engine, opt.seed, /*with_fallback=*/true);
+    // Arrivals 0.5 and 0.25 req/tick against per-tenant capacities 0.75 and
+    // 0.5 — comfortably under capacity, so any shed or late completion here
+    // is a scheduling bug, not an overload artifact.
+    base = run_phase(engine, base_ticks,
+                     [](serve::ServingEngine& e, int64_t tick) {
+                       if (tick % 2 == 0) (void)e.submit(0);
+                       if (tick % 4 == 0) (void)e.submit(1);
+                     });
+  }
+  print_stats(base.stats);
+  const double base_streams_per_min =
+      base.wall_seconds > 0.0
+          ? static_cast<double>(base.stats.total_served()) /
+                base.wall_seconds * 60.0
+          : 0.0;
+  std::printf(
+      "  virtual p50/p99: %.0f/%.0f ticks   host p50/p99: %.0f/%.0f us\n"
+      "  %.0f streams/min over %.2fs\n",
+      base.virt.p50, base.virt.p99, base.wall_us.p50, base.wall_us.p99,
+      base_streams_per_min, base.wall_seconds);
+
+  const int64_t base_violations =
+      base.stats.served_late;  // late completions = deadline violations
+  if (base_violations != 0 || base.stats.total_shed() != 0) {
+    std::printf("  FAIL: baseline must shed nothing and violate no deadline\n");
+    ++failures;
+  }
+  if (!base.drained || !base.healthy) {
+    std::printf("  FAIL: baseline engine did not drain healthy\n");
+    ++failures;
+  }
+  if (!skip_throughput_floor && base_streams_per_min < 100000.0) {
+    std::printf("  FAIL: sustained throughput below 100k streams/min\n");
+    ++failures;
+  }
+  rep.metric("baseline_submitted_count",
+             static_cast<double>(base.stats.submitted));
+  rep.metric("baseline_served_count",
+             static_cast<double>(base.stats.total_served()));
+  rep.metric("baseline_shed_count",
+             static_cast<double>(base.stats.total_shed()));
+  rep.metric("baseline_deadline_violations",
+             static_cast<double>(base_violations));
+  rep.metric("baseline_shed_rate",
+             base.stats.submitted > 0
+                 ? static_cast<double>(base.stats.total_shed()) /
+                       static_cast<double>(base.stats.submitted)
+                 : 0.0);
+  rep.metric("baseline_p50_ticks", base.virt.p50);
+  rep.metric("baseline_p99_ticks", base.virt.p99);
+  rep.metric("baseline_p50_host_us", base.wall_us.p50);
+  rep.metric("baseline_p95_host_us", base.wall_us.p95);
+  rep.metric("baseline_p99_host_us", base.wall_us.p99);
+  rep.metric("baseline_streams_per_min", base_streams_per_min);
+
+  // --- phase 2: chaos (overload + injected faults) --------------------------
+  rep.phase("chaos");
+  bench::print_subheader("chaos (overload + fault schedule)");
+  serve::EngineConfig ecfg;
+  ecfg.canary_period_ticks = 8;
+  ecfg.quarantine_cooldown_ticks = 4;
+  ecfg.chaos.seed = opt.chaos.enabled ? opt.chaos.seed : 42;
+  ecfg.chaos.fault_rate = opt.chaos.enabled ? opt.chaos.rate : 0.05;
+  ecfg.chaos.stall_ticks = 8;
+  ecfg.chaos.flip_bits = 4;
+  ecfg.chaos.arena_soft_error_period = 7;
+  std::printf("  chaos schedule: seed %llu, rate %g\n",
+              static_cast<unsigned long long>(ecfg.chaos.seed),
+              ecfg.chaos.fault_rate);
+  PhaseResult chaos;
+  {
+    serve::ServingEngine engine{ecfg};
+    register_fleet(engine, opt.seed, /*with_fallback=*/true);
+    // Tenant 0 is overloaded (1 req/tick vs 0.75 capacity): the queue climbs
+    // past the degradation trigger, the engine routes to the int4 fallback,
+    // and drop-oldest bounds the backlog. Tenant 1 stays under capacity but
+    // rides through the same fault schedule.
+    chaos = run_phase(engine, chaos_ticks,
+                      [](serve::ServingEngine& e, int64_t tick) {
+                        (void)e.submit(0);
+                        if (tick % 4 == 0) (void)e.submit(1);
+                      });
+  }
+  print_stats(chaos.stats);
+  std::printf("  fingerprint %016llx  final-sweep detections %lld\n",
+              static_cast<unsigned long long>(chaos.fingerprint),
+              static_cast<long long>(chaos.final_sweep_detections));
+
+  // Graceful-degradation contract: survived, drained, recovered, accounted.
+  if (!chaos.drained) {
+    std::printf("  FAIL: chaos engine did not drain (hang)\n");
+    ++failures;
+  }
+  if (!chaos.healthy) {
+    std::printf("  FAIL: poisoned replicas did not recover\n");
+    ++failures;
+  }
+  if (chaos.stats.admitted != chaos.stats.completed()) {
+    std::printf("  FAIL: admitted %lld != completed %lld (lost requests)\n",
+                static_cast<long long>(chaos.stats.admitted),
+                static_cast<long long>(chaos.stats.completed()));
+    ++failures;
+  }
+  if (chaos.stats.served_degraded == 0 || chaos.stats.quarantines == 0 ||
+      chaos.stats.retries == 0) {
+    std::printf("  FAIL: chaos run did not exercise degrade/quarantine/retry\n");
+    ++failures;
+  }
+
+  const double chaos_shed_rate =
+      chaos.stats.submitted > 0
+          ? static_cast<double>(chaos.stats.total_shed()) /
+                static_cast<double>(chaos.stats.submitted)
+          : 0.0;
+  rep.metric("chaos_submitted_count",
+             static_cast<double>(chaos.stats.submitted));
+  rep.metric("chaos_served_count",
+             static_cast<double>(chaos.stats.total_served()));
+  rep.metric("chaos_degraded_count",
+             static_cast<double>(chaos.stats.served_degraded));
+  rep.metric("chaos_late_count", static_cast<double>(chaos.stats.served_late));
+  rep.metric("chaos_shed_count", static_cast<double>(chaos.stats.total_shed()));
+  rep.metric("chaos_failed_count", static_cast<double>(chaos.stats.failed));
+  rep.metric("chaos_retries_count", static_cast<double>(chaos.stats.retries));
+  rep.metric("chaos_quarantines_count",
+             static_cast<double>(chaos.stats.quarantines));
+  rep.metric("chaos_canary_detections_count",
+             static_cast<double>(chaos.stats.canary_detections));
+  rep.metric("chaos_breaker_trips_count",
+             static_cast<double>(chaos.stats.breaker_trips));
+  rep.metric("chaos_final_sweep_count",
+             static_cast<double>(chaos.final_sweep_detections));
+  rep.metric("chaos_shed_rate", chaos_shed_rate);
+  rep.metric("chaos_p99_ticks", chaos.virt.p99);
+  rep.metric("chaos_p99_host_us", chaos.wall_us.p99);
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(chaos.fingerprint));
+  rep.metric("chaos_fingerprint", std::string(fp));
+  rep.metric("recovered_healthy_count", chaos.healthy ? 1.0 : 0.0);
+
+  rep.finish();
+  bench::write_trace_if_requested(opt);
+  if (failures > 0) {
+    std::printf("\nbench_serving: %d contract failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nbench_serving: all serving contracts held\n");
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 
 #include "nn/loss.hpp"
 #include "nn/snapshot.hpp"
@@ -13,6 +14,24 @@
 
 namespace mn::bench {
 
+ChaosOptions parse_chaos_spec(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
+    throw std::invalid_argument("--chaos expects <seed>:<rate>, got '" + spec +
+                                "'");
+  ChaosOptions chaos;
+  size_t used = 0;
+  chaos.seed = std::stoull(spec.substr(0, colon), &used);
+  if (used != colon)
+    throw std::invalid_argument("--chaos seed is not an integer: '" + spec + "'");
+  const std::string rate_str = spec.substr(colon + 1);
+  chaos.rate = std::stod(rate_str, &used);
+  if (used != rate_str.size() || chaos.rate < 0.0 || chaos.rate > 1.0)
+    throw std::invalid_argument("--chaos rate must be in [0,1]: '" + spec + "'");
+  chaos.enabled = true;
+  return chaos;
+}
+
 BenchOptions parse_args(int argc, char** argv) {
   BenchOptions opt;
   for (int i = 1; i < argc; ++i) {
@@ -21,6 +40,10 @@ BenchOptions parse_args(int argc, char** argv) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) opt.trace_out = argv[i] + 12;
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
       opt.trace_out = argv[++i];
+    if (std::strncmp(argv[i], "--chaos=", 8) == 0)
+      opt.chaos = parse_chaos_spec(argv[i] + 8);
+    if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc)
+      opt.chaos = parse_chaos_spec(argv[++i]);
   }
   return opt;
 }
@@ -72,9 +95,9 @@ std::string fmt_kb(int64_t bytes) {
 
 std::string fmt_bool(bool deployable) { return deployable ? "yes" : "ND"; }
 
-rt::Interpreter calibrated_interpreter(nn::Graph& graph, Shape input,
-                                       const std::string& name, int weight_bits,
-                                       int act_bits) {
+rt::ModelDef calibrated_model(nn::Graph& graph, Shape input,
+                              const std::string& name, int weight_bits,
+                              int act_bits) {
   Rng rng(0xCA11B);
   TensorF batch = input.rank() == 1
                       ? TensorF(Shape{2, input.dim(0)})
@@ -86,7 +109,14 @@ rt::Interpreter calibrated_interpreter(nn::Graph& graph, Shape input,
   co.name = name;
   co.weight_bits = weight_bits;
   co.act_bits = act_bits;
-  return rt::Interpreter(rt::convert(graph, co, &ranges));
+  return rt::convert(graph, co, &ranges);
+}
+
+rt::Interpreter calibrated_interpreter(nn::Graph& graph, Shape input,
+                                       const std::string& name, int weight_bits,
+                                       int act_bits) {
+  return rt::Interpreter(
+      calibrated_model(graph, input, name, weight_bits, act_bits));
 }
 
 namespace {

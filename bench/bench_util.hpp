@@ -22,6 +22,17 @@
 
 namespace mn::bench {
 
+// Shared chaos-campaign flag: --chaos=<seed>:<rate> (or --chaos <seed>:<rate>)
+// selects the deterministic fault schedule a bench injects. Every bench that
+// supports chaos parses the flag through parse_args, so
+// `bench_fault_tolerance --chaos=7:0.05` and `bench_serving --chaos=7:0.05`
+// agree on what seed 7 at rate 0.05 means.
+struct ChaosOptions {
+  bool enabled = false;
+  uint64_t seed = 0;
+  double rate = 0.0;  // per-event fault probability in [0, 1]
+};
+
 struct BenchOptions {
   bool full = false;
   uint64_t seed = 1;
@@ -29,8 +40,13 @@ struct BenchOptions {
   // tracks for the whole run and write a chrome://tracing JSON there.
   // Empty = tracing stays off (benches may install a default path).
   std::string trace_out;
+  ChaosOptions chaos;
 };
 BenchOptions parse_args(int argc, char** argv);
+
+// Parses "<seed>:<rate>" (e.g. "7:0.05"). Throws std::invalid_argument on a
+// malformed spec or a rate outside [0, 1].
+ChaosOptions parse_chaos_spec(const std::string& spec);
 
 // Shared --trace-out implementation. start_trace_if_requested arms span
 // recording (reserving `capacity` ring slots) when opt.trace_out is set;
@@ -56,6 +72,12 @@ std::string fmt_bool(bool deployable);
 rt::Interpreter calibrated_interpreter(nn::Graph& graph, Shape input,
                                        const std::string& name,
                                        int weight_bits = 8, int act_bits = 8);
+// Same calibration + conversion, but hands back the ModelDef itself — for
+// callers (serve::InterpreterPool) that plan and replicate instances
+// themselves rather than wanting a single ready interpreter.
+rt::ModelDef calibrated_model(nn::Graph& graph, Shape input,
+                              const std::string& name, int weight_bits = 8,
+                              int act_bits = 8);
 
 // Scales a DS-CNN / MobileNetV2 config's channel counts by 1/divisor
 // (rounded to multiples of 4): the trainable fast-mode proxies used for the

@@ -24,6 +24,11 @@ const char* counter_name(Counter c) {
     case Counter::kDnasEpochs: return "dnas_epochs";
     case Counter::kTraceDropped: return "trace_dropped";
     case Counter::kCounterSamples: return "counter_samples";
+    case Counter::kServeAdmitted: return "serve_admitted";
+    case Counter::kServeShed: return "serve_shed";
+    case Counter::kServeRetries: return "serve_retries";
+    case Counter::kServeQuarantines: return "serve_quarantines";
+    case Counter::kServeDegraded: return "serve_degraded";
     case Counter::kCount: break;
   }
   return "unknown_counter";
@@ -37,6 +42,8 @@ const char* gauge_name(Gauge g) {
     case Gauge::kPoolRegionChunksMax: return "pool_region_chunks_max";
     case Gauge::kTraceHighWater: return "trace_high_water";
     case Gauge::kArenaLiveBytesPeak: return "arena_live_bytes_peak";
+    case Gauge::kServeQueueDepthPeak: return "serve_queue_depth_peak";
+    case Gauge::kServeInflightPeak: return "serve_inflight_peak";
     case Gauge::kCount: break;
   }
   return "unknown_gauge";

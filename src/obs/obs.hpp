@@ -41,6 +41,11 @@ enum class Counter : uint32_t {
   kDnasEpochs,           // core::run_dnas epochs completed
   kTraceDropped,         // span events evicted by ring-buffer wrap
   kCounterSamples,       // counter-track samples recorded via trace_counter
+  kServeAdmitted,        // requests accepted into a tenant queue
+  kServeShed,            // requests shed (queue full, dropped, expired, breaker)
+  kServeRetries,         // transient-failure re-executions scheduled
+  kServeQuarantines,     // interpreter instances quarantined + re-planned
+  kServeDegraded,        // invokes routed to a tenant's fallback variant
   kCount
 };
 
@@ -53,6 +58,8 @@ enum class Gauge : uint32_t {
   kPoolRegionChunksMax,  // widest region's chunk count (peak queue depth)
   kTraceHighWater,       // most events ever resident in the ring buffer
   kArenaLiveBytesPeak,   // largest per-op sum of live activation tensors
+  kServeQueueDepthPeak,  // deepest single tenant queue seen by the engine
+  kServeInflightPeak,    // most requests simultaneously executing
   kCount
 };
 

@@ -34,26 +34,61 @@ int64_t binomial_draw(Rng& rng, int64_t n, double p) {
   return std::clamp<int64_t>(k, 0, n);
 }
 
+void flip_position(std::span<uint8_t> data, int64_t pos) {
+  data[static_cast<size_t>(pos / 8)] ^= static_cast<uint8_t>(1u << (pos % 8));
+}
+
 }  // namespace
+
+ScopedFault::ScopedFault(std::span<uint8_t> target,
+                         std::vector<int64_t> positions)
+    : target_(target), positions_(std::move(positions)) {}
+
+void ScopedFault::revert() {
+  for (int64_t pos : positions_) flip_position(target_, pos);
+  positions_.clear();
+}
+
+uint64_t FaultInjector::derive_seed(uint64_t base, uint64_t tenant_id) {
+  // hash_combine mixes base and id; a SplitMix64 finalizer step then spreads
+  // adjacent tenant ids across the full 64-bit space.
+  uint64_t z = hash_combine(base, tenant_id) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 int64_t FaultInjector::flip_bits(std::span<uint8_t> data, double bit_flip_rate) {
   const int64_t total_bits = static_cast<int64_t>(data.size()) * 8;
   return flip_exact_bits(data, binomial_draw(rng_, total_bits, bit_flip_rate));
 }
 
-int64_t FaultInjector::flip_exact_bits(std::span<uint8_t> data, int64_t n_bits) {
+std::vector<int64_t> FaultInjector::flip_recorded(std::span<uint8_t> data,
+                                                  int64_t n_bits) {
   const int64_t total_bits = static_cast<int64_t>(data.size()) * 8;
   n_bits = std::clamp<int64_t>(n_bits, 0, total_bits);
-  if (n_bits == 0) return 0;
+  std::vector<int64_t> positions;
+  if (n_bits == 0) return positions;
+  positions.reserve(static_cast<size_t>(n_bits));
   std::unordered_set<int64_t> chosen;
   chosen.reserve(static_cast<size_t>(n_bits));
   while (static_cast<int64_t>(chosen.size()) < n_bits) {
     const int64_t pos = rng_.uniform_int(0, total_bits - 1);
     if (!chosen.insert(pos).second) continue;
-    data[static_cast<size_t>(pos / 8)] ^= static_cast<uint8_t>(1u << (pos % 8));
+    flip_position(data, pos);
+    positions.push_back(pos);
   }
   stats_.bits_flipped += n_bits;
-  return n_bits;
+  return positions;
+}
+
+int64_t FaultInjector::flip_exact_bits(std::span<uint8_t> data, int64_t n_bits) {
+  return static_cast<int64_t>(flip_recorded(data, n_bits).size());
+}
+
+ScopedFault FaultInjector::scoped_fault(std::span<uint8_t> data,
+                                        int64_t n_bits) {
+  return ScopedFault(data, flip_recorded(data, n_bits));
 }
 
 int64_t FaultInjector::corrupt_samples(std::span<float> samples, double nan_rate,

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "tensor/rng.hpp"
 
@@ -32,9 +34,56 @@ struct FaultStats {
   }
 };
 
+// RAII fault: flips chosen bit positions on construction (via
+// FaultInjector::scoped_fault) and re-flips the same positions on
+// destruction — XOR is self-inverse, so the target bytes are restored
+// exactly without snapshotting the (possibly megabytes-large) span. Lets a
+// test or chaos harness poison an interpreter's live weights for one invoke
+// and guarantee the instance is pristine afterwards even on early returns.
+class ScopedFault {
+ public:
+  ScopedFault() = default;
+  ScopedFault(ScopedFault&& o) noexcept { *this = std::move(o); }
+  ScopedFault& operator=(ScopedFault&& o) noexcept {
+    revert();
+    target_ = o.target_;
+    positions_ = std::move(o.positions_);
+    o.positions_.clear();
+    return *this;
+  }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+  ~ScopedFault() { revert(); }
+
+  // Undoes the fault now (idempotent; the destructor then does nothing).
+  void revert();
+  int64_t bits_flipped() const { return static_cast<int64_t>(positions_.size()); }
+
+ private:
+  friend class FaultInjector;
+  ScopedFault(std::span<uint8_t> target, std::vector<int64_t> positions);
+
+  std::span<uint8_t> target_;
+  std::vector<int64_t> positions_;  // bit positions currently flipped
+};
+
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+  explicit FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  // The construction seed (derivations below are relative to it).
+  uint64_t seed() const { return seed_; }
+
+  // Stateless per-tenant seed derivation: depends only on (base, tenant_id),
+  // never on how many draws other tenants made — so a chaos schedule splits
+  // into per-tenant streams that replay identically at any thread count and
+  // any interleaving. SplitMix64-finalized to decorrelate adjacent ids.
+  static uint64_t derive_seed(uint64_t base, uint64_t tenant_id);
+
+  // A fresh injector on the derived stream (does not advance this one's RNG).
+  FaultInjector for_tenant(uint64_t tenant_id) const {
+    return FaultInjector(derive_seed(seed_, tenant_id));
+  }
 
   // Flips bits in `data` so that each bit is flipped with probability
   // `bit_flip_rate` (sampled as a binomial draw over the whole span, then
@@ -45,6 +94,11 @@ class FaultInjector {
   // Flips exactly `n_bits` distinct bit positions in `data` (clamped to the
   // span's bit count).
   int64_t flip_exact_bits(std::span<uint8_t> data, int64_t n_bits);
+
+  // Like flip_exact_bits, but returns an RAII handle that restores the
+  // flipped bits when it goes out of scope (or on revert()). `data` must
+  // outlive the handle.
+  ScopedFault scoped_fault(std::span<uint8_t> data, int64_t n_bits);
 
   // Mic-glitch model: replaces each sample with NaN (probability `nan_rate`)
   // or full-scale saturation (probability `saturate_rate`). Returns the
@@ -73,6 +127,10 @@ class FaultInjector {
   Rng& rng() { return rng_; }
 
  private:
+  // Picks `n_bits` distinct positions (clamped), flips them, records stats.
+  std::vector<int64_t> flip_recorded(std::span<uint8_t> data, int64_t n_bits);
+
+  uint64_t seed_ = 0;
   Rng rng_;
   FaultStats stats_;
 };

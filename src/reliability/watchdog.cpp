@@ -16,6 +16,7 @@ bool all_finite(std::span<const float> v) {
 
 std::vector<std::vector<float>> StreamWatchdog::push_audio(
     dsp::StreamingMfcc& frontend, std::span<const float> samples) {
+  advance();
   if (!all_finite(samples)) {
     // The chunk itself is poisoned; anything already buffered shares the
     // overlap window with it, so flush the whole front-end state.
@@ -42,11 +43,13 @@ std::vector<std::vector<float>> StreamWatchdog::push_audio(
     frontend.reset();
     ++stats_.frontend_resets;
   }
+  if (!good.empty()) record_progress();
   return good;
 }
 
 int StreamWatchdog::push_posteriors(dsp::PosteriorSmoother& smoother,
                                     std::span<const float> probs) {
+  advance();
   if (!all_finite(probs)) {
     ++stats_.posteriors_dropped;
     smoother.reset();
@@ -74,6 +77,7 @@ int StreamWatchdog::push_posteriors(dsp::PosteriorSmoother& smoother,
     identical_run_ = 0;
     return -1;
   }
+  record_progress();
   return smoother.push(probs);
 }
 

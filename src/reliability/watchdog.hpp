@@ -8,8 +8,16 @@
 // layer: it detects NaN/Inf frames and stuck posteriors, resets the affected
 // stage (dropping the corrupt state), records the event, and lets the
 // pipeline keep producing valid detections afterwards.
+//
+// The watchdog also keeps a liveness clock: every push advances an int64
+// tick counter and every *healthy* output stamps `last_progress()`. With a
+// timeout armed (at construction or reconfigured at runtime via
+// set_timeout_ticks), `stalled()` reports a stream that has stopped making
+// progress — the hook the serving engine (serve::ServingEngine) uses to
+// detect dead tenant streams without knowing anything about DSP state.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,8 +29,10 @@ struct WatchdogConfig {
   // Consecutive identical posterior vectors before the smoother is declared
   // stuck (a healthy model's posteriors jitter every frame; bit-exact
   // repetition for many steps means a frozen front-end or corrupted model).
-  int stuck_window = 8;
+  int64_t stuck_window = 8;
   float stuck_epsilon = 1e-6f;
+  // Ticks without progress before stalled() trips; <= 0 disables the check.
+  int64_t timeout_ticks = 0;
 };
 
 struct WatchdogStats {
@@ -52,13 +62,43 @@ class StreamWatchdog {
   int push_posteriors(dsp::PosteriorSmoother& smoother,
                       std::span<const float> probs);
 
+  // --- liveness clock --------------------------------------------------------
+  // All tick arithmetic is int64: an always-on stream at 100 frames/s wraps a
+  // 32-bit counter in well under a year, so narrower types are a field bug.
+  // advance() moves the clock by `ticks` (an external scheduler driving many
+  // watchdogs calls this once per engine step); push_audio/push_posteriors
+  // advance by one tick implicitly.
+  void advance(int64_t ticks = 1) { tick_ += ticks; }
+  int64_t tick() const { return tick_; }
+
+  // Tick of the last healthy output (finite frame emitted / valid posterior
+  // accepted), or -1 before any progress. record_progress() stamps it
+  // explicitly for callers that validate outputs themselves.
+  int64_t last_progress() const { return last_progress_; }
+  void record_progress() { last_progress_ = tick_; }
+
+  // Runtime-reconfigurable timeout (not just construction): a serving engine
+  // tightens it under load pressure and relaxes it for batch tenants.
+  void set_timeout_ticks(int64_t ticks) { cfg_.timeout_ticks = ticks; }
+  int64_t timeout_ticks() const { return cfg_.timeout_ticks; }
+
+  // True when the timeout is armed and more than timeout_ticks have elapsed
+  // since the last progress (streams that never progressed count from 0).
+  bool stalled() const {
+    if (cfg_.timeout_ticks <= 0) return false;
+    const int64_t since = tick_ - (last_progress_ < 0 ? 0 : last_progress_);
+    return since > cfg_.timeout_ticks;
+  }
+
   const WatchdogStats& stats() const { return stats_; }
 
  private:
   WatchdogConfig cfg_;
   WatchdogStats stats_;
   std::vector<float> last_probs_;
-  int identical_run_ = 0;
+  int64_t identical_run_ = 0;
+  int64_t tick_ = 0;
+  int64_t last_progress_ = -1;
 };
 
 }  // namespace mn::reliability

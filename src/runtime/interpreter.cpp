@@ -34,9 +34,27 @@ namespace {
 constexpr uint8_t kCanaryByte = 0xA5;
 }
 
-Interpreter::Interpreter(ModelDef model) : model_(std::move(model)) {
+Interpreter::Interpreter(ModelDef model) : Interpreter(std::move(model), {}) {}
+
+Interpreter::Interpreter(ModelDef model, MemoryPlan plan)
+    : model_(std::move(model)) {
   model_.validate();
-  plan_ = plan_memory(model_);
+  if (plan.allocations.empty() && plan.arena_bytes == 0) {
+    plan_ = plan_memory(model_);
+  } else {
+    // Cheap structural compatibility check on the injected plan: every
+    // non-const tensor must have an in-bounds allocation of the right size.
+    for (size_t t = 0; t < model_.tensors.size(); ++t) {
+      const TensorDef& td = model_.tensors[t];
+      if (td.is_const) continue;
+      const TensorAllocation* a = plan.find(static_cast<int>(t));
+      if (a == nullptr || a->bytes != td.storage_bytes() ||
+          a->offset < 0 || a->offset + a->bytes > plan.arena_bytes)
+        throw std::runtime_error(
+            "Interpreter: injected MemoryPlan does not match the model");
+    }
+    plan_ = std::move(plan);
+  }
   arena_.assign(static_cast<size_t>(plan_.arena_bytes + 2 * kArenaGuardBytes), 0);
   fill_guards();
   prepare();

@@ -42,6 +42,12 @@ class Interpreter {
   // allocates its arena up front (AllocateTensors analog).
   explicit Interpreter(ModelDef model);
 
+  // Pre-planned construction: reuses a MemoryPlan computed once per model so
+  // a pool of instances (serve::InterpreterPool) pays for planning a single
+  // time instead of once per replica. The plan must have been produced by
+  // plan_memory() for an identical graph; a mismatched plan is rejected.
+  Interpreter(ModelDef model, MemoryPlan plan);
+
   // Float convenience path: quantizes the input with the model's input
   // tensor params, runs integer inference, dequantizes the output.
   TensorF invoke(const TensorF& input_image);

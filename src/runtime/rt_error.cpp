@@ -26,6 +26,9 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kArenaOverrun: return "kArenaOverrun";
     case ErrorCode::kUnsupportedOp: return "kUnsupportedOp";
     case ErrorCode::kIoError: return "kIoError";
+    case ErrorCode::kOverloaded: return "kOverloaded";
+    case ErrorCode::kDeadlineExceeded: return "kDeadlineExceeded";
+    case ErrorCode::kCircuitOpen: return "kCircuitOpen";
   }
   return "kUnknown";
 }

@@ -40,6 +40,10 @@ enum class ErrorCode : uint8_t {
   kUnsupportedOp,       // op/precision combination the kernels cannot run
   // --- environment ----------------------------------------------------------
   kIoError,             // file open/read failure
+  // --- serving (admission / scheduling) -------------------------------------
+  kOverloaded,          // tenant queue full under kReject shed policy
+  kDeadlineExceeded,    // request deadline passed before/while serving
+  kCircuitOpen,         // tenant circuit breaker tripped; request refused
 };
 
 const char* error_code_name(ErrorCode code);

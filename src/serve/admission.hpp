@@ -1,0 +1,129 @@
+// Admission control: bounded per-tenant queues with explicit shed policies,
+// and the per-tenant circuit breaker that refuses work for a tenant whose
+// requests keep failing (so one poisoned stream cannot burn pool capacity
+// that healthy tenants need).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "serve/serve.hpp"
+
+namespace mn::serve {
+
+// A queued unit of work. Payload is an index into the tenant's registered
+// input pool, so millions of requests share a handful of input tensors.
+struct Request {
+  int tenant = -1;
+  int64_t seq = -1;        // per-tenant admission sequence number
+  int64_t input_index = 0;
+  Tick arrival = 0;
+  Tick deadline = 0;       // absolute tick; arrival + budget
+  int attempt = 0;         // 0 = first execution, >0 = retry
+  Tick not_before = 0;     // backoff gate for retries
+};
+
+// Bounded FIFO with the two shed policies. Eviction under kDropOldest hands
+// the victim back so the engine can record its disposition.
+class TenantQueue {
+ public:
+  TenantQueue(int64_t capacity, ShedPolicy policy)
+      : capacity_(capacity < 1 ? 1 : capacity), policy_(policy) {}
+
+  struct AdmitResult {
+    bool admitted = false;
+    std::optional<Request> evicted;  // set when kDropOldest made room
+  };
+  AdmitResult push(Request r) {
+    AdmitResult res;
+    if (static_cast<int64_t>(q_.size()) >= capacity_) {
+      if (policy_ == ShedPolicy::kRejectNewest) return res;
+      res.evicted = q_.front();
+      q_.pop_front();
+    }
+    q_.push_back(std::move(r));
+    res.admitted = true;
+    return res;
+  }
+
+  bool empty() const { return q_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(q_.size()); }
+  int64_t capacity() const { return capacity_; }
+  const Request& front() const { return q_.front(); }
+  Request pop() {
+    Request r = q_.front();
+    q_.pop_front();
+    return r;
+  }
+
+ private:
+  int64_t capacity_;
+  ShedPolicy policy_;
+  std::deque<Request> q_;
+};
+
+// Per-tenant circuit breaker: trips open after `threshold` consecutive
+// request-level failures, refuses admissions for `cooldown` ticks, then
+// half-opens and lets a single probe request through; the probe's outcome
+// decides between closing and re-opening.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int threshold, Tick cooldown)
+      : threshold_(threshold < 1 ? 1 : threshold), cooldown_(cooldown) {}
+
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  // Admission gate. In kOpen, flips to kHalfOpen once the cooldown elapsed;
+  // kHalfOpen admits exactly one outstanding probe.
+  bool allow(Tick now) {
+    if (state_ == State::kOpen) {
+      if (now - opened_at_ < cooldown_) return false;
+      state_ = State::kHalfOpen;
+      probe_outstanding_ = false;
+    }
+    if (state_ == State::kHalfOpen) {
+      if (probe_outstanding_) return false;
+      probe_outstanding_ = true;
+      return true;
+    }
+    return true;
+  }
+
+  void on_success() {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    probe_outstanding_ = false;
+  }
+
+  void on_failure(Tick now) {
+    ++consecutive_failures_;
+    if (state_ == State::kHalfOpen || consecutive_failures_ >= threshold_)
+      trip(now);
+  }
+
+  // External stall verdict (watchdog): open immediately.
+  void force_open(Tick now) { trip(now); }
+
+  State state() const { return state_; }
+  int64_t trips() const { return trips_; }
+
+ private:
+  void trip(Tick now) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    consecutive_failures_ = 0;
+    probe_outstanding_ = false;
+    ++trips_;
+  }
+
+  int threshold_;
+  Tick cooldown_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  Tick opened_at_ = 0;
+  bool probe_outstanding_ = false;
+  int64_t trips_ = 0;
+};
+
+}  // namespace mn::serve

@@ -1,0 +1,76 @@
+#include "serve/pool.hpp"
+
+#include <stdexcept>
+
+#include "runtime/planner.hpp"
+
+namespace mn::serve {
+
+int InterpreterPool::add_variant(VariantSpec spec) {
+  if (spec.instances < 1)
+    throw std::invalid_argument("InterpreterPool: variant needs >= 1 instance");
+  if (spec.service_ticks < 1)
+    throw std::invalid_argument("InterpreterPool: service_ticks must be >= 1");
+  Variant v;
+  v.pristine = std::move(spec.model);
+  v.pristine.validate();
+  v.plan = rt::plan_memory(v.pristine);  // planned once, shared by replicas
+  v.service_ticks = spec.service_ticks;
+  v.weights_crc = v.pristine.weights_crc();
+  const int id = static_cast<int>(variants_.size());
+  variants_.push_back(std::move(v));
+  const Variant& stored = variants_.back();
+  for (int i = 0; i < spec.instances; ++i) {
+    Instance inst;
+    inst.interp =
+        std::make_unique<rt::Interpreter>(stored.pristine, stored.plan);
+    inst.interp->set_verify_weights_each_invoke(true);
+    inst.variant = id;
+    instances_.push_back(std::move(inst));
+  }
+  return id;
+}
+
+int InterpreterPool::acquire(int variant, Tick now) const {
+  for (size_t i = 0; i < instances_.size(); ++i)
+    if (instances_[i].variant == variant && instances_[i].busy_until <= now)
+      return static_cast<int>(i);
+  return -1;
+}
+
+int InterpreterPool::free_instances(int variant, Tick now) const {
+  int n = 0;
+  for (const Instance& inst : instances_)
+    if (inst.variant == variant && inst.busy_until <= now) ++n;
+  return n;
+}
+
+std::optional<rt::RtError> InterpreterPool::health_check(int idx) const {
+  const Instance& inst = instances_[static_cast<size_t>(idx)];
+  if (auto err = inst.interp->check_canaries()) return err;
+  const Variant& v = variants_[static_cast<size_t>(inst.variant)];
+  if (inst.interp->model().weights_crc() != v.weights_crc)
+    return rt::RtError{rt::ErrorCode::kCrcMismatch,
+                       "InterpreterPool: replica weights drifted from the "
+                       "golden image"};
+  return std::nullopt;
+}
+
+void InterpreterPool::quarantine(int idx, Tick until) {
+  Instance& inst = instances_[static_cast<size_t>(idx)];
+  const Variant& v = variants_[static_cast<size_t>(inst.variant)];
+  // Re-plan: a fresh interpreter from the pristine model reuses the shared
+  // plan, so recovery costs one arena allocation, not a planner run.
+  inst.interp = std::make_unique<rt::Interpreter>(v.pristine, v.plan);
+  inst.interp->set_verify_weights_each_invoke(true);
+  inst.busy_until = until;
+  ++inst.rebuilds;
+}
+
+bool InterpreterPool::all_healthy() const {
+  for (size_t i = 0; i < instances_.size(); ++i)
+    if (health_check(static_cast<int>(i))) return false;
+  return true;
+}
+
+}  // namespace mn::serve

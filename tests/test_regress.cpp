@@ -89,6 +89,21 @@ TEST(RegressRules, ClassifiesByMetricName) {
   EXPECT_EQ(tools::classify_metric("kws_energy_uj_per_invoke"),
             Rule::kRelative);
   EXPECT_EQ(tools::classify_metric("anomaly_speedup"), Rule::kRelative);
+  // Serving-gate rules (PR 6). Deterministic virtual-time metrics are exact;
+  // host-clock tails, shed rates, and throughput get one-sided bounds.
+  EXPECT_EQ(tools::classify_metric("baseline_p99_ticks"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("baseline_deadline_violations"),
+            Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("chaos_quarantines_count"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("baseline_p99_host_us"),
+            Rule::kTailUpperBound);
+  EXPECT_EQ(tools::classify_metric("chaos_p50_host_us"),
+            Rule::kTailUpperBound);
+  EXPECT_EQ(tools::classify_metric("chaos_shed_rate"), Rule::kShedUpperBound);
+  EXPECT_EQ(tools::classify_metric("baseline_streams_per_min"),
+            Rule::kThroughputLowerBound);
+  EXPECT_EQ(tools::classify_metric("requests_per_sec"),
+            Rule::kThroughputLowerBound);
 }
 
 std::string report_doc(const std::string& metrics) {
@@ -148,6 +163,57 @@ TEST(RegressGate, R2IsLowerBoundedOnly) {
   const RegressResult r = diff(R"("r2_fit": 0.85)", R"("r2_fit": 0.50)");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.checks[0].rule, Rule::kR2LowerBound);
+}
+
+TEST(RegressGate, TailMetricsAreUpperBoundedWithHeadroom) {
+  // Host-clock tail latencies may improve freely; they regress only past
+  // baseline * (1 + tail_headroom). Default headroom 1.0 allows 2x.
+  EXPECT_TRUE(diff(R"("p99_host_us": 100.0)", R"("p99_host_us": 5.0)").ok());
+  EXPECT_TRUE(diff(R"("p99_host_us": 100.0)", R"("p99_host_us": 199.0)").ok());
+  const RegressResult r =
+      diff(R"("p99_host_us": 100.0)", R"("p99_host_us": 201.0)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kTailUpperBound);
+  RegressConfig tight;
+  tight.tail_headroom = 0.10;
+  EXPECT_FALSE(
+      diff(R"("p99_host_us": 100.0)", R"("p99_host_us": 115.0)", tight).ok());
+}
+
+TEST(RegressGate, ShedRateIsUpperBoundedWithAbsoluteSlack) {
+  // Shedding less than baseline is always fine; exceeding baseline by more
+  // than the absolute shed_slack (default 0.02) fails.
+  EXPECT_TRUE(diff(R"("chaos_shed_rate": 0.10)", R"("chaos_shed_rate": 0.0)")
+                  .ok());
+  EXPECT_TRUE(diff(R"("chaos_shed_rate": 0.10)", R"("chaos_shed_rate": 0.11)")
+                  .ok());
+  const RegressResult r =
+      diff(R"("chaos_shed_rate": 0.10)", R"("chaos_shed_rate": 0.13)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kShedUpperBound);
+  RegressConfig loose;
+  loose.shed_slack = 0.05;
+  EXPECT_TRUE(
+      diff(R"("chaos_shed_rate": 0.10)", R"("chaos_shed_rate": 0.13)", loose)
+          .ok());
+}
+
+TEST(RegressGate, ThroughputIsLowerBoundedOnly) {
+  // Faster is always a pass; a drop beyond throughput_drop (default 60%,
+  // sized for CI-runner variance on wall-clock throughput) fails.
+  EXPECT_TRUE(
+      diff(R"("streams_per_min": 1e6)", R"("streams_per_min": 9e6)").ok());
+  EXPECT_TRUE(
+      diff(R"("streams_per_min": 1e6)", R"("streams_per_min": 5e5)").ok());
+  const RegressResult r =
+      diff(R"("streams_per_min": 1e6)", R"("streams_per_min": 3e5)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kThroughputLowerBound);
+  RegressConfig strict;
+  strict.throughput_drop = 0.10;
+  EXPECT_FALSE(
+      diff(R"("streams_per_min": 1e6)", R"("streams_per_min": 8.5e5)", strict)
+          .ok());
 }
 
 TEST(RegressGate, MissingAndStructuralCasesFail) {

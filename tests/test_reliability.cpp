@@ -357,6 +357,92 @@ TEST(DeviceLookup, FindByClassReturnsNullptrOnUnknown) {
   EXPECT_THROW(mcu::device_by_class("XXL"), std::invalid_argument);
 }
 
+// --- scoped faults & seed derivation (serving-engine satellites) -------------
+
+TEST(FaultInjector, ScopedFaultRestoresBytesExactly) {
+  std::vector<uint8_t> data(256);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  const std::vector<uint8_t> pristine = data;
+  reliability::FaultInjector fi(21);
+  {
+    reliability::ScopedFault f = fi.scoped_fault(data, 12);
+    EXPECT_EQ(f.bits_flipped(), 12);
+    EXPECT_NE(data, pristine);  // fault is live inside the scope
+  }
+  EXPECT_EQ(data, pristine);  // XOR re-flip restored every byte
+}
+
+TEST(FaultInjector, ScopedFaultRevertIsIdempotentAndMoveSafe) {
+  std::vector<uint8_t> data(64, 0xAB);
+  const std::vector<uint8_t> pristine = data;
+  reliability::FaultInjector fi(3);
+  reliability::ScopedFault f = fi.scoped_fault(data, 8);
+  reliability::ScopedFault moved = std::move(f);
+  f.revert();  // moved-from handle owns nothing; must be a no-op
+  EXPECT_NE(data, pristine);
+  moved.revert();
+  EXPECT_EQ(data, pristine);
+  moved.revert();  // idempotent
+  EXPECT_EQ(data, pristine);
+}
+
+TEST(FaultInjector, DerivedTenantSeedsAreStatelessAndDecorrelated) {
+  // Pure function of (base, tenant): no draw order dependence.
+  const uint64_t a = reliability::FaultInjector::derive_seed(99, 0);
+  const uint64_t b = reliability::FaultInjector::derive_seed(99, 1);
+  EXPECT_EQ(a, reliability::FaultInjector::derive_seed(99, 0));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, reliability::FaultInjector::derive_seed(100, 0));
+  reliability::FaultInjector base(99);
+  EXPECT_EQ(base.for_tenant(1).seed(), b);
+  // Derived streams produce different fault patterns on identical targets.
+  std::vector<uint8_t> d0(128, 0), d1(128, 0);
+  base.for_tenant(0).flip_exact_bits(d0, 16);
+  base.for_tenant(1).flip_exact_bits(d1, 16);
+  EXPECT_NE(d0, d1);
+}
+
+// --- watchdog liveness clock (serving-engine satellite) ----------------------
+
+TEST(StreamWatchdog, LivenessClockTracksProgressAndTimeout) {
+  reliability::WatchdogConfig cfg;
+  cfg.timeout_ticks = 5;
+  reliability::StreamWatchdog wd(cfg);
+  EXPECT_EQ(wd.last_progress(), -1);
+  EXPECT_FALSE(wd.stalled());
+  for (int i = 0; i < 5; ++i) wd.advance();
+  EXPECT_FALSE(wd.stalled());  // exactly at the timeout: not yet stalled
+  wd.advance();
+  EXPECT_TRUE(wd.stalled());  // never-progressed stream counts from tick 0
+  wd.record_progress();
+  EXPECT_EQ(wd.last_progress(), 6);
+  EXPECT_FALSE(wd.stalled());
+  wd.advance(6);
+  EXPECT_TRUE(wd.stalled());
+  // Runtime reconfiguration: relaxing the timeout un-stalls it.
+  wd.set_timeout_ticks(100);
+  EXPECT_FALSE(wd.stalled());
+  wd.set_timeout_ticks(0);  // disarmed entirely
+  wd.advance(1000000);
+  EXPECT_FALSE(wd.stalled());
+}
+
+TEST(StreamWatchdog, HealthyPushesStampProgress) {
+  reliability::WatchdogConfig cfg;
+  cfg.timeout_ticks = 3;
+  reliability::StreamWatchdog wd(cfg);
+  dsp::PosteriorSmoother smoother(4, 3, 0.5f);
+  const std::vector<float> probs{0.1f, 0.2f, 0.3f, 0.4f};
+  wd.push_posteriors(smoother, probs);
+  EXPECT_EQ(wd.last_progress(), wd.tick());
+  const int64_t stamped = wd.last_progress();
+  // A poisoned vector advances the clock but does not stamp progress.
+  const std::vector<float> bad{0.1f, std::nanf(""), 0.3f, 0.4f};
+  wd.push_posteriors(smoother, bad);
+  EXPECT_EQ(wd.last_progress(), stamped);
+  EXPECT_GT(wd.tick(), stamped);
+}
+
 // --- end-to-end: fault campaign on a live interpreter ------------------------
 
 TEST(FaultCampaign, HeavyWeightCorruptionNeverEscapesTypedApi) {

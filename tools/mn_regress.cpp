@@ -1,7 +1,9 @@
 // mn_regress: the CI perf/memory regression gate.
 //
 // Usage:
-//   mn_regress [--rel-tol F] [--r2-drop F] BASELINE CURRENT [BASELINE CURRENT]...
+//   mn_regress [--rel-tol F] [--r2-drop F] [--tail-headroom F]
+//              [--shed-slack F] [--throughput-drop F]
+//              BASELINE CURRENT [BASELINE CURRENT]...
 //
 // Each (BASELINE, CURRENT) pair is a committed bench/baselines/BENCH_*.json
 // and the BENCH_*.json a fresh bench run just wrote. For every pair the gate
@@ -35,6 +37,7 @@ bool read_file(const std::string& path, std::string* out) {
 int usage() {
   std::fprintf(stderr,
                "usage: mn_regress [--rel-tol F] [--r2-drop F] "
+               "[--tail-headroom F] [--shed-slack F] [--throughput-drop F] "
                "BASELINE CURRENT [BASELINE CURRENT]...\n");
   return 2;
 }
@@ -49,6 +52,12 @@ int main(int argc, char** argv) {
       cfg.rel_tol = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--r2-drop") == 0 && i + 1 < argc) {
       cfg.r2_drop = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tail-headroom") == 0 && i + 1 < argc) {
+      cfg.tail_headroom = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shed-slack") == 0 && i + 1 < argc) {
+      cfg.shed_slack = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--throughput-drop") == 0 && i + 1 < argc) {
+      cfg.throughput_drop = std::stod(argv[++i]);
     } else if (argv[i][0] == '-') {
       return usage();
     } else {

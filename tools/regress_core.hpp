@@ -10,8 +10,17 @@
 //     a real change, so they must match EXACTLY.
 //   - r2 metrics involve host wall-clock measurements, so they only have to
 //     stay above baseline - r2_drop (a lower bound; improving is fine).
-//   - everything else (latency, energy, throughput, accuracy proxies) gets
-//     a symmetric relative tolerance (default +-10%).
+//   - tail-latency metrics (p50/p95/p99 measured in host time) gate upward
+//     only: getting faster is never a regression, and host timing varies
+//     across machines, so the headroom is generous (default 2x baseline).
+//     Virtual-tick tails ("..._ticks") are deterministic and stay EXACT.
+//   - shed-rate metrics gate upward with a small absolute slack: a serving
+//     change that silently sheds more traffic is a regression even when the
+//     totals still look healthy.
+//   - throughput metrics ("per_min"/"per_sec") gate downward only, with a
+//     wide margin for machine variance.
+//   - everything else (latency, energy, accuracy proxies) gets a symmetric
+//     relative tolerance (default +-10%).
 //
 // Phases (wall-clock) and "series" arrays are informational and never gated.
 #pragma once
@@ -28,15 +37,33 @@ namespace mn::tools {
 struct RegressConfig {
   double rel_tol = 0.10;  // relative tolerance for latency/energy-like metrics
   double r2_drop = 0.30;  // allowed absolute drop for r2 metrics
+  // Serving-gate rules (see bench_serving): host-time tails may grow up to
+  // (1 + tail_headroom) x baseline; shed rates may exceed baseline by at
+  // most shed_slack (absolute); throughput may drop to
+  // (1 - throughput_drop) x baseline.
+  double tail_headroom = 1.0;
+  double shed_slack = 0.02;
+  double throughput_drop = 0.60;
 };
 
-enum class Rule { kExact, kRelative, kR2LowerBound, kStringEqual };
+enum class Rule {
+  kExact,
+  kRelative,
+  kR2LowerBound,
+  kTailUpperBound,
+  kShedUpperBound,
+  kThroughputLowerBound,
+  kStringEqual,
+};
 
 inline const char* rule_name(Rule r) {
   switch (r) {
     case Rule::kExact: return "exact";
     case Rule::kRelative: return "relative";
     case Rule::kR2LowerBound: return "r2-lower-bound";
+    case Rule::kTailUpperBound: return "tail-upper-bound";
+    case Rule::kShedUpperBound: return "shed-upper-bound";
+    case Rule::kThroughputLowerBound: return "throughput-lower";
     case Rule::kStringEqual: return "string";
   }
   return "?";
@@ -55,9 +82,17 @@ inline Rule classify_metric(const std::string& name) {
   static const char* kExactMarkers[] = {
       "bytes", "flash", "sram", "arena",  "samples", "invokes",
       "layers", "models", "count", "pareto", "size", "epochs",
+      "ticks", "violations",
   };
   for (const char* m : kExactMarkers)
     if (contains(name, m)) return Rule::kExact;
+  // Host-time order statistics: only growing is a regression. Checked after
+  // the exact markers so deterministic "..._ticks" percentiles stay exact.
+  if (contains(name, "p50") || contains(name, "p95") || contains(name, "p99"))
+    return Rule::kTailUpperBound;
+  if (contains(name, "shed_rate")) return Rule::kShedUpperBound;
+  if (contains(name, "per_min") || contains(name, "per_sec"))
+    return Rule::kThroughputLowerBound;
   return Rule::kRelative;
 }
 
@@ -130,6 +165,23 @@ inline MetricCheck check_metric(const std::string& name, const JsonValue& base,
       c.pass = v >= b - cfg.r2_drop;
       if (!c.pass)
         c.detail = "r2 dropped below baseline - " + num_str(cfg.r2_drop);
+      break;
+    case Rule::kTailUpperBound:
+      c.pass = v <= b * (1.0 + cfg.tail_headroom);
+      if (!c.pass)
+        c.detail = "tail latency grew past baseline x " +
+                   num_str(1.0 + cfg.tail_headroom);
+      break;
+    case Rule::kShedUpperBound:
+      c.pass = v <= b + cfg.shed_slack;
+      if (!c.pass)
+        c.detail = "shed rate exceeds baseline + " + num_str(cfg.shed_slack);
+      break;
+    case Rule::kThroughputLowerBound:
+      c.pass = v >= b * (1.0 - cfg.throughput_drop);
+      if (!c.pass)
+        c.detail = "throughput fell below baseline x " +
+                   num_str(1.0 - cfg.throughput_drop);
       break;
     case Rule::kRelative: {
       const double denom = std::fabs(b) > 0 ? std::fabs(b) : 1.0;
