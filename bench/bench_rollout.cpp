@@ -1,0 +1,315 @@
+// Staged-rollout bench: OTA-style model updates over the serving fleet
+// (rollout::RolloutController), clean and under a poisoned-update chaos run.
+//
+// Two scenarios, each on a fresh engine + version registry:
+//   clean_upgrade   — a bit-identical candidate rolls out across a 6-tenant
+//                     fleet: shadow (mirrored traffic + golden vectors) ->
+//                     canary -> ramp -> complete. The contract is ZERO shadow
+//                     divergences, zero golden mismatches, and promotion at a
+//                     deterministic virtual tick the regression gate bounds.
+//   poisoned_update — the candidate's live replicas are bit-flipped at a
+//                     scheduled tick during canary. The per-invoke weights
+//                     CRC catches the corruption, the quarantine guard
+//                     breaches, and the rollout auto-rolls-back: every tenant
+//                     re-pinned to the incumbent, every candidate replica
+//                     re-imaged, ZERO dispatches to the candidate after the
+//                     abort tick. Run at 1 and 8 worker threads; the rollout
+//                     fingerprint and rollback latency must be bit-identical
+//                     (the determinism contract the whole library makes).
+//
+// Every gated count is virtual-time deterministic, so the regression gate
+// pins them EXACTLY (rollback_latency_ticks, divergence/dispatch counts,
+// fingerprints) or as an upper bound (clean_promotion_tick).
+//
+// Flags: --full, --chaos=<seed>:<rate> (reseeds the poison plan),
+// --trace-out=PATH.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "parallel/pool.hpp"
+#include "rollout/controller.hpp"
+#include "serve/engine.hpp"
+
+using namespace mn;
+
+namespace {
+
+rt::ModelDef kws_model(uint64_t seed, const std::string& name) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{12, 8, 1};
+  cfg.num_classes = 4;
+  cfg.stem_channels = 8;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  cfg.blocks = {{8, 1}};
+  models::BuildOptions bo;
+  bo.seed = seed;
+  bo.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, bo);
+  return bench::calibrated_model(g, cfg.input, name, 8, 8);
+}
+
+std::vector<TensorF> make_inputs(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TensorF> inputs;
+  for (int i = 0; i < n; ++i) {
+    TensorF t(Shape{12, 8, 1});
+    for (int64_t k = 0; k < t.size(); ++k)
+      t[k] = static_cast<float>(rng.normal(0.0, 0.5));
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+constexpr int kFleet = 6;
+constexpr serve::Tick kShadowTicks = 24;
+constexpr serve::Tick kCanaryTicks = 24;
+constexpr serve::Tick kRampStepTicks = 16;
+constexpr serve::Tick kPoisonOffset = kShadowTicks + 9;  // mid-canary
+
+rollout::RolloutConfig make_rollout_config(uint64_t seed) {
+  rollout::RolloutConfig rc;
+  rc.seed = seed;
+  rc.shadow_ticks = kShadowTicks;
+  rc.golden_period_ticks = 8;
+  rc.canary_pct = 25;
+  rc.canary_ticks = kCanaryTicks;
+  rc.ramp_pcts = {50, 100};
+  rc.ramp_step_ticks = kRampStepTicks;
+  rc.golden_inputs = make_inputs(2, seed + 900);
+  return rc;
+}
+
+struct ScenarioResult {
+  rollout::Stage stage = rollout::Stage::kIdle;
+  rollout::RolloutStats stats;
+  rollout::AbortReport report;
+  serve::ServeStats serve_stats;
+  uint64_t fingerprint = 0;
+  serve::Tick promotion_rel = -1;      // completion tick relative to begin()
+  serve::Tick rollback_latency = -1;   // abort tick - poison tick
+  int64_t post_abort_dispatches = -1;  // candidate dispatches after the abort
+  int64_t candidate_instances_left = -1;
+  bool drained = false;
+  bool healthy = false;
+  bool begin_ok = false;
+};
+
+// One full rollout lifecycle: warm the fleet on the incumbent, begin the
+// candidate rollout, tick to a terminal stage, then drain and audit.
+ScenarioResult run_scenario(uint64_t seed, bool poisoned, uint64_t poison_seed,
+                            int64_t poison_bits) {
+  serve::ServingEngine engine{serve::EngineConfig{}};
+  rollout::VersionRegistry registry;
+  rollout::RolloutController ctl(engine, registry,
+                                 make_rollout_config(seed + 31));
+
+  const int v0 = registry
+                     .add_version("kws-v0", kws_model(seed, "kws_v0"),
+                                  /*service_ticks=*/2, /*instances=*/4)
+                     .value();
+  const int incumbent = ctl.deploy_initial(v0);
+  for (int t = 0; t < kFleet; ++t) {
+    serve::TenantConfig tc;
+    tc.name = "device_" + std::to_string(t);
+    tc.queue_capacity = 32;
+    tc.deadline_ticks = 32;
+    tc.max_retries = 2;
+    engine.register_tenant_on(tc, incumbent, /*fallback_variant=*/-1,
+                              make_inputs(4, seed + 100 + 17 * t));
+  }
+
+  // The candidate is the same architecture converted from the same seed, so
+  // it is bit-identical — a "safe" update the shadow stage should clear.
+  const int v1 = registry
+                     .add_version("kws-v1", kws_model(seed, "kws_v1"),
+                                  /*service_ticks=*/2, /*instances=*/2)
+                     .value();
+
+  const auto pump = [&](serve::Tick n) {
+    for (serve::Tick i = 0; i < n; ++i) {
+      for (int t = 0; t < kFleet; ++t)
+        if ((engine.now() + t) % 4 == 0) (void)engine.submit(t);
+      engine.step();
+      ctl.tick();
+    }
+  };
+
+  pump(32);  // warm the fleet on the incumbent
+  ScenarioResult r;
+  const serve::Tick begin_tick = engine.now();
+  const auto begun = ctl.begin(v1);
+  r.begin_ok = begun.ok();
+  if (!begun.ok()) return r;
+  const int candidate = begun.value();
+
+  serve::Tick poison_tick = -1;
+  if (poisoned) {
+    poison_tick = begin_tick + kPoisonOffset;
+    rollout::PoisonPlan plan;
+    plan.at_tick = poison_tick;
+    plan.flip_bits = poison_bits;
+    plan.seed = poison_seed;
+    ctl.schedule_poison(plan);
+  }
+
+  const serve::Tick budget =
+      kShadowTicks + kCanaryTicks + 2 * kRampStepTicks + 256;
+  for (serve::Tick i = 0; i < budget; ++i) {
+    if (ctl.stage() == rollout::Stage::kComplete ||
+        ctl.stage() == rollout::Stage::kAborted)
+      break;
+    pump(1);
+  }
+
+  r.stage = ctl.stage();
+  const int64_t dispatches_at_terminal = engine.variant_dispatches(candidate);
+  pump(32);  // keep serving after the verdict: rollback must hold
+  r.drained = engine.drain(1024) >= 0 && engine.idle();
+
+  r.stats = ctl.stats();
+  r.report = ctl.abort_report();
+  r.serve_stats = engine.stats();
+  r.fingerprint = ctl.fingerprint();
+  r.healthy = engine.pool().all_healthy();
+  r.candidate_instances_left = engine.pool().instances_of(candidate);
+  r.post_abort_dispatches =
+      engine.variant_dispatches(candidate) - dispatches_at_terminal;
+  if (r.stage == rollout::Stage::kComplete)
+    r.promotion_rel = ctl.completion_tick() - begin_tick;
+  if (r.stage == rollout::Stage::kAborted && poison_tick >= 0)
+    r.rollback_latency = ctl.abort_tick() - poison_tick;
+  return r;
+}
+
+std::string hex64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_args(argc, argv);
+  bench::print_header("Staged rollout: shadow validation & auto-rollback");
+  bench::start_trace_if_requested(opt);
+  bench::Reporter rep("rollout", opt);
+  int failures = 0;
+
+  const uint64_t poison_seed = opt.chaos.enabled ? opt.chaos.seed : 0xBADF1A5;
+  const int64_t poison_bits = 6;
+
+  // --- scenario 1: clean upgrade --------------------------------------------
+  rep.phase("clean_upgrade");
+  bench::print_subheader("clean upgrade (bit-identical candidate)");
+  const ScenarioResult clean =
+      run_scenario(opt.seed, /*poisoned=*/false, poison_seed, poison_bits);
+  std::printf(
+      "  stage %s  promotion +%lld ticks  golden %lld checks (%lld "
+      "mismatches)\n  shadow invokes %lld  divergences %lld  fingerprint "
+      "%s\n",
+      rollout::stage_name(clean.stage),
+      static_cast<long long>(clean.promotion_rel),
+      static_cast<long long>(clean.stats.golden_checks),
+      static_cast<long long>(clean.stats.golden_mismatches),
+      static_cast<long long>(clean.serve_stats.shadow_invokes),
+      static_cast<long long>(clean.serve_stats.shadow_divergences),
+      hex64(clean.fingerprint).c_str());
+  if (!clean.begin_ok || clean.stage != rollout::Stage::kComplete) {
+    std::printf("  FAIL: clean rollout did not complete\n");
+    ++failures;
+  }
+  if (clean.serve_stats.shadow_divergences != 0 ||
+      clean.stats.golden_mismatches != 0) {
+    std::printf("  FAIL: bit-identical candidate diverged in shadow\n");
+    ++failures;
+  }
+  if (clean.serve_stats.shadow_invokes == 0 || clean.stats.golden_checks == 0) {
+    std::printf("  FAIL: shadow stage mirrored no traffic\n");
+    ++failures;
+  }
+  if (!clean.drained || !clean.healthy) {
+    std::printf("  FAIL: fleet did not drain healthy after the upgrade\n");
+    ++failures;
+  }
+  rep.metric("clean_promotion_tick", static_cast<double>(clean.promotion_rel));
+  rep.metric("clean_shadow_divergence_count",
+             static_cast<double>(clean.serve_stats.shadow_divergences));
+  rep.metric("clean_golden_mismatch_count",
+             static_cast<double>(clean.stats.golden_mismatches));
+  rep.metric("clean_shadow_invokes",
+             static_cast<double>(clean.serve_stats.shadow_invokes));
+  rep.metric("clean_fingerprint", hex64(clean.fingerprint));
+
+  // --- scenario 2: poisoned update, at 1 and 8 threads ----------------------
+  rep.phase("poisoned_update");
+  bench::print_subheader("poisoned update (candidate bit-flipped in canary)");
+  parallel::set_threads(1);
+  const ScenarioResult p1 =
+      run_scenario(opt.seed, /*poisoned=*/true, poison_seed, poison_bits);
+  parallel::set_threads(8);
+  const ScenarioResult p8 =
+      run_scenario(opt.seed, /*poisoned=*/true, poison_seed, poison_bits);
+  parallel::set_threads(0);  // restore the environment default
+  std::printf(
+      "  stage %s  reason %s  rollback latency %lld ticks\n  repinned %lld "
+      "tenants, re-imaged %lld replicas, post-abort dispatches %lld\n  "
+      "fingerprint %s (1 thread) / %s (8 threads)\n",
+      rollout::stage_name(p1.stage),
+      rollout::abort_reason_name(p1.report.reason),
+      static_cast<long long>(p1.rollback_latency),
+      static_cast<long long>(p1.report.tenants_repinned),
+      static_cast<long long>(p1.report.replicas_reimaged),
+      static_cast<long long>(p1.post_abort_dispatches),
+      hex64(p1.fingerprint).c_str(), hex64(p8.fingerprint).c_str());
+
+  if (p1.stage != rollout::Stage::kAborted ||
+      p1.report.reason != rollout::AbortReason::kCandidateQuarantine) {
+    std::printf("  FAIL: poisoned canary did not trigger quarantine abort\n");
+    ++failures;
+  }
+  if (p1.post_abort_dispatches != 0 || p1.candidate_instances_left != 0) {
+    std::printf("  FAIL: poisoned version served after the abort tick\n");
+    ++failures;
+  }
+  if (!p1.drained || !p1.healthy || !p8.healthy) {
+    std::printf("  FAIL: fleet did not recover healthy after rollback\n");
+    ++failures;
+  }
+  const bool invariant = p1.fingerprint == p8.fingerprint &&
+                         p1.rollback_latency == p8.rollback_latency &&
+                         p1.post_abort_dispatches == p8.post_abort_dispatches;
+  if (!invariant) {
+    std::printf("  FAIL: rollout not bit-identical across thread counts\n");
+    ++failures;
+  }
+  rep.metric("rollback_latency_ticks",
+             static_cast<double>(p1.rollback_latency));
+  rep.metric("poisoned_post_abort_dispatch_count",
+             static_cast<double>(p1.post_abort_dispatches));
+  rep.metric("poisoned_candidate_instances_count",
+             static_cast<double>(p1.candidate_instances_left));
+  rep.metric("poisoned_repinned_count",
+             static_cast<double>(p1.report.tenants_repinned));
+  rep.metric("poisoned_reimaged_count",
+             static_cast<double>(p1.report.replicas_reimaged));
+  rep.metric("poisoned_abort_reason",
+             std::string(rollout::abort_reason_name(p1.report.reason)));
+  rep.metric("poisoned_fingerprint", hex64(p1.fingerprint));
+  rep.metric("thread_invariant_count", invariant ? 1.0 : 0.0);
+  rep.metric("recovered_healthy_count",
+             (p1.healthy && p8.healthy && clean.healthy) ? 1.0 : 0.0);
+
+  rep.finish();
+  bench::write_trace_if_requested(opt);
+  if (failures > 0) {
+    std::printf("\nbench_rollout: %d contract failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nbench_rollout: all rollout contracts held\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -19,31 +21,87 @@ ChaosOptions parse_chaos_spec(const std::string& spec) {
   if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size())
     throw std::invalid_argument("--chaos expects <seed>:<rate>, got '" + spec +
                                 "'");
+  const std::string seed_str = spec.substr(0, colon);
+  const std::string rate_str = spec.substr(colon + 1);
+  // stoull silently wraps negatives (-1 -> 2^64-1) and skips leading
+  // whitespace, so require a bare unsigned decimal before parsing.
+  if (seed_str.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument(
+        "--chaos seed must be a non-negative integer: '" + spec + "'");
   ChaosOptions chaos;
   size_t used = 0;
-  chaos.seed = std::stoull(spec.substr(0, colon), &used);
-  if (used != colon)
-    throw std::invalid_argument("--chaos seed is not an integer: '" + spec + "'");
-  const std::string rate_str = spec.substr(colon + 1);
-  chaos.rate = std::stod(rate_str, &used);
-  if (used != rate_str.size() || chaos.rate < 0.0 || chaos.rate > 1.0)
-    throw std::invalid_argument("--chaos rate must be in [0,1]: '" + spec + "'");
+  try {
+    chaos.seed = std::stoull(seed_str, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--chaos seed is not an integer: '" + spec +
+                                "'");
+  }
+  if (used != seed_str.size())
+    throw std::invalid_argument("--chaos seed is not an integer: '" + spec +
+                                "'");
+  if (rate_str.find_first_of(" \t") != std::string::npos)
+    throw std::invalid_argument("--chaos rate is not a number: '" + spec + "'");
+  try {
+    chaos.rate = std::stod(rate_str, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--chaos rate is not a number: '" + spec + "'");
+  }
+  // used != size catches trailing garbage ("0.5x"); !isfinite catches "nan",
+  // which compares false against both range bounds and used to slip through.
+  if (used != rate_str.size() || !std::isfinite(chaos.rate) ||
+      chaos.rate < 0.0 || chaos.rate > 1.0)
+    throw std::invalid_argument(
+        "--chaos rate must be a finite number in [0,1]: '" + spec + "'");
   chaos.enabled = true;
   return chaos;
 }
 
+namespace {
+
+// Unifies the `--flag=value` and `--flag value` argv spellings. Returns true
+// when argv[*i] names `flag` (advancing *i past a separate value). A
+// valueless `--flag` is an error — the old parser silently ignored it, so
+// e.g. a trailing `--chaos` ran the bench with chaos off while the invoker
+// believed chaos was on.
+bool flag_value(int argc, char** argv, int* i, const char* flag,
+                std::string* out) {
+  const std::string arg = argv[*i];
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.compare(0, prefix.size(), prefix) == 0) {
+    *out = arg.substr(prefix.size());
+    return true;
+  }
+  if (arg == flag) {
+    if (*i + 1 >= argc)
+      throw std::invalid_argument(std::string(flag) + " requires a value");
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 BenchOptions parse_args(int argc, char** argv) {
   BenchOptions opt;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
-    if (std::strcmp(argv[i], "--fast") == 0) opt.full = false;
-    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) opt.trace_out = argv[i] + 12;
-    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc)
-      opt.trace_out = argv[++i];
-    if (std::strncmp(argv[i], "--chaos=", 8) == 0)
-      opt.chaos = parse_chaos_spec(argv[i] + 8);
-    if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc)
-      opt.chaos = parse_chaos_spec(argv[++i]);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string v;
+      if (std::strcmp(argv[i], "--full") == 0) {
+        opt.full = true;
+      } else if (std::strcmp(argv[i], "--fast") == 0) {
+        opt.full = false;
+      } else if (flag_value(argc, argv, &i, "--trace-out", &v)) {
+        opt.trace_out = v;
+      } else if (flag_value(argc, argv, &i, "--chaos", &v)) {
+        opt.chaos = parse_chaos_spec(v);
+      }
+      // Unknown flags are left for the bench's own parser (e.g.
+      // bench_serving's --skip-throughput-floor).
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench: %s\n", e.what());
+    std::exit(2);
   }
   return opt;
 }

@@ -42,10 +42,15 @@ struct BenchOptions {
   std::string trace_out;
   ChaosOptions chaos;
 };
+// Parses the shared flags. A malformed or valueless flag (`--chaos` with no
+// spec, `--chaos=-1:0.5`, `--chaos=7:nan`, trailing garbage) prints a clear
+// error to stderr and exits with status 2 — never silently runs with
+// defaults the invoker did not ask for.
 BenchOptions parse_args(int argc, char** argv);
 
 // Parses "<seed>:<rate>" (e.g. "7:0.05"). Throws std::invalid_argument on a
-// malformed spec or a rate outside [0, 1].
+// malformed spec: missing ':', negative or non-integer seed, non-finite or
+// out-of-[0,1] rate, or trailing garbage on either field.
 ChaosOptions parse_chaos_spec(const std::string& spec);
 
 // Shared --trace-out implementation. start_trace_if_requested arms span

@@ -86,6 +86,12 @@ int64_t FaultInjector::flip_exact_bits(std::span<uint8_t> data, int64_t n_bits) 
   return static_cast<int64_t>(flip_recorded(data, n_bits).size());
 }
 
+int64_t FaultInjector::flip_bits_once(uint64_t seed, std::span<uint8_t> data,
+                                      int64_t n_bits) {
+  FaultInjector fi(seed);
+  return fi.flip_exact_bits(data, n_bits);
+}
+
 ScopedFault FaultInjector::scoped_fault(std::span<uint8_t> data,
                                         int64_t n_bits) {
   return ScopedFault(data, flip_recorded(data, n_bits));

@@ -95,6 +95,13 @@ class FaultInjector {
   // span's bit count).
   int64_t flip_exact_bits(std::span<uint8_t> data, int64_t n_bits);
 
+  // One-shot seeded flip on a throwaway injector — for corruption events
+  // that own no injector state, e.g. a chaos plan poisoning a staged OTA
+  // image at a scheduled tick. Same positions for the same (seed, span
+  // length, n_bits) every time.
+  static int64_t flip_bits_once(uint64_t seed, std::span<uint8_t> data,
+                                int64_t n_bits);
+
   // Like flip_exact_bits, but returns an RAII handle that restores the
   // flipped bits when it goes out of scope (or on revert()). `data` must
   // outlive the handle.

@@ -45,6 +45,28 @@ int InterpreterPool::free_instances(int variant, Tick now) const {
   return n;
 }
 
+int InterpreterPool::instances_of(int variant) const {
+  int n = 0;
+  for (const Instance& inst : instances_)
+    if (inst.variant == variant) ++n;
+  return n;
+}
+
+int64_t InterpreterPool::variant_served(int variant) const {
+  int64_t n = 0;
+  for (const Instance& inst : instances_)
+    if (inst.variant == variant) n += inst.served;
+  return n;
+}
+
+std::unique_ptr<rt::Interpreter> InterpreterPool::make_replica(
+    int variant) const {
+  const Variant& v = variants_[static_cast<size_t>(variant)];
+  auto interp = std::make_unique<rt::Interpreter>(v.pristine, v.plan);
+  interp->set_verify_weights_each_invoke(true);
+  return interp;
+}
+
 std::optional<rt::RtError> InterpreterPool::health_check(int idx) const {
   const Instance& inst = instances_[static_cast<size_t>(idx)];
   if (auto err = inst.interp->check_canaries()) return err;
@@ -57,12 +79,17 @@ std::optional<rt::RtError> InterpreterPool::health_check(int idx) const {
 }
 
 void InterpreterPool::quarantine(int idx, Tick until) {
+  reimage(idx, instances_[static_cast<size_t>(idx)].variant, until);
+}
+
+void InterpreterPool::reimage(int idx, int variant, Tick until) {
   Instance& inst = instances_[static_cast<size_t>(idx)];
-  const Variant& v = variants_[static_cast<size_t>(inst.variant)];
+  const Variant& v = variants_[static_cast<size_t>(variant)];
   // Re-plan: a fresh interpreter from the pristine model reuses the shared
   // plan, so recovery costs one arena allocation, not a planner run.
   inst.interp = std::make_unique<rt::Interpreter>(v.pristine, v.plan);
   inst.interp->set_verify_weights_each_invoke(true);
+  inst.variant = variant;
   inst.busy_until = until;
   ++inst.rebuilds;
 }

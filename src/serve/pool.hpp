@@ -40,6 +40,21 @@ class InterpreterPool {
   Tick service_ticks(int variant) const {
     return variants_[static_cast<size_t>(variant)].service_ticks;
   }
+  // Replica / invoke accounting for one variant (0 instances after all its
+  // replicas were re-imaged onto another variant during a rollback).
+  int instances_of(int variant) const;
+  int64_t variant_served(int variant) const;
+
+  // The golden flash image and the shared plan a variant's replicas are
+  // built from (the rollout controller mirrors shadow traffic and golden
+  // vectors against these).
+  const rt::ModelDef& pristine(int variant) const {
+    return variants_[static_cast<size_t>(variant)].pristine;
+  }
+  // A fresh standalone replica of `variant` (pristine image + shared plan,
+  // per-invoke CRC verification armed) that is NOT entered into the pool —
+  // used for shadow mirrors and bit-equivalence checks.
+  std::unique_ptr<rt::Interpreter> make_replica(int variant) const;
 
   // Lowest-index healthy replica of `variant` free at `now`, or -1. Does not
   // mark it busy — the engine stamps busy_until with the completion tick.
@@ -63,6 +78,13 @@ class InterpreterPool {
   // Quarantine + re-plan: rebuild the replica from the pristine model and
   // the shared plan, and hold it out of rotation until `until`.
   void quarantine(int idx, Tick until);
+
+  // Re-image: rebuild the replica from *another* variant's pristine model
+  // and shared plan — the OTA flash-rollback analog. The replica leaves its
+  // old variant's rotation entirely (instances_of drops) and serves the
+  // target variant after the cooldown. quarantine() is re-image onto the
+  // replica's own variant.
+  void reimage(int idx, int variant, Tick until);
 
   // True when every replica's live state matches its golden image (used by
   // tests/benches to prove quarantined instances recovered).

@@ -5,6 +5,7 @@
 // metric, byte metrics fail on any drift, r^2 metrics are lower-bounded.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 
 #include "bench_util.hpp"
@@ -104,6 +105,16 @@ TEST(RegressRules, ClassifiesByMetricName) {
             Rule::kThroughputLowerBound);
   EXPECT_EQ(tools::classify_metric("requests_per_sec"),
             Rule::kThroughputLowerBound);
+  // Rollout-gate rules (PR 7). Rollback latency and divergence/dispatch
+  // counts are virtual-time deterministic (exact); the promotion tick is a
+  // one-sided upper bound so faster promotions never fail the gate.
+  EXPECT_EQ(tools::classify_metric("rollback_latency_ticks"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("clean_shadow_divergence_count"),
+            Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("poisoned_post_abort_dispatch_count"),
+            Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("clean_promotion_tick"),
+            Rule::kPromotionUpperBound);
 }
 
 std::string report_doc(const std::string& metrics) {
@@ -214,6 +225,57 @@ TEST(RegressGate, ThroughputIsLowerBoundedOnly) {
   EXPECT_FALSE(
       diff(R"("streams_per_min": 1e6)", R"("streams_per_min": 8.5e5)", strict)
           .ok());
+}
+
+TEST(RegressGate, PromotionTickIsUpperBoundedWithZeroDefaultSlack) {
+  // Promoting earlier than baseline is an improvement and always passes;
+  // even one extra tick fails with the default zero slack.
+  EXPECT_TRUE(diff(R"("clean_promotion_tick": 80)",
+                   R"("clean_promotion_tick": 72)")
+                  .ok());
+  EXPECT_TRUE(diff(R"("clean_promotion_tick": 80)",
+                   R"("clean_promotion_tick": 80)")
+                  .ok());
+  const RegressResult r =
+      diff(R"("clean_promotion_tick": 80)", R"("clean_promotion_tick": 81)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kPromotionUpperBound);
+  RegressConfig loose;
+  loose.promotion_slack = 8.0;
+  EXPECT_TRUE(diff(R"("clean_promotion_tick": 80)",
+                   R"("clean_promotion_tick": 86)", loose)
+                  .ok());
+}
+
+TEST(ChaosSpec, ParsesWellFormedSpecs) {
+  const bench::ChaosOptions a = bench::parse_chaos_spec("7:0.05");
+  EXPECT_TRUE(a.enabled);
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_DOUBLE_EQ(a.rate, 0.05);
+  EXPECT_DOUBLE_EQ(bench::parse_chaos_spec("0:0").rate, 0.0);
+  EXPECT_DOUBLE_EQ(bench::parse_chaos_spec("123456789:1.0").rate, 1.0);
+}
+
+TEST(ChaosSpec, RejectsMalformedSpecs) {
+  // Each of these used to either throw an unhelpful std::stoull/std::stod
+  // exception or silently parse to something the invoker did not ask for.
+  EXPECT_THROW(bench::parse_chaos_spec(""), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec(":0.5"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7:"), std::invalid_argument);
+  // Negative seed: stoull would silently wrap -1 to 2^64-1.
+  EXPECT_THROW(bench::parse_chaos_spec("-1:0.5"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("abc:0.5"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7x:0.5"), std::invalid_argument);
+  // Rate: non-numeric, trailing garbage, out of range, or non-finite (NaN
+  // compares false against both bounds, so it used to slip through).
+  EXPECT_THROW(bench::parse_chaos_spec("7:abc"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7:0.5x"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7:-0.1"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7:1.5"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7:nan"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7:inf"), std::invalid_argument);
+  EXPECT_THROW(bench::parse_chaos_spec("7: 0.5"), std::invalid_argument);
 }
 
 TEST(RegressGate, MissingAndStructuralCasesFail) {

@@ -1,0 +1,490 @@
+// Staged-rollout suite (ctest label "rollout"): version-registry CRC
+// provenance, the shadow -> canary -> ramp -> complete state machine, every
+// guard's automatic rollback path, thread invariance of the whole lifecycle,
+// and the InterpreterPool shared-plan rebuild invariants the rollback relies
+// on (a re-imaged replica is bit-identical to a freshly planned one).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "models/backbones.hpp"
+#include "parallel/pool.hpp"
+#include "reliability/fault_injector.hpp"
+#include "rollout/controller.hpp"
+#include "runtime/converter.hpp"
+#include "serve/engine.hpp"
+#include "tensor/rng.hpp"
+
+using namespace mn;
+
+namespace {
+
+rt::ModelDef tiny_model(uint64_t seed = 1) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{12, 8, 1};
+  cfg.num_classes = 4;
+  cfg.stem_channels = 8;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  cfg.blocks = {{8, 1}};
+  models::BuildOptions opt;
+  opt.seed = seed;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  Rng rng(seed + 1);
+  TensorF batch(Shape{2, 12, 8, 1});
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  const rt::RangeMap ranges = rt::calibrate_ranges(g, batch);
+  rt::ConvertOptions co;
+  co.name = "rollout_tiny";
+  return rt::convert(g, co, &ranges);
+}
+
+std::vector<TensorF> clean_inputs(int n, uint64_t seed = 9) {
+  Rng rng(seed);
+  std::vector<TensorF> v;
+  for (int i = 0; i < n; ++i) {
+    TensorF t(Shape{12, 8, 1});
+    for (int64_t k = 0; k < t.size(); ++k)
+      t[k] = static_cast<float>(rng.normal(0.0, 0.5));
+    v.push_back(std::move(t));
+  }
+  return v;
+}
+
+rollout::RolloutConfig quick_config(bool with_golden = true) {
+  rollout::RolloutConfig rc;
+  rc.shadow_ticks = 16;
+  rc.golden_period_ticks = with_golden ? 4 : 0;
+  rc.canary_pct = 25;
+  rc.canary_ticks = 16;
+  rc.ramp_pcts = {50, 100};
+  rc.ramp_step_ticks = 8;
+  if (with_golden) rc.golden_inputs = clean_inputs(2, 77);
+  return rc;
+}
+
+constexpr int kFleet = 4;
+
+// Deploys version 0 as the incumbent and registers a small fleet on it.
+int deploy_fleet(serve::ServingEngine& eng, rollout::RolloutController& ctl,
+                 rollout::VersionRegistry& reg, uint64_t seed = 1) {
+  const auto v0 = reg.add_version("v0", tiny_model(seed), /*service_ticks=*/2,
+                                  /*instances=*/4);
+  EXPECT_TRUE(v0.ok());
+  const int incumbent = ctl.deploy_initial(v0.value());
+  for (int t = 0; t < kFleet; ++t) {
+    serve::TenantConfig tc;
+    tc.name = "dev" + std::to_string(t);
+    tc.deadline_ticks = 32;
+    eng.register_tenant_on(tc, incumbent, -1, clean_inputs(2, seed + 10 + t));
+  }
+  return incumbent;
+}
+
+// Submits per-tenant traffic, steps the engine, and ticks the controller.
+void pump(serve::ServingEngine& eng, rollout::RolloutController& ctl,
+          serve::Tick n, bool with_traffic = true) {
+  for (serve::Tick i = 0; i < n; ++i) {
+    if (with_traffic)
+      for (int t = 0; t < kFleet; ++t)
+        if ((eng.now() + t) % 4 == 0) (void)eng.submit(t);
+    eng.step();
+    ctl.tick();
+  }
+}
+
+void pump_to_terminal(serve::ServingEngine& eng,
+                      rollout::RolloutController& ctl, serve::Tick budget,
+                      bool with_traffic = true) {
+  for (serve::Tick i = 0; i < budget; ++i) {
+    if (ctl.stage() == rollout::Stage::kComplete ||
+        ctl.stage() == rollout::Stage::kAborted)
+      return;
+    pump(eng, ctl, 1, with_traffic);
+  }
+}
+
+}  // namespace
+
+// --- version registry --------------------------------------------------------
+
+TEST(VersionRegistry, ManifestCrcRejectsCorruptDownload) {
+  rollout::VersionRegistry reg;
+  rt::ModelDef m = tiny_model();
+  const uint32_t crc = m.image_crc();
+
+  const auto bad = reg.add_version("v", m, 2, 1, crc ^ 1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), rt::ErrorCode::kCrcMismatch);
+  EXPECT_EQ(reg.num_versions(), 0);
+
+  const auto good = reg.add_version("v", m, 2, 1, crc);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(reg.version(good.value()).manifest_crc, crc);
+}
+
+TEST(VersionRegistry, VerifyCatchesStagedImageDrift) {
+  rollout::VersionRegistry reg;
+  const int id = reg.add_version("v", tiny_model(), 2, 1).value();
+  EXPECT_FALSE(reg.verify(id).has_value());
+
+  // Flash aging on the staged artifact: one flipped bit must be caught.
+  reliability::FaultInjector::flip_bits_once(
+      3, reg.mutable_image(id).weights_blob, 1);
+  const auto err = reg.verify(id);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->code, rt::ErrorCode::kCrcMismatch);
+}
+
+// --- clean rollout -----------------------------------------------------------
+
+TEST(Rollout, CleanRolloutProgressesToComplete) {
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  rollout::RolloutController ctl(eng, reg, quick_config());
+  const int incumbent = deploy_fleet(eng, ctl, reg);
+  pump(eng, ctl, 16);
+
+  // Bit-identical candidate: the safe-update case.
+  const int v1 = reg.add_version("v1", tiny_model(1), 2, 2).value();
+  const auto begun = ctl.begin(v1);
+  ASSERT_TRUE(begun.ok());
+  const int candidate = begun.value();
+  EXPECT_EQ(ctl.stage(), rollout::Stage::kShadow);
+  EXPECT_NE(candidate, incumbent);
+
+  pump_to_terminal(eng, ctl, 512);
+  ASSERT_EQ(ctl.stage(), rollout::Stage::kComplete);
+  EXPECT_GE(ctl.completion_tick(), 0);
+  EXPECT_EQ(reg.active(), v1);
+  EXPECT_EQ(ctl.active_variant(), candidate);
+
+  // The whole fleet converged onto the candidate, the shadow stage really
+  // mirrored traffic, and nothing diverged.
+  for (int t = 0; t < kFleet; ++t)
+    EXPECT_EQ(eng.primary_variant(t), candidate);
+  EXPECT_GT(eng.stats().shadow_invokes, 0);
+  EXPECT_EQ(eng.stats().shadow_divergences, 0);
+  EXPECT_GT(ctl.stats().golden_checks, 0);
+  EXPECT_EQ(ctl.stats().golden_mismatches, 0);
+  EXPECT_GE(ctl.stats().promotions, 4);  // shadow, canary, 2 ramp steps
+
+  EXPECT_GT(eng.drain(2048), 0);
+  EXPECT_TRUE(eng.pool().all_healthy());
+  EXPECT_EQ(eng.stats().admitted, eng.stats().completed());
+}
+
+TEST(Rollout, CanaryCohortIsDeterministicAndGrowsMonotonically) {
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  rollout::RolloutConfig rc = quick_config();
+  rollout::RolloutController ctl(eng, reg, rc);
+  const int incumbent = deploy_fleet(eng, ctl, reg);
+  const int v1 = reg.add_version("v1", tiny_model(1), 2, 2).value();
+  const int candidate = ctl.begin(v1).value();
+
+  pump_to_terminal(eng, ctl, 512);
+  ASSERT_EQ(ctl.stage(), rollout::Stage::kComplete);
+
+  // Replay the same fleet: the cohort trajectory must be identical (the
+  // assignment is a pure hash of (seed, version, tenant)).
+  serve::ServingEngine eng2;
+  rollout::VersionRegistry reg2;
+  rollout::RolloutController ctl2(eng2, reg2, rc);
+  deploy_fleet(eng2, ctl2, reg2);
+  const int v1b = reg2.add_version("v1", tiny_model(1), 2, 2).value();
+  const int cand2 = ctl2.begin(v1b).value();
+  ASSERT_EQ(cand2, candidate);
+
+  std::vector<int> on_candidate_first, on_candidate_second;
+  while (ctl2.stage() != rollout::Stage::kComplete &&
+         ctl2.stage() != rollout::Stage::kAborted) {
+    pump(eng2, ctl2, 1);
+    if (ctl2.stage() == rollout::Stage::kCanary &&
+        on_candidate_first.empty()) {
+      for (int t = 0; t < kFleet; ++t)
+        if (eng2.primary_variant(t) == candidate)
+          on_candidate_first.push_back(t);
+    }
+    if (ctl2.stage() == rollout::Stage::kRamp) {
+      on_candidate_second.clear();
+      for (int t = 0; t < kFleet; ++t)
+        if (eng2.primary_variant(t) == candidate)
+          on_candidate_second.push_back(t);
+    }
+  }
+  ASSERT_EQ(ctl2.stage(), rollout::Stage::kComplete);
+  // 25% of 4 tenants = 1 canary; the ramp cohort is a superset of it.
+  ASSERT_EQ(on_candidate_first.size(), 1u);
+  EXPECT_GE(on_candidate_second.size(), 2u);
+  for (int t : on_candidate_first)
+    EXPECT_NE(std::find(on_candidate_second.begin(), on_candidate_second.end(),
+                        t),
+              on_candidate_second.end());
+  EXPECT_EQ(ctl2.fingerprint(), ctl.fingerprint());
+  (void)incumbent;
+}
+
+// --- guard breaches ----------------------------------------------------------
+
+TEST(Rollout, ShadowDivergenceAbortsBeforeAnyRealTraffic) {
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  // No golden vectors: the only divergence signal is mirrored traffic, so
+  // the abort reason is unambiguous.
+  rollout::RolloutController ctl(eng, reg, quick_config(/*with_golden=*/false));
+  const int incumbent = deploy_fleet(eng, ctl, reg);
+  pump(eng, ctl, 16);
+
+  // A candidate with different weights: mirrored outputs diverge bit-wise.
+  const int v1 = reg.add_version("v1", tiny_model(99), 2, 2).value();
+  const int candidate = ctl.begin(v1).value();
+
+  pump_to_terminal(eng, ctl, 512);
+  ASSERT_EQ(ctl.stage(), rollout::Stage::kAborted);
+  const rollout::AbortReport& rep = ctl.abort_report();
+  EXPECT_EQ(rep.reason, rollout::AbortReason::kShadowDivergence);
+  EXPECT_EQ(rep.stage, rollout::Stage::kShadow);
+  EXPECT_GT(rep.shadow_divergences, 0);
+  EXPECT_EQ(rep.tenants_repinned, 0);  // shadow serves no real traffic
+  EXPECT_EQ(rep.replicas_reimaged, 2);
+
+  // The candidate never carried a request and no longer exists in the pool.
+  EXPECT_EQ(eng.variant_dispatches(candidate), 0);
+  EXPECT_EQ(eng.pool().instances_of(candidate), 0);
+  for (int t = 0; t < kFleet; ++t)
+    EXPECT_EQ(eng.primary_variant(t), incumbent);
+  EXPECT_EQ(reg.active(), 0);
+}
+
+TEST(Rollout, GoldenVectorMismatchAbortsWithoutTraffic) {
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  rollout::RolloutController ctl(eng, reg, quick_config());
+  deploy_fleet(eng, ctl, reg);
+
+  const int v1 = reg.add_version("v1", tiny_model(99), 2, 2).value();
+  ASSERT_TRUE(ctl.begin(v1).ok());
+  // No submits at all: only the golden replay can observe the divergence.
+  pump_to_terminal(eng, ctl, 512, /*with_traffic=*/false);
+  ASSERT_EQ(ctl.stage(), rollout::Stage::kAborted);
+  EXPECT_EQ(ctl.abort_report().reason, rollout::AbortReason::kGoldenMismatch);
+  EXPECT_GT(ctl.abort_report().golden_mismatches, 0);
+}
+
+TEST(Rollout, PoisonedCanaryAutoRollsBack) {
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  rollout::RolloutConfig rc = quick_config();
+  rollout::RolloutController ctl(eng, reg, rc);
+  const int incumbent = deploy_fleet(eng, ctl, reg);
+  pump(eng, ctl, 16);
+
+  const int v1 = reg.add_version("v1", tiny_model(1), 2, 2).value();
+  const serve::Tick begin_tick = eng.now();
+  const int candidate = ctl.begin(v1).value();
+
+  // Flip bits in the candidate's live replicas mid-canary. The per-invoke
+  // weights CRC turns the next cohort dispatch into an instance fault, the
+  // engine quarantines the replica, and the quarantine guard rolls back.
+  rollout::PoisonPlan plan;
+  plan.at_tick = begin_tick + rc.shadow_ticks + 6;
+  plan.flip_bits = 6;
+  plan.seed = 0xBAD;
+  ctl.schedule_poison(plan);
+
+  pump_to_terminal(eng, ctl, 512);
+  ASSERT_EQ(ctl.stage(), rollout::Stage::kAborted);
+  const rollout::AbortReport& rep = ctl.abort_report();
+  EXPECT_EQ(rep.reason, rollout::AbortReason::kCandidateQuarantine);
+  EXPECT_EQ(rep.stage, rollout::Stage::kCanary);
+  EXPECT_GT(rep.at_tick, plan.at_tick);
+  EXPECT_GT(rep.candidate_quarantines, 0);
+  EXPECT_EQ(rep.tenants_repinned, 1);  // the 25% canary cohort
+  EXPECT_EQ(rep.replicas_reimaged, 2);
+  EXPECT_EQ(rep.version, v1);
+
+  // Post-detection containment: the poisoned version has no replicas left,
+  // receives zero further dispatches, and the fleet serves on healthily.
+  const int64_t dispatches_at_abort = eng.variant_dispatches(candidate);
+  EXPECT_EQ(eng.pool().instances_of(candidate), 0);
+  for (int t = 0; t < kFleet; ++t)
+    EXPECT_EQ(eng.primary_variant(t), incumbent);
+  pump(eng, ctl, 64);
+  EXPECT_GT(eng.drain(2048), 0);
+  EXPECT_EQ(eng.variant_dispatches(candidate), dispatches_at_abort);
+  EXPECT_TRUE(eng.pool().all_healthy());
+  EXPECT_EQ(reg.active(), 0);
+  EXPECT_EQ(eng.stats().admitted, eng.stats().completed());
+}
+
+TEST(Rollout, PoisonedStagedImageFailsProvenanceAtPromotion) {
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  rollout::RolloutConfig rc = quick_config();
+  rollout::RolloutController ctl(eng, reg, rc);
+  deploy_fleet(eng, ctl, reg);
+  pump(eng, ctl, 16);
+
+  const int v1 = reg.add_version("v1", tiny_model(1), 2, 2).value();
+  const serve::Tick begin_tick = eng.now();
+  ASSERT_TRUE(ctl.begin(v1).ok());
+
+  // Corrupt the *staged artifact* mid-shadow. Live replicas (copied at
+  // begin) stay clean, so only the promotion-boundary provenance re-check
+  // can catch it — before any device would be flashed from the bad image.
+  rollout::PoisonPlan plan;
+  plan.at_tick = begin_tick + rc.shadow_ticks / 2;
+  plan.target_staged_image = true;
+  ctl.schedule_poison(plan);
+
+  pump_to_terminal(eng, ctl, 512);
+  ASSERT_EQ(ctl.stage(), rollout::Stage::kAborted);
+  EXPECT_EQ(ctl.abort_report().reason, rollout::AbortReason::kProvenance);
+  EXPECT_EQ(ctl.abort_report().stage, rollout::Stage::kShadow);
+  EXPECT_EQ(reg.active(), 0);
+  EXPECT_EQ(eng.stats().shadow_divergences, 0);  // image clean when mirrored
+}
+
+TEST(Rollout, ProvenanceFailureAtBeginNeverStagesTheImage) {
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  rollout::RolloutController ctl(eng, reg, quick_config());
+  deploy_fleet(eng, ctl, reg);
+
+  const int v1 = reg.add_version("v1", tiny_model(1), 2, 2).value();
+  reliability::FaultInjector::flip_bits_once(
+      5, reg.mutable_image(v1).weights_blob, 1);
+
+  const int variants_before = eng.pool().num_variants();
+  const auto begun = ctl.begin(v1);
+  ASSERT_FALSE(begun.ok());
+  EXPECT_EQ(begun.code(), rt::ErrorCode::kCrcMismatch);
+  EXPECT_EQ(ctl.stage(), rollout::Stage::kAborted);
+  EXPECT_EQ(ctl.abort_report().reason, rollout::AbortReason::kProvenance);
+  // The poisoned image never reached the pool.
+  EXPECT_EQ(eng.pool().num_variants(), variants_before);
+  EXPECT_EQ(reg.active(), 0);
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(Rollout, PoisonedLifecycleIsThreadInvariant) {
+  uint64_t first_fp = 0;
+  serve::Tick first_abort = -1;
+  int64_t first_dispatches = -1;
+  for (int threads : {1, 2, 8}) {
+    parallel::set_threads(threads);
+    serve::ServingEngine eng;
+    rollout::VersionRegistry reg;
+    rollout::RolloutConfig rc = quick_config();
+    rollout::RolloutController ctl(eng, reg, rc);
+    deploy_fleet(eng, ctl, reg);
+    pump(eng, ctl, 16);
+    const int v1 = reg.add_version("v1", tiny_model(1), 2, 2).value();
+    const serve::Tick begin_tick = eng.now();
+    const int candidate = ctl.begin(v1).value();
+    rollout::PoisonPlan plan;
+    plan.at_tick = begin_tick + rc.shadow_ticks + 6;
+    plan.flip_bits = 6;
+    plan.seed = 0xBAD;
+    ctl.schedule_poison(plan);
+    pump_to_terminal(eng, ctl, 512);
+    EXPECT_EQ(ctl.stage(), rollout::Stage::kAborted) << threads;
+    eng.drain(2048);
+    if (threads == 1) {
+      first_fp = ctl.fingerprint();
+      first_abort = ctl.abort_tick();
+      first_dispatches = eng.variant_dispatches(candidate);
+    } else {
+      EXPECT_EQ(ctl.fingerprint(), first_fp) << threads;
+      EXPECT_EQ(ctl.abort_tick(), first_abort) << threads;
+      EXPECT_EQ(eng.variant_dispatches(candidate), first_dispatches)
+          << threads;
+    }
+  }
+  parallel::set_threads(0);
+}
+
+// --- pool shared-plan invariants (the machinery rollback relies on) ----------
+
+TEST(InterpreterPool, QuarantineRebuildIsBitIdenticalToFreshReplica) {
+  serve::InterpreterPool pool;
+  serve::VariantSpec spec;
+  spec.model = tiny_model(1);
+  spec.service_ticks = 2;
+  spec.instances = 2;
+  const int v = pool.add_variant(std::move(spec));
+  const TensorF in = clean_inputs(1)[0];
+
+  const auto golden = pool.interp(0).try_invoke(in);
+  ASSERT_TRUE(golden.ok());
+
+  // Poison replica 0's live weights: detected, quarantined, rebuilt.
+  pool.interp(0).mutable_weights()[0] ^= 0xFF;
+  ASSERT_TRUE(pool.health_check(0).has_value());
+  const auto poisoned = pool.interp(0).try_invoke(in);
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.error().code, rt::ErrorCode::kCrcMismatch);
+
+  pool.quarantine(0, /*until=*/5);
+  EXPECT_EQ(pool.instance(0).rebuilds, 1);
+  EXPECT_EQ(pool.instance(0).busy_until, 5);
+  EXPECT_FALSE(pool.health_check(0).has_value());
+
+  // The rebuilt replica and a freshly planned standalone replica serve
+  // outputs bit-identical to the pre-poison golden.
+  const auto rebuilt = pool.interp(0).try_invoke(in);
+  ASSERT_TRUE(rebuilt.ok());
+  auto fresh = pool.make_replica(v);
+  const auto fresh_out = fresh->try_invoke(in);
+  ASSERT_TRUE(fresh_out.ok());
+  ASSERT_EQ(rebuilt.value().size(), golden.value().size());
+  for (int64_t i = 0; i < golden.value().size(); ++i) {
+    EXPECT_EQ(rebuilt.value()[i], golden.value()[i]) << i;
+    EXPECT_EQ(fresh_out.value()[i], golden.value()[i]) << i;
+  }
+}
+
+TEST(InterpreterPool, ReimageMovesReplicaAcrossVariants) {
+  serve::InterpreterPool pool;
+  serve::VariantSpec a;
+  a.model = tiny_model(1);
+  a.service_ticks = 2;
+  a.instances = 2;
+  serve::VariantSpec b;
+  b.model = tiny_model(2);
+  b.service_ticks = 2;
+  b.instances = 1;
+  const int va = pool.add_variant(std::move(a));
+  const int vb = pool.add_variant(std::move(b));
+  ASSERT_EQ(pool.instances_of(va), 2);
+  ASSERT_EQ(pool.instances_of(vb), 1);
+
+  // Re-image one of a's replicas onto b (the rollback primitive).
+  pool.reimage(0, vb, /*until=*/3);
+  EXPECT_EQ(pool.instances_of(va), 1);
+  EXPECT_EQ(pool.instances_of(vb), 2);
+  EXPECT_EQ(pool.instance(0).variant, vb);
+  EXPECT_EQ(pool.instance(0).rebuilds, 1);
+  EXPECT_EQ(pool.instance(0).busy_until, 3);
+  EXPECT_FALSE(pool.health_check(0).has_value());
+  // acquire() respects the cooldown, then hands the replica out as b.
+  EXPECT_EQ(pool.acquire(vb, /*now=*/0), 2);
+  EXPECT_EQ(pool.acquire(vb, /*now=*/3), 0);
+
+  // The moved replica serves b's outputs, bit-identical to a fresh b.
+  const TensorF in = clean_inputs(1)[0];
+  const auto moved = pool.interp(0).try_invoke(in);
+  auto fresh = pool.make_replica(vb);
+  const auto expect = fresh->try_invoke(in);
+  ASSERT_TRUE(moved.ok());
+  ASSERT_TRUE(expect.ok());
+  ASSERT_EQ(moved.value().size(), expect.value().size());
+  for (int64_t i = 0; i < expect.value().size(); ++i)
+    EXPECT_EQ(moved.value()[i], expect.value()[i]) << i;
+}

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "models/backbones.hpp"
@@ -74,6 +76,25 @@ serve::VariantSpec make_variant(serve::Tick service_ticks, int instances,
 }
 
 }  // namespace
+
+// --- outcome taxonomy --------------------------------------------------------
+
+TEST(ServeOutcome, EveryDispositionHasAUniqueName) {
+  // outcome_name() static_asserts its switch against Outcome::kOutcomeCount,
+  // so a new enumerator without a name fails to compile. This guards the
+  // runtime half of that contract: every real disposition maps to a distinct
+  // non-"unknown" string (bench metrics and logs key on these names), and
+  // the sentinel itself is not a nameable disposition.
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(serve::Outcome::kOutcomeCount); ++i) {
+    const char* name = serve::outcome_name(static_cast<serve::Outcome>(i));
+    EXPECT_STRNE(name, "unknown") << "enumerator " << i;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<size_t>(serve::Outcome::kOutcomeCount));
+  EXPECT_STREQ(serve::outcome_name(serve::Outcome::kOutcomeCount), "unknown");
+}
 
 // --- admission control -------------------------------------------------------
 

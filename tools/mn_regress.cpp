@@ -2,7 +2,7 @@
 //
 // Usage:
 //   mn_regress [--rel-tol F] [--r2-drop F] [--tail-headroom F]
-//              [--shed-slack F] [--throughput-drop F]
+//              [--shed-slack F] [--throughput-drop F] [--promotion-slack F]
 //              BASELINE CURRENT [BASELINE CURRENT]...
 //
 // Each (BASELINE, CURRENT) pair is a committed bench/baselines/BENCH_*.json
@@ -38,6 +38,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: mn_regress [--rel-tol F] [--r2-drop F] "
                "[--tail-headroom F] [--shed-slack F] [--throughput-drop F] "
+               "[--promotion-slack F] "
                "BASELINE CURRENT [BASELINE CURRENT]...\n");
   return 2;
 }
@@ -58,6 +59,8 @@ int main(int argc, char** argv) {
       cfg.shed_slack = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--throughput-drop") == 0 && i + 1 < argc) {
       cfg.throughput_drop = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--promotion-slack") == 0 && i + 1 < argc) {
+      cfg.promotion_slack = std::stod(argv[++i]);
     } else if (argv[i][0] == '-') {
       return usage();
     } else {

@@ -44,6 +44,11 @@ struct RegressConfig {
   double tail_headroom = 1.0;
   double shed_slack = 0.02;
   double throughput_drop = 0.60;
+  // Rollout-gate rule: a "promotion_tick" metric (the virtual tick a staged
+  // rollout completed at) may not grow past baseline + promotion_slack. The
+  // quantity is deterministic, so the default slack is zero — a rollout that
+  // takes even one extra tick to promote is a scheduling change worth seeing.
+  double promotion_slack = 0.0;
 };
 
 enum class Rule {
@@ -53,6 +58,7 @@ enum class Rule {
   kTailUpperBound,
   kShedUpperBound,
   kThroughputLowerBound,
+  kPromotionUpperBound,
   kStringEqual,
 };
 
@@ -64,6 +70,7 @@ inline const char* rule_name(Rule r) {
     case Rule::kTailUpperBound: return "tail-upper-bound";
     case Rule::kShedUpperBound: return "shed-upper-bound";
     case Rule::kThroughputLowerBound: return "throughput-lower";
+    case Rule::kPromotionUpperBound: return "promotion-upper";
     case Rule::kStringEqual: return "string";
   }
   return "?";
@@ -79,6 +86,10 @@ inline bool contains(const std::string& s, const char* sub) {
 // to a bench automatically gates it with sensible semantics.
 inline Rule classify_metric(const std::string& name) {
   if (contains(name, "r2")) return Rule::kR2LowerBound;
+  // Checked before the exact markers so a singular "..._promotion_tick" can
+  // never be swallowed by a plural marker: a rollout may promote *earlier*
+  // than baseline (an improvement), but never later.
+  if (contains(name, "promotion_tick")) return Rule::kPromotionUpperBound;
   static const char* kExactMarkers[] = {
       "bytes", "flash", "sram", "arena",  "samples", "invokes",
       "layers", "models", "count", "pareto", "size", "epochs",
@@ -182,6 +193,12 @@ inline MetricCheck check_metric(const std::string& name, const JsonValue& base,
       if (!c.pass)
         c.detail = "throughput fell below baseline x " +
                    num_str(1.0 - cfg.throughput_drop);
+      break;
+    case Rule::kPromotionUpperBound:
+      c.pass = v <= b + cfg.promotion_slack;
+      if (!c.pass)
+        c.detail =
+            "promotion tick grew past baseline + " + num_str(cfg.promotion_slack);
       break;
     case Rule::kRelative: {
       const double denom = std::fabs(b) > 0 ? std::fabs(b) : 1.0;
