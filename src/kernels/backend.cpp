@@ -1,0 +1,57 @@
+#include "kernels/backend.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mn::kernels {
+
+const char* backend_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kReference: return "reference";
+    case BackendKind::kFast: return "fast";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend_name(std::string_view name) {
+  if (name == "reference") return BackendKind::kReference;
+  if (name == "fast") return BackendKind::kFast;
+  return std::nullopt;
+}
+
+BackendKind backend_from_env() {
+  const char* env = std::getenv("MN_BACKEND");
+  if (env == nullptr || env[0] == '\0') return BackendKind::kReference;
+  if (auto k = parse_backend_name(env)) return *k;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "MN_BACKEND=%s is not a kernel backend (expected "
+                 "\"reference\" or \"fast\"); using reference\n",
+                 env);
+  }
+  return BackendKind::kReference;
+}
+
+PackedOpWeights pack_rows_s8(std::span<const int8_t> weights, int64_t num_rows,
+                             int64_t row_len) {
+  PackedOpWeights p;
+  p.row_len = row_len;
+  p.row_stride = (row_len + kPackAlign - 1) / kPackAlign * kPackAlign;
+  p.num_rows = static_cast<int32_t>(num_rows);
+  p.rows.assign(static_cast<size_t>(num_rows * p.row_stride), 0);
+  p.sum_w.assign(static_cast<size_t>(num_rows), 0);
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const int8_t* src = weights.data() + r * row_len;
+    std::memcpy(p.rows.data() + r * p.row_stride, src,
+                static_cast<size_t>(row_len));
+    int32_t s = 0;
+    for (int64_t k = 0; k < row_len; ++k) s += src[k];
+    p.sum_w[static_cast<size_t>(r)] = s;
+  }
+  return p;
+}
+
+}  // namespace mn::kernels

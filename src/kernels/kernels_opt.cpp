@@ -25,6 +25,10 @@ void conv2d_s8_im2col(std::span<const int8_t> input,
   const int64_t ksize = conv2d_scratch_bytes(g);
   if (static_cast<int64_t>(scratch.size()) < ksize)
     throw std::invalid_argument("conv2d_s8_im2col: scratch too small");
+  if (static_cast<int64_t>(input.size()) < g.input_elements() ||
+      static_cast<int64_t>(weights.size()) < int64_t{g.out_ch} * ksize ||
+      static_cast<int64_t>(output.size()) < g.output_elements())
+    throw std::invalid_argument("conv2d_s8_im2col: buffer too small");
   obs::counter_add(obs::Counter::kKernelMacs, g.macs(/*depthwise=*/false));
   obs::counter_add(obs::Counter::kKernelBytesRead,
                    g.input_elements() + int64_t{g.out_ch} * ksize);

@@ -29,6 +29,8 @@ const char* counter_name(Counter c) {
     case Counter::kServeRetries: return "serve_retries";
     case Counter::kServeQuarantines: return "serve_quarantines";
     case Counter::kServeDegraded: return "serve_degraded";
+    case Counter::kBackendFastOps: return "backend_fast_ops";
+    case Counter::kBackendReferenceOps: return "backend_reference_ops";
     case Counter::kCount: break;
   }
   return "unknown_counter";

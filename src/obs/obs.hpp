@@ -46,6 +46,8 @@ enum class Counter : uint32_t {
   kServeRetries,         // transient-failure re-executions scheduled
   kServeQuarantines,     // interpreter instances quarantined + re-planned
   kServeDegraded,        // invokes routed to a tenant's fallback variant
+  kBackendFastOps,       // ops dispatched to a fast-backend kernel
+  kBackendReferenceOps,  // ops run on the reference path (incl. fallbacks)
   kCount
 };
 

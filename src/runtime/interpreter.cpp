@@ -32,12 +32,54 @@ void activation_range(Activation act, const quant::QuantParams& out_qp, int bits
 
 namespace {
 constexpr uint8_t kCanaryByte = 0xA5;
+
+// Claim predicate for the fast backend: int8 conv2d / fully-connected with a
+// constant int8 weight tensor (panels are packed once at load time, so
+// mutable weights cannot be claimed). Everything else falls back.
+bool fast_claims(const ModelDef& m, const OpDef& op) {
+  if (op.type != OpType::kConv2D && op.type != OpType::kFullyConnected)
+    return false;
+  const TensorDef& in = m.tensors[static_cast<size_t>(op.inputs[0])];
+  const TensorDef& w = m.tensors[static_cast<size_t>(op.inputs[1])];
+  const TensorDef& out = m.tensors[static_cast<size_t>(op.output)];
+  return in.bits == 8 && w.bits == 8 && out.bits == 8 && w.is_const;
+}
+
+}  // namespace
+
+std::shared_ptr<const PackedModel> pack_model_weights(
+    const ModelDef& model, kernels::BackendConfig config) {
+  auto pm = std::make_shared<PackedModel>();
+  pm->kind = config.kind;
+  pm->per_op.assign(model.ops.size(), nullptr);
+  if (config.kind == kernels::BackendKind::kReference) return pm;
+  for (size_t i = 0; i < model.ops.size(); ++i) {
+    const OpDef& op = model.ops[i];
+    if (!fast_claims(model, op)) continue;
+    const TensorDef& w = model.tensors[static_cast<size_t>(op.inputs[1])];
+    const std::span<const int8_t> w_bytes{
+        reinterpret_cast<const int8_t*>(model.weights_blob.data() +
+                                        w.blob_offset),
+        static_cast<size_t>(w.storage_bytes())};
+    // Conv weights: [out_ch][kh][kw][in_ch]; FC weights: [out][in]. Both are
+    // row-major with one row per output channel/feature.
+    const int64_t rows = w.shape.dim(0);
+    const int64_t row_len = w.elements() / rows;
+    pm->per_op[i] = std::make_shared<const kernels::PackedOpWeights>(
+        kernels::pack_rows_s8(w_bytes, rows, row_len));
+  }
+  return pm;
 }
 
 Interpreter::Interpreter(ModelDef model) : Interpreter(std::move(model), {}) {}
 
 Interpreter::Interpreter(ModelDef model, MemoryPlan plan)
-    : model_(std::move(model)) {
+    : Interpreter(std::move(model), std::move(plan), kernels::BackendConfig{}) {}
+
+Interpreter::Interpreter(ModelDef model, MemoryPlan plan,
+                         kernels::BackendConfig config,
+                         std::shared_ptr<const PackedModel> packed)
+    : model_(std::move(model)), backend_(config) {
   model_.validate();
   if (plan.allocations.empty() && plan.arena_bytes == 0) {
     plan_ = plan_memory(model_);
@@ -58,11 +100,31 @@ Interpreter::Interpreter(ModelDef model, MemoryPlan plan)
   arena_.assign(static_cast<size_t>(plan_.arena_bytes + 2 * kArenaGuardBytes), 0);
   fill_guards();
   prepare();
-  // Shared IM2COL scratch for the optimized conv path.
+  // Backend resolution: pack weight panels (or adopt the shared set), then
+  // record per-op which backend actually serves each op — claimed ops run on
+  // the requested backend, the rest fall back to reference.
+  if (packed == nullptr) {
+    packed_ = pack_model_weights(model_, backend_);
+  } else {
+    if (packed->kind != backend_.kind ||
+        packed->per_op.size() != model_.ops.size())
+      throw std::runtime_error(
+          "Interpreter: shared PackedModel does not match the backend config");
+    packed_ = std::move(packed);
+  }
+  op_backend_.assign(model_.ops.size(), kernels::BackendKind::kReference);
+  for (size_t i = 0; i < model_.ops.size(); ++i)
+    if (packed_->per_op[i] != nullptr) op_backend_[i] = backend_.kind;
+  // Shared conv scratch (CMSIS-NN analog), sized for whichever path each
+  // conv dispatches to: one im2col column (reference) or a pixel block of
+  // padded columns (fast).
   int64_t scratch = 0;
   for (size_t i = 0; i < model_.ops.size(); ++i)
     if (model_.ops[i].type == OpType::kConv2D)
-      scratch = std::max(scratch, kernels::conv2d_scratch_bytes(prepared_[i].conv));
+      scratch = std::max(scratch,
+                         op_backend_[i] == kernels::BackendKind::kFast
+                             ? kernels::conv2d_fast_scratch_bytes(prepared_[i].conv)
+                             : kernels::conv2d_scratch_bytes(prepared_[i].conv));
   scratch_.assign(static_cast<size_t>(scratch), 0);
   expected_weights_crc_ = model_.weights_crc();
   op_macs_.resize(model_.ops.size());
@@ -75,7 +137,10 @@ Interpreter::Interpreter(ModelDef model, MemoryPlan plan)
     const TensorDef& in =
         model_.tensors[static_cast<size_t>(model_.ops[i].inputs[0])];
     if (model_.ops[i].type == OpType::kConv2D && in.bits == 8)
-      op_scratch_bytes_[i] = kernels::conv2d_scratch_bytes(prepared_[i].conv);
+      op_scratch_bytes_[i] =
+          op_backend_[i] == kernels::BackendKind::kFast
+              ? kernels::conv2d_fast_scratch_bytes(prepared_[i].conv)
+              : kernels::conv2d_scratch_bytes(prepared_[i].conv);
   }
   obs::gauge_set_max(obs::Gauge::kArenaPeakBytes, plan_.arena_bytes);
   obs::gauge_set_max(obs::Gauge::kScratchPeakBytes,
@@ -242,6 +307,16 @@ void Interpreter::run_op(size_t i) {
   const int bits = in_t.bits;
   if (bits != 8 && bits != 4)
     throw std::runtime_error("Interpreter: unsupported activation bits");
+  const bool fast = op_backend_[i] == kernels::BackendKind::kFast;
+  obs::counter_add(fast ? obs::Counter::kBackendFastOps
+                        : obs::Counter::kBackendReferenceOps,
+                   1);
+  // Fast-served ops get a nested span so traces show which backend executed
+  // them; the reference path keeps its historical trace shape.
+  std::optional<obs::SpanScope> backend_span;
+  if (fast)
+    backend_span.emplace("backend_fast", obs::Cat::kKernel, "op",
+                         static_cast<int64_t>(i));
   auto in_b = tensor_bytes(op.inputs[0]);
   auto out_b = arena_span(op.output);
   switch (op.type) {
@@ -253,7 +328,10 @@ void Interpreter::run_op(size_t i) {
       std::span<const int32_t> bias;
       if (op.inputs.size() > 2 && op.inputs[2] >= 0)
         bias = as_s32(tensor_bytes(op.inputs[2]));
-      if (bits == 8)
+      if (fast)
+        kernels::conv2d_s8_fast(as_s8(in_b), *packed_->per_op[i], bias,
+                                as_s8(out_b), scratch_, p.conv, p.rq);
+      else if (bits == 8)
         kernels::conv2d_s8_im2col(as_s8(in_b), as_s8(w_b), bias, as_s8(out_b),
                                   scratch_, p.conv, p.rq);
       else
@@ -280,7 +358,10 @@ void Interpreter::run_op(size_t i) {
       std::span<const int32_t> bias;
       if (op.inputs.size() > 2 && op.inputs[2] >= 0)
         bias = as_s32(tensor_bytes(op.inputs[2]));
-      if (bits == 8)
+      if (fast)
+        kernels::fully_connected_s8_fast(as_s8(in_b), *packed_->per_op[i], bias,
+                                         as_s8(out_b), p.fc_in, p.fc_out, p.rq);
+      else if (bits == 8)
         kernels::fully_connected_s8(as_s8(in_b), as_s8(w_b), bias, as_s8(out_b),
                                     p.fc_in, p.fc_out, p.rq);
       else
@@ -432,6 +513,7 @@ ProfileReport Interpreter::profile_report() const {
     op.type = model_.ops[i].type;
     op.output_name =
         model_.tensors[static_cast<size_t>(model_.ops[i].output)].name;
+    op.backend = kernels::backend_name(op_backend_[i]);
     op.macs = op_macs_[i];
     op.invocations = profiled_invocations_;
     op.wall_ns = op_wall_ns_[i];

@@ -4,9 +4,11 @@
 // analog) that the paper uses to obtain SRAM numbers.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "kernels/kernels.hpp"
 #include "runtime/model.hpp"
 #include "runtime/planner.hpp"
@@ -36,10 +38,34 @@ struct MemoryReport {
   int64_t model_flash() const { return weights_bytes + graph_def_bytes; }
 };
 
+// Weight panels for every op a fast backend claims, packed once per model
+// (DESIGN.md §14). Immutable after construction and shared — an
+// InterpreterPool packs a variant's weights a single time and every replica
+// (including quarantine/reimage rebuilds) aliases the same panels, the same
+// way they share the MemoryPlan. Index-aligned with ModelDef::ops; ops the
+// backend does not claim hold nullptr.
+struct PackedModel {
+  kernels::BackendKind kind = kernels::BackendKind::kReference;
+  std::vector<std::shared_ptr<const kernels::PackedOpWeights>> per_op;
+
+  int64_t bytes() const {
+    int64_t b = 0;
+    for (const auto& p : per_op)
+      if (p) b += p->bytes();
+    return b;
+  }
+};
+
+// Packs the weights of every op `config.kind` claims (fast: int8 conv2d and
+// fully-connected). Returns an empty-per_op PackedModel for kReference.
+std::shared_ptr<const PackedModel> pack_model_weights(
+    const ModelDef& model, kernels::BackendConfig config);
+
 class Interpreter {
  public:
   // The interpreter stores a copy of the model ("flash contents") and
-  // allocates its arena up front (AllocateTensors analog).
+  // allocates its arena up front (AllocateTensors analog). The kernel
+  // backend resolves from MN_BACKEND (kernels::backend_from_env).
   explicit Interpreter(ModelDef model);
 
   // Pre-planned construction: reuses a MemoryPlan computed once per model so
@@ -47,6 +73,14 @@ class Interpreter {
   // time instead of once per replica. The plan must have been produced by
   // plan_memory() for an identical graph; a mismatched plan is rejected.
   Interpreter(ModelDef model, MemoryPlan plan);
+
+  // Full construction: explicit backend request and (optionally) pre-packed
+  // weight panels shared across instances. Ops the backend claims dispatch
+  // to its kernels; everything else falls back to reference per-op. A
+  // `packed` whose kind does not match `config` is rejected; pass nullptr to
+  // have the interpreter pack privately at construction.
+  Interpreter(ModelDef model, MemoryPlan plan, kernels::BackendConfig config,
+              std::shared_ptr<const PackedModel> packed = nullptr);
 
   // Float convenience path: quantizes the input with the model's input
   // tensor params, runs integer inference, dequantizes the output.
@@ -87,6 +121,21 @@ class Interpreter {
   const ModelDef& model() const { return model_; }
   const MemoryPlan& memory_plan() const { return plan_; }
   MemoryReport memory_report() const;
+
+  // --- backend introspection ----------------------------------------------
+  // The requested backend, the backend that actually serves each op after
+  // per-op claim-or-fall-back, and the shared packed panels (nullptr-free;
+  // reference configs get an empty PackedModel).
+  kernels::BackendKind backend() const { return backend_.kind; }
+  kernels::BackendKind op_backend(size_t op_index) const {
+    return op_backend_[op_index];
+  }
+  const std::vector<kernels::BackendKind>& op_backends() const {
+    return op_backend_;
+  }
+  const std::shared_ptr<const PackedModel>& packed_model() const {
+    return packed_;
+  }
 
   // Number of invocations served (used by examples/benches).
   int64_t invocation_count() const { return invocations_; }
@@ -132,6 +181,9 @@ class Interpreter {
 
   ModelDef model_;
   MemoryPlan plan_;
+  kernels::BackendConfig backend_;
+  std::shared_ptr<const PackedModel> packed_;
+  std::vector<kernels::BackendKind> op_backend_;
   std::vector<PreparedOp> prepared_;
   // Layout: [guard band | planned tensors (plan_.arena_bytes) | guard band].
   std::vector<uint8_t> arena_;

@@ -43,8 +43,8 @@ std::string ProfileReport::table() const {
   if (has_predictions())
     out += fmt(", predictions for %s @ %.0f MHz", device_name.c_str(), clock_mhz);
   out += "\n";
-  out += fmt("%-4s %-20s %-24s %12s %12s %12s %14s\n", "#", "op", "output",
-             "MACs", "host us", "pred us", "pred cycles");
+  out += fmt("%-4s %-20s %-24s %-10s %12s %12s %12s %14s\n", "#", "op",
+             "output", "backend", "MACs", "host us", "pred us", "pred cycles");
   for (size_t i = 0; i < ops.size(); ++i) {
     const OpProfile& op = ops[i];
     std::string pred_us = "-", pred_cyc = "-";
@@ -52,8 +52,8 @@ std::string ProfileReport::table() const {
       pred_us = fmt("%.1f", op.predicted_us());
       pred_cyc = fmt("%lld", static_cast<long long>(predicted_cycles(i)));
     }
-    out += fmt("%-4d %-20s %-24s %12lld %12.1f %12s %14s\n", op.op_index,
-               op_type_name(op.type), op.output_name.c_str(),
+    out += fmt("%-4d %-20s %-24s %-10s %12lld %12.1f %12s %14s\n", op.op_index,
+               op_type_name(op.type), op.output_name.c_str(), op.backend,
                static_cast<long long>(op.macs), op.measured_us(),
                pred_us.c_str(), pred_cyc.c_str());
   }

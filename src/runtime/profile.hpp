@@ -21,6 +21,7 @@ struct OpProfile {
   int op_index = 0;
   OpType type{};
   std::string output_name;   // output tensor name (layer identity)
+  const char* backend = "reference";  // kernel backend that served this op
   int64_t macs = 0;
   int64_t invocations = 0;   // profiled invokes this op participated in
   int64_t wall_ns = 0;       // accumulated host wall-clock across invokes

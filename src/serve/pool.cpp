@@ -15,6 +15,10 @@ int InterpreterPool::add_variant(VariantSpec spec) {
   v.pristine = std::move(spec.model);
   v.pristine.validate();
   v.plan = rt::plan_memory(v.pristine);  // planned once, shared by replicas
+  v.backend = spec.backend;
+  // Packed once like the plan: replicas alias the same immutable panels, so
+  // adding instances costs arena allocation, not re-packing.
+  v.packed = rt::pack_model_weights(v.pristine, v.backend);
   v.service_ticks = spec.service_ticks;
   v.weights_crc = v.pristine.weights_crc();
   const int id = static_cast<int>(variants_.size());
@@ -22,8 +26,8 @@ int InterpreterPool::add_variant(VariantSpec spec) {
   const Variant& stored = variants_.back();
   for (int i = 0; i < spec.instances; ++i) {
     Instance inst;
-    inst.interp =
-        std::make_unique<rt::Interpreter>(stored.pristine, stored.plan);
+    inst.interp = std::make_unique<rt::Interpreter>(
+        stored.pristine, stored.plan, stored.backend, stored.packed);
     inst.interp->set_verify_weights_each_invoke(true);
     inst.variant = id;
     instances_.push_back(std::move(inst));
@@ -62,7 +66,8 @@ int64_t InterpreterPool::variant_served(int variant) const {
 std::unique_ptr<rt::Interpreter> InterpreterPool::make_replica(
     int variant) const {
   const Variant& v = variants_[static_cast<size_t>(variant)];
-  auto interp = std::make_unique<rt::Interpreter>(v.pristine, v.plan);
+  auto interp =
+      std::make_unique<rt::Interpreter>(v.pristine, v.plan, v.backend, v.packed);
   interp->set_verify_weights_each_invoke(true);
   return interp;
 }
@@ -86,8 +91,10 @@ void InterpreterPool::reimage(int idx, int variant, Tick until) {
   Instance& inst = instances_[static_cast<size_t>(idx)];
   const Variant& v = variants_[static_cast<size_t>(variant)];
   // Re-plan: a fresh interpreter from the pristine model reuses the shared
-  // plan, so recovery costs one arena allocation, not a planner run.
-  inst.interp = std::make_unique<rt::Interpreter>(v.pristine, v.plan);
+  // plan and packed panels, so recovery costs one arena allocation — neither
+  // a planner run nor a re-pack.
+  inst.interp = std::make_unique<rt::Interpreter>(v.pristine, v.plan,
+                                                  v.backend, v.packed);
   inst.interp->set_verify_weights_each_invoke(true);
   inst.variant = variant;
   inst.busy_until = until;

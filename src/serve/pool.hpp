@@ -90,10 +90,19 @@ class InterpreterPool {
   // tests/benches to prove quarantined instances recovered).
   bool all_healthy() const;
 
+  // Kernel backend a variant's replicas execute on.
+  kernels::BackendKind variant_backend(int variant) const {
+    return variants_[static_cast<size_t>(variant)].backend.kind;
+  }
+
  private:
   struct Variant {
     rt::ModelDef pristine;
     rt::MemoryPlan plan;
+    // Packed once alongside the plan; every replica (incl. quarantine and
+    // reimage rebuilds) aliases the same immutable panels.
+    kernels::BackendConfig backend{};
+    std::shared_ptr<const rt::PackedModel> packed;
     Tick service_ticks = 1;
     uint32_t weights_crc = 0;
   };

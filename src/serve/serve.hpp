@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "runtime/model.hpp"
 
 namespace mn::serve {
@@ -64,6 +65,11 @@ struct VariantSpec {
   rt::ModelDef model;
   Tick service_ticks = 1;
   int instances = 1;
+  // Kernel backend the variant's replicas execute on (default: MN_BACKEND).
+  // Weight panels are packed once per variant and shared by every replica,
+  // including quarantine/reimage rebuilds — outputs are bit-identical either
+  // way, so fingerprints and golden vectors do not depend on this choice.
+  kernels::BackendConfig backend{};
 };
 
 struct TenantConfig {

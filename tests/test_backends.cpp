@@ -1,0 +1,587 @@
+// Kernel-backend suite (ctest label "backends"): the cross-backend
+// differential contract. The fast backend (packed panels + cache-blocked
+// SIMD GEMM) must produce BYTE-IDENTICAL outputs to the reference kernels
+// over randomized conv/depthwise/FC geometries — odd sizes, stride 2,
+// symmetric and asymmetric padding, per-channel requant, channel counts that
+// are not multiples of the pack/tile width — and at MN_THREADS 1/2/8. Plus:
+// registry/env-resolution semantics, panel-packing invariants, a seeded
+// >=500-case geometry fuzzer cross-checking ConvGeometry::macs() against a
+// per-output-pixel counting oracle, an asymmetric-padding golden vector
+// computed by an independent naive loop, and the interpreter/pool-facing
+// claim-or-fall-back behavior.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "kernels/backend.hpp"
+#include "kernels/kernels.hpp"
+#include "obs/obs.hpp"
+#include "parallel/pool.hpp"
+#include "runtime/converter.hpp"
+#include "runtime/interpreter.hpp"
+#include "models/backbones.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+using namespace mn;
+
+namespace {
+
+kernels::ConvGeometry make_geom(int32_t in_h, int32_t in_w, int32_t in_ch,
+                                int32_t out_ch, int32_t kh, int32_t kw,
+                                int32_t stride, int32_t pad_h, int32_t pad_w) {
+  kernels::ConvGeometry g;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.in_ch = in_ch;
+  g.out_ch = out_ch;
+  g.kh = kh;
+  g.kw = kw;
+  g.stride = stride;
+  g.pad_h = pad_h;
+  g.pad_w = pad_w;
+  g.out_h = (in_h + 2 * pad_h - kh) / stride + 1;
+  g.out_w = (in_w + 2 * pad_w - kw) / stride + 1;
+  return g;
+}
+
+kernels::RequantParams random_rq(Rng& rng, int32_t out_ch, bool per_channel) {
+  kernels::RequantParams rq;
+  rq.input_zp = static_cast<int32_t>(rng.uniform_int(-20, 20));
+  rq.output_zp = static_cast<int32_t>(rng.uniform_int(-20, 20));
+  if (per_channel) {
+    for (int32_t oc = 0; oc < out_ch; ++oc)
+      rq.per_channel.push_back(
+          quant::quantize_multiplier(0.002 + 0.01 * rng.uniform()));
+    // One deliberately different channel so a kernel that applies channel
+    // 0's multiplier everywhere cannot pass by luck.
+    rq.per_channel.back() = quant::quantize_multiplier(0.05);
+  } else {
+    rq.mult = quant::quantize_multiplier(0.002 + 0.01 * rng.uniform());
+  }
+  rq.act_min = -128;
+  rq.act_max = 127;
+  if (rng.uniform() < 0.5) rq.act_min = rq.output_zp;  // fused relu
+  return rq;
+}
+
+std::vector<int8_t> random_s8(Rng& rng, int64_t n) {
+  std::vector<int8_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  return v;
+}
+
+std::vector<int32_t> random_bias(Rng& rng, int64_t n) {
+  std::vector<int32_t> v(static_cast<size_t>(n));
+  for (auto& b : v) b = static_cast<int32_t>(rng.uniform_int(-8192, 8192));
+  return v;
+}
+
+// Runs conv2d_s8 (ground truth), conv2d_s8_im2col, and conv2d_s8_fast on the
+// same inputs and asserts all three agree on every byte.
+void check_conv_all_backends(const kernels::ConvGeometry& g,
+                             const kernels::RequantParams& rq, Rng& rng,
+                             bool with_bias) {
+  const auto x = random_s8(rng, g.input_elements());
+  const auto w = random_s8(rng, int64_t{g.out_ch} * g.kh * g.kw * g.in_ch);
+  std::vector<int32_t> bias;
+  if (with_bias) bias = random_bias(rng, g.out_ch);
+  std::vector<int8_t> y_ref(static_cast<size_t>(g.output_elements()));
+  std::vector<int8_t> y_im2col(y_ref.size());
+  std::vector<int8_t> y_fast(y_ref.size());
+  kernels::conv2d_s8(x, w, bias, y_ref, g, rq);
+  std::vector<int8_t> scratch(
+      static_cast<size_t>(kernels::conv2d_scratch_bytes(g)));
+  kernels::conv2d_s8_im2col(x, w, bias, y_im2col, scratch, g, rq);
+  const kernels::PackedOpWeights packed = kernels::pack_rows_s8(
+      w, g.out_ch, int64_t{g.kh} * g.kw * g.in_ch);
+  std::vector<int8_t> fast_scratch(
+      static_cast<size_t>(kernels::conv2d_fast_scratch_bytes(g)));
+  kernels::conv2d_s8_fast(x, packed, bias, y_fast, fast_scratch, g, rq);
+  ASSERT_EQ(y_im2col, y_ref) << "im2col diverged from reference";
+  ASSERT_EQ(y_fast, y_ref) << "fast backend diverged from reference";
+}
+
+}  // namespace
+
+// --- registry / env resolution ----------------------------------------------
+
+TEST(BackendRegistry, NamesRoundTrip) {
+  EXPECT_STREQ(kernels::backend_name(kernels::BackendKind::kReference),
+               "reference");
+  EXPECT_STREQ(kernels::backend_name(kernels::BackendKind::kFast), "fast");
+  EXPECT_EQ(kernels::parse_backend_name("reference"),
+            kernels::BackendKind::kReference);
+  EXPECT_EQ(kernels::parse_backend_name("fast"), kernels::BackendKind::kFast);
+  EXPECT_FALSE(kernels::parse_backend_name("turbo").has_value());
+  EXPECT_FALSE(kernels::parse_backend_name("").has_value());
+  EXPECT_FALSE(kernels::parse_backend_name("FAST").has_value());
+}
+
+TEST(BackendRegistry, EnvResolution) {
+  ::unsetenv("MN_BACKEND");
+  EXPECT_EQ(kernels::backend_from_env(), kernels::BackendKind::kReference);
+  ::setenv("MN_BACKEND", "", 1);
+  EXPECT_EQ(kernels::backend_from_env(), kernels::BackendKind::kReference);
+  ::setenv("MN_BACKEND", "fast", 1);
+  EXPECT_EQ(kernels::backend_from_env(), kernels::BackendKind::kFast);
+  ::setenv("MN_BACKEND", "not-a-backend", 1);
+  EXPECT_EQ(kernels::backend_from_env(), kernels::BackendKind::kReference);
+  ::unsetenv("MN_BACKEND");
+  // BackendConfig's default member initializer resolves from the env at
+  // construction time; the factories ignore the env entirely.
+  ::setenv("MN_BACKEND", "fast", 1);
+  EXPECT_EQ(kernels::BackendConfig{}.kind, kernels::BackendKind::kFast);
+  EXPECT_EQ(kernels::BackendConfig::reference().kind,
+            kernels::BackendKind::kReference);
+  ::unsetenv("MN_BACKEND");
+  EXPECT_EQ(kernels::BackendConfig{}.kind, kernels::BackendKind::kReference);
+  EXPECT_EQ(kernels::BackendConfig::fast().kind, kernels::BackendKind::kFast);
+}
+
+// --- panel packing -----------------------------------------------------------
+
+TEST(BackendPacking, RowsPadToAlignWithZeroTailsAndSums) {
+  Rng rng(7);
+  const int64_t rows = 5, row_len = 19;  // deliberately not a multiple of 16
+  const auto w = random_s8(rng, rows * row_len);
+  const kernels::PackedOpWeights p = kernels::pack_rows_s8(w, rows, row_len);
+  EXPECT_EQ(p.num_rows, rows);
+  EXPECT_EQ(p.row_len, row_len);
+  EXPECT_EQ(p.row_stride, 32);  // 19 rounded up to kPackAlign
+  EXPECT_EQ(p.row_stride % kernels::kPackAlign, 0);
+  ASSERT_EQ(static_cast<int64_t>(p.rows.size()), rows * p.row_stride);
+  for (int64_t r = 0; r < rows; ++r) {
+    int32_t sum = 0;
+    for (int64_t k = 0; k < row_len; ++k) {
+      EXPECT_EQ(p.rows[static_cast<size_t>(r * p.row_stride + k)],
+                w[static_cast<size_t>(r * row_len + k)]);
+      sum += w[static_cast<size_t>(r * row_len + k)];
+    }
+    EXPECT_EQ(p.sum_w[static_cast<size_t>(r)], sum);
+    for (int64_t k = row_len; k < p.row_stride; ++k)
+      EXPECT_EQ(p.rows[static_cast<size_t>(r * p.row_stride + k)], 0)
+          << "tail byte not zeroed";
+  }
+  EXPECT_EQ(p.bytes(),
+            static_cast<int64_t>(p.rows.size()) + 4 * rows);
+}
+
+TEST(BackendPacking, AlignedRowLenGetsNoPadding) {
+  Rng rng(8);
+  const auto w = random_s8(rng, 3 * 32);
+  const kernels::PackedOpWeights p = kernels::pack_rows_s8(w, 3, 32);
+  EXPECT_EQ(p.row_stride, 32);
+}
+
+// --- differential sweeps -----------------------------------------------------
+
+TEST(BackendDifferential, ConvGeometrySweep) {
+  // Odd sizes, stride 2, no/symmetric/asymmetric padding, 1x1 pointwise,
+  // non-square kernels, channel counts straddling the 16-byte pack width and
+  // the 8-pixel block width (out_w 5, 7, 8, 9, 13).
+  const struct {
+    int32_t in_h, in_w, in_ch, out_ch, kh, kw, stride, pad_h, pad_w;
+  } cases[] = {
+      {7, 7, 3, 5, 3, 3, 1, 1, 1},     {9, 13, 8, 16, 3, 3, 2, 1, 1},
+      {8, 8, 16, 16, 1, 1, 1, 0, 0},   {11, 5, 17, 9, 3, 3, 1, 1, 1},
+      {10, 10, 4, 12, 5, 5, 2, 2, 2},  {12, 9, 6, 10, 3, 5, 1, 1, 2},
+      {25, 5, 64, 64, 3, 3, 1, 1, 1},  {13, 13, 1, 8, 7, 7, 2, 3, 3},
+      {49, 10, 1, 8, 10, 4, 2, 4, 1},  {6, 21, 2, 3, 3, 1, 1, 1, 0},
+  };
+  uint64_t seed = 100;
+  for (const auto& c : cases) {
+    for (const bool per_channel : {false, true}) {
+      SCOPED_TRACE(testing::Message()
+                   << "in " << c.in_h << "x" << c.in_w << "x" << c.in_ch
+                   << " k " << c.kh << "x" << c.kw << " stride " << c.stride
+                   << " pad " << c.pad_h << "/" << c.pad_w << " out_ch "
+                   << c.out_ch << " per_channel " << per_channel);
+      Rng rng(seed++);
+      const auto g = make_geom(c.in_h, c.in_w, c.in_ch, c.out_ch, c.kh, c.kw,
+                               c.stride, c.pad_h, c.pad_w);
+      const auto rq = random_rq(rng, g.out_ch, per_channel);
+      check_conv_all_backends(g, rq, rng, /*with_bias=*/per_channel);
+    }
+  }
+}
+
+TEST(BackendDifferential, RandomizedConvFuzz) {
+  Rng meta(42);
+  for (int it = 0; it < 60; ++it) {
+    kernels::ConvGeometry g = make_geom(
+        static_cast<int32_t>(meta.uniform_int(3, 18)),
+        static_cast<int32_t>(meta.uniform_int(3, 18)),
+        static_cast<int32_t>(meta.uniform_int(1, 24)),
+        static_cast<int32_t>(meta.uniform_int(1, 24)),
+        static_cast<int32_t>(meta.uniform_int(1, 5)),
+        static_cast<int32_t>(meta.uniform_int(1, 5)),
+        static_cast<int32_t>(meta.uniform_int(1, 2)),
+        static_cast<int32_t>(meta.uniform_int(0, 3)),
+        static_cast<int32_t>(meta.uniform_int(0, 3)));
+    if (g.kh > g.in_h + 2 * g.pad_h || g.kw > g.in_w + 2 * g.pad_w) continue;
+    if (g.out_h < 1 || g.out_w < 1) continue;
+    SCOPED_TRACE(testing::Message() << "fuzz case " << it);
+    Rng rng(static_cast<uint64_t>(1000 + it));
+    const auto rq = random_rq(rng, g.out_ch, it % 3 == 0);
+    check_conv_all_backends(g, rq, rng, /*with_bias=*/it % 2 == 0);
+  }
+}
+
+TEST(BackendDifferential, FullyConnectedSweep) {
+  // in_features straddling the 16-wide SIMD chunk (scalar tail coverage).
+  const struct {
+    int32_t in_f, out_f;
+  } cases[] = {{1, 1}, {15, 3}, {16, 8}, {17, 5}, {130, 9}, {256, 64}};
+  uint64_t seed = 500;
+  for (const auto& c : cases) {
+    for (const bool per_channel : {false, true}) {
+      SCOPED_TRACE(testing::Message() << "fc " << c.in_f << "->" << c.out_f
+                                      << " per_channel " << per_channel);
+      Rng rng(seed++);
+      const auto rq = random_rq(rng, c.out_f, per_channel);
+      const auto x = random_s8(rng, c.in_f);
+      const auto w = random_s8(rng, int64_t{c.in_f} * c.out_f);
+      const auto bias = random_bias(rng, c.out_f);
+      std::vector<int8_t> y_ref(static_cast<size_t>(c.out_f));
+      std::vector<int8_t> y_fast(y_ref.size());
+      kernels::fully_connected_s8(x, w, bias, y_ref, c.in_f, c.out_f, rq);
+      const auto packed = kernels::pack_rows_s8(w, c.out_f, c.in_f);
+      kernels::fully_connected_s8_fast(x, packed, bias, y_fast, c.in_f,
+                                       c.out_f, rq);
+      ASSERT_EQ(y_fast, y_ref);
+    }
+  }
+}
+
+// The fast backend does not claim depthwise — but the differential suite
+// still sweeps it so a future depthwise fast kernel inherits the harness,
+// and because the interpreter-level test relies on depthwise staying
+// reference-served (the fallback half of the claim-or-fall-back contract).
+TEST(BackendDifferential, DepthwiseStaysSelfConsistent) {
+  Rng rng(77);
+  const auto g = make_geom(9, 7, 12, 12, 3, 3, 2, 1, 2);
+  const auto rq = random_rq(rng, g.in_ch, true);
+  const auto x = random_s8(rng, g.input_elements());
+  const auto w = random_s8(rng, int64_t{g.kh} * g.kw * g.in_ch);
+  std::vector<int8_t> y1(static_cast<size_t>(g.output_elements()));
+  std::vector<int8_t> y2(y1.size());
+  kernels::depthwise_conv2d_s8(x, w, {}, y1, g, rq);
+  kernels::depthwise_conv2d_s8(x, w, {}, y2, g, rq);
+  EXPECT_EQ(y1, y2);
+}
+
+// --- asymmetric-padding golden vector ---------------------------------------
+
+// Independent per-output-pixel oracle: the naive direct convolution written
+// from the definition, sharing no code with kernels_s8/opt/fast. Guards the
+// pad_h != pad_w regression the im2col family is prone to (transposed pads).
+TEST(BackendGolden, AsymmetricPaddingOracle) {
+  const auto g = make_geom(5, 4, 3, 4, 3, 3, 1, 2, 1);  // pad_h=2, pad_w=1
+  Rng rng(11);
+  const auto x = random_s8(rng, g.input_elements());
+  const auto w = random_s8(rng, int64_t{g.out_ch} * g.kh * g.kw * g.in_ch);
+  const auto bias = random_bias(rng, g.out_ch);
+  kernels::RequantParams rq = random_rq(rng, g.out_ch, true);
+
+  std::vector<int8_t> oracle(static_cast<size_t>(g.output_elements()));
+  for (int32_t oy = 0; oy < g.out_h; ++oy)
+    for (int32_t ox = 0; ox < g.out_w; ++ox)
+      for (int32_t oc = 0; oc < g.out_ch; ++oc) {
+        int32_t acc = bias[static_cast<size_t>(oc)];
+        for (int32_t ky = 0; ky < g.kh; ++ky)
+          for (int32_t kx = 0; kx < g.kw; ++kx)
+            for (int32_t c = 0; c < g.in_ch; ++c) {
+              const int32_t iy = oy * g.stride - g.pad_h + ky;
+              const int32_t ix = ox * g.stride - g.pad_w + kx;
+              if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) continue;
+              const int32_t xv =
+                  x[static_cast<size_t>((int64_t{iy} * g.in_w + ix) * g.in_ch + c)];
+              const int32_t wv = w[static_cast<size_t>(
+                  ((int64_t{oc} * g.kh + ky) * g.kw + kx) * g.in_ch + c)];
+              acc += (xv - rq.input_zp) * wv;
+            }
+        int32_t v = quant::multiply_by_quantized_multiplier(
+                        acc, rq.channel_mult(oc)) +
+                    rq.output_zp;
+        v = std::clamp(v, rq.act_min, rq.act_max);
+        oracle[static_cast<size_t>((int64_t{oy} * g.out_w + ox) * g.out_ch +
+                                   oc)] = static_cast<int8_t>(v);
+      }
+
+  std::vector<int8_t> y(oracle.size());
+  kernels::conv2d_s8(x, w, bias, y, g, rq);
+  EXPECT_EQ(y, oracle) << "reference conv disagrees with the naive oracle";
+  std::vector<int8_t> scratch(
+      static_cast<size_t>(kernels::conv2d_scratch_bytes(g)));
+  std::fill(y.begin(), y.end(), int8_t{0});
+  kernels::conv2d_s8_im2col(x, w, bias, y, scratch, g, rq);
+  EXPECT_EQ(y, oracle) << "im2col conv disagrees with the naive oracle";
+  const auto packed = kernels::pack_rows_s8(
+      w, g.out_ch, int64_t{g.kh} * g.kw * g.in_ch);
+  std::vector<int8_t> fast_scratch(
+      static_cast<size_t>(kernels::conv2d_fast_scratch_bytes(g)));
+  std::fill(y.begin(), y.end(), int8_t{0});
+  kernels::conv2d_s8_fast(x, packed, bias, y, fast_scratch, g, rq);
+  EXPECT_EQ(y, oracle) << "fast conv disagrees with the naive oracle";
+}
+
+// --- geometry fuzzer ---------------------------------------------------------
+
+TEST(BackendGeometryFuzz, MacsMatchPerPixelCountingOracle) {
+  // >= 500 seeded random geometries: macs() must equal the count produced by
+  // walking every output pixel and summing its kernel taps — the oracle a
+  // tile-boundary over/under-compute in a blocked kernel would disagree
+  // with. Also pins the out_h/out_w closed form to the walk.
+  Rng rng(20260808);
+  int checked = 0;
+  while (checked < 500) {
+    kernels::ConvGeometry g;
+    g.in_h = static_cast<int32_t>(rng.uniform_int(1, 40));
+    g.in_w = static_cast<int32_t>(rng.uniform_int(1, 40));
+    g.in_ch = static_cast<int32_t>(rng.uniform_int(1, 64));
+    g.out_ch = static_cast<int32_t>(rng.uniform_int(1, 64));
+    g.kh = static_cast<int32_t>(rng.uniform_int(1, 7));
+    g.kw = static_cast<int32_t>(rng.uniform_int(1, 7));
+    g.stride = static_cast<int32_t>(rng.uniform_int(1, 3));
+    g.pad_h = static_cast<int32_t>(rng.uniform_int(0, 4));
+    g.pad_w = static_cast<int32_t>(rng.uniform_int(0, 4));
+    if (g.in_h + 2 * g.pad_h < g.kh || g.in_w + 2 * g.pad_w < g.kw) continue;
+    g.out_h = (g.in_h + 2 * g.pad_h - g.kh) / g.stride + 1;
+    g.out_w = (g.in_w + 2 * g.pad_w - g.kw) / g.stride + 1;
+    ASSERT_GE(g.out_h, 1);
+    ASSERT_GE(g.out_w, 1);
+    int64_t oracle_conv = 0, oracle_dw = 0, pixels = 0;
+    for (int32_t oy = 0; oy < g.out_h; ++oy) {
+      // When padding is smaller than the kernel (the only case real layers
+      // use), every window overlaps the input; with pad >= kernel the closed
+      // form legitimately emits all-padding windows, so don't assert there.
+      if (g.pad_h < g.kh) ASSERT_LT(oy * g.stride - g.pad_h, g.in_h);
+      for (int32_t ox = 0; ox < g.out_w; ++ox) {
+        if (g.pad_w < g.kw) ASSERT_LT(ox * g.stride - g.pad_w, g.in_w);
+        ++pixels;
+        oracle_conv += int64_t{g.out_ch} * g.kh * g.kw * g.in_ch;
+        oracle_dw += int64_t{g.in_ch} * g.kh * g.kw;
+      }
+    }
+    EXPECT_EQ(g.macs(false), oracle_conv);
+    g.out_ch = g.in_ch;  // depthwise convention: out_ch == in_ch
+    EXPECT_EQ(g.macs(true), oracle_dw);
+    EXPECT_EQ(pixels, int64_t{g.out_h} * g.out_w);
+    ++checked;
+  }
+  EXPECT_GE(checked, 500);
+}
+
+// --- thread invariance -------------------------------------------------------
+
+TEST(BackendThreads, FastConvBitIdenticalAcrossThreadCounts) {
+  const auto g = make_geom(23, 9, 13, 21, 3, 3, 1, 1, 2);
+  Rng rng(55);
+  const auto rq = random_rq(rng, g.out_ch, true);
+  const auto x = random_s8(rng, g.input_elements());
+  const auto w = random_s8(rng, int64_t{g.out_ch} * g.kh * g.kw * g.in_ch);
+  const auto bias = random_bias(rng, g.out_ch);
+  const auto packed = kernels::pack_rows_s8(
+      w, g.out_ch, int64_t{g.kh} * g.kw * g.in_ch);
+  std::vector<int8_t> scratch(
+      static_cast<size_t>(kernels::conv2d_fast_scratch_bytes(g)));
+  std::vector<int8_t> baseline;
+  for (const int threads : {1, 2, 8}) {
+    parallel::set_threads(threads);
+    std::vector<int8_t> y(static_cast<size_t>(g.output_elements()));
+    kernels::conv2d_s8_fast(x, packed, bias, y, scratch, g, rq);
+    if (baseline.empty())
+      baseline = y;
+    else
+      EXPECT_EQ(y, baseline) << "fast conv output moved at " << threads
+                             << " threads";
+  }
+  parallel::set_threads(0);
+}
+
+// --- interpreter integration -------------------------------------------------
+
+namespace {
+
+rt::ModelDef tiny_model(uint64_t seed = 1) {
+  models::DsCnnConfig cfg;
+  cfg.input = Shape{12, 8, 1};
+  cfg.num_classes = 4;
+  cfg.stem_channels = 8;
+  cfg.stem_kh = 3;
+  cfg.stem_kw = 3;
+  cfg.blocks = {{8, 1}};
+  models::BuildOptions opt;
+  opt.seed = seed;
+  opt.qat = false;
+  nn::Graph g = models::build_ds_cnn(cfg, opt);
+  Rng rng(seed + 1);
+  TensorF batch(Shape{2, 12, 8, 1});
+  for (int64_t i = 0; i < batch.size(); ++i)
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  const rt::RangeMap ranges = rt::calibrate_ranges(g, batch);
+  rt::ConvertOptions co;
+  co.name = "backend_tiny";
+  return rt::convert(g, co, &ranges);
+}
+
+TensorI8 random_input(const rt::ModelDef& m, uint64_t seed) {
+  const rt::TensorDef& in =
+      m.tensors[static_cast<size_t>(m.input_tensor)];
+  TensorI8 t(in.shape);
+  Rng rng(seed);
+  for (int64_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  return t;
+}
+
+}  // namespace
+
+TEST(BackendInterpreter, FastInvokeIsByteIdenticalToReference) {
+  const rt::ModelDef m = tiny_model(3);
+  const rt::MemoryPlan plan = rt::plan_memory(m);
+  rt::Interpreter ref(m, plan, kernels::BackendConfig::reference());
+  rt::Interpreter fast(m, plan, kernels::BackendConfig::fast());
+  EXPECT_EQ(ref.backend(), kernels::BackendKind::kReference);
+  EXPECT_EQ(fast.backend(), kernels::BackendKind::kFast);
+  // Claim-or-fall-back: the DS-CNN has conv + FC (claimed) and depthwise /
+  // pool / softmax (reference fallback) — both kinds must appear.
+  int fast_ops = 0, ref_ops = 0;
+  for (size_t i = 0; i < m.ops.size(); ++i)
+    (fast.op_backend(i) == kernels::BackendKind::kFast ? fast_ops : ref_ops)++;
+  EXPECT_GT(fast_ops, 0);
+  EXPECT_GT(ref_ops, 0);
+  for (const auto kind : ref.op_backends())
+    EXPECT_EQ(kind, kernels::BackendKind::kReference);
+  for (int trial = 0; trial < 4; ++trial) {
+    const TensorI8 in = random_input(m, 700 + static_cast<uint64_t>(trial));
+    const TensorI8 out_ref = ref.invoke_quantized(in);
+    const TensorI8 out_fast = fast.invoke_quantized(in);
+    ASSERT_EQ(out_ref.size(), out_fast.size());
+    for (int64_t i = 0; i < out_ref.size(); ++i)
+      ASSERT_EQ(out_ref[i], out_fast[i]) << "output byte " << i << " differs";
+  }
+}
+
+TEST(BackendInterpreter, FastInvokeThreadInvariant) {
+  const rt::ModelDef m = tiny_model(4);
+  rt::Interpreter fast(m, rt::plan_memory(m), kernels::BackendConfig::fast());
+  const TensorI8 in = random_input(m, 900);
+  TensorI8 baseline;
+  for (const int threads : {1, 2, 8}) {
+    parallel::set_threads(threads);
+    const TensorI8 out = fast.invoke_quantized(in);
+    if (baseline.size() == 0) {
+      baseline = out;
+    } else {
+      ASSERT_EQ(out.size(), baseline.size());
+      for (int64_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], baseline[i]) << "thread count " << threads;
+    }
+  }
+  parallel::set_threads(0);
+}
+
+TEST(BackendInterpreter, DispatchCountersAndProfileReportBackend) {
+  obs::reset_all();
+  const rt::ModelDef m = tiny_model(5);
+  rt::Interpreter fast(m, rt::plan_memory(m), kernels::BackendConfig::fast());
+  fast.set_profiling(true);
+  fast.invoke_quantized(random_input(m, 42));
+  const int64_t fast_ops =
+      obs::counter_value(obs::Counter::kBackendFastOps);
+  const int64_t ref_ops =
+      obs::counter_value(obs::Counter::kBackendReferenceOps);
+#if !defined(MN_OBS_DISABLED)
+  EXPECT_GT(fast_ops, 0);
+  EXPECT_GT(ref_ops, 0);
+  EXPECT_EQ(fast_ops + ref_ops, static_cast<int64_t>(m.ops.size()));
+#else
+  EXPECT_EQ(fast_ops, 0);
+  EXPECT_EQ(ref_ops, 0);
+#endif
+  const rt::ProfileReport rep = fast.profile_report();
+  bool saw_fast = false, saw_ref = false;
+  for (size_t i = 0; i < rep.ops.size(); ++i) {
+    EXPECT_STREQ(rep.ops[i].backend,
+                 kernels::backend_name(fast.op_backend(i)));
+    if (std::string(rep.ops[i].backend) == "fast") saw_fast = true;
+    if (std::string(rep.ops[i].backend) == "reference") saw_ref = true;
+  }
+  EXPECT_TRUE(saw_fast);
+  EXPECT_TRUE(saw_ref);
+  EXPECT_NE(rep.table().find("backend"), std::string::npos);
+}
+
+TEST(BackendInterpreter, SharedPackedModelIsReusedAndValidated) {
+  const rt::ModelDef m = tiny_model(6);
+  const rt::MemoryPlan plan = rt::plan_memory(m);
+  const auto packed =
+      rt::pack_model_weights(m, kernels::BackendConfig::fast());
+  EXPECT_EQ(packed->kind, kernels::BackendKind::kFast);
+  EXPECT_EQ(packed->per_op.size(), m.ops.size());
+  EXPECT_GT(packed->bytes(), 0);
+  bool any_claimed = false, any_fallback = false;
+  for (const auto& p : packed->per_op) (p ? any_claimed : any_fallback) = true;
+  EXPECT_TRUE(any_claimed);
+  EXPECT_TRUE(any_fallback);
+  // Two replicas over the same panels alias the exact objects (no re-pack).
+  rt::Interpreter a(m, plan, kernels::BackendConfig::fast(), packed);
+  rt::Interpreter b(m, plan, kernels::BackendConfig::fast(), packed);
+  EXPECT_EQ(a.packed_model().get(), packed.get());
+  EXPECT_EQ(b.packed_model().get(), packed.get());
+  const TensorI8 in = random_input(m, 31);
+  const TensorI8 oa = a.invoke_quantized(in);
+  const TensorI8 ob = b.invoke_quantized(in);
+  for (int64_t i = 0; i < oa.size(); ++i) ASSERT_EQ(oa[i], ob[i]);
+  // A reference-kind panel set under a fast config is a hard error, not a
+  // silent re-pack.
+  const auto ref_packed =
+      rt::pack_model_weights(m, kernels::BackendConfig::reference());
+  EXPECT_EQ(ref_packed->bytes(), 0);
+  EXPECT_THROW(
+      rt::Interpreter(m, plan, kernels::BackendConfig::fast(), ref_packed),
+      std::runtime_error);
+}
+
+// --- hardened im2col validation ---------------------------------------------
+
+TEST(BackendValidation, KernelsRejectUndersizedBuffers) {
+  const auto g = make_geom(6, 6, 4, 4, 3, 3, 1, 1, 1);
+  Rng rng(13);
+  const auto rq = random_rq(rng, g.out_ch, false);
+  const auto x = random_s8(rng, g.input_elements());
+  const auto w = random_s8(rng, int64_t{g.out_ch} * g.kh * g.kw * g.in_ch);
+  std::vector<int8_t> y(static_cast<size_t>(g.output_elements()));
+  std::vector<int8_t> scratch(
+      static_cast<size_t>(kernels::conv2d_scratch_bytes(g)));
+  std::vector<int8_t> small_out(y.size() - 1);
+  std::vector<int8_t> small_scratch(scratch.size() - 1);
+  EXPECT_THROW(
+      kernels::conv2d_s8_im2col(x, w, {}, small_out, scratch, g, rq),
+      std::invalid_argument);
+  EXPECT_THROW(kernels::conv2d_s8_im2col(x, w, {}, y, small_scratch, g, rq),
+               std::invalid_argument);
+  EXPECT_THROW(
+      kernels::conv2d_s8_im2col(std::span<const int8_t>(x.data(), x.size() - 1),
+                                w, {}, y, scratch, g, rq),
+      std::invalid_argument);
+  const auto packed = kernels::pack_rows_s8(
+      w, g.out_ch, int64_t{g.kh} * g.kw * g.in_ch);
+  std::vector<int8_t> fast_scratch(
+      static_cast<size_t>(kernels::conv2d_fast_scratch_bytes(g)));
+  std::vector<int8_t> small_fast_scratch(fast_scratch.size() - 1);
+  EXPECT_THROW(
+      kernels::conv2d_s8_fast(x, packed, {}, y, small_fast_scratch, g, rq),
+      std::invalid_argument);
+  EXPECT_THROW(
+      kernels::conv2d_s8_fast(x, packed, {}, small_out, fast_scratch, g, rq),
+      std::invalid_argument);
+  // A panel packed for a different geometry is rejected up front.
+  const auto wrong = kernels::pack_rows_s8(w, g.out_ch * 2,
+                                           int64_t{g.kh} * g.kw * g.in_ch / 2);
+  EXPECT_THROW(kernels::conv2d_s8_fast(x, wrong, {}, y, fast_scratch, g, rq),
+               std::invalid_argument);
+}

@@ -115,6 +115,19 @@ TEST(RegressRules, ClassifiesByMetricName) {
             Rule::kExact);
   EXPECT_EQ(tools::classify_metric("clean_promotion_tick"),
             Rule::kPromotionUpperBound);
+  // Backend-gate rules (PR 8). Only the "backend_speedup" marker selects the
+  // absolute floor; fig3's simulated "anomaly_speedup" (asserted kRelative
+  // above) must never be captured by it. Mismatch/shape counts stay exact.
+  EXPECT_EQ(tools::classify_metric("kws_body_25x5x64_backend_speedup"),
+            Rule::kSpeedupLowerBound);
+  EXPECT_EQ(tools::classify_metric("conv_backend_speedup_min"),
+            Rule::kSpeedupLowerBound);
+  EXPECT_EQ(tools::classify_metric("fc_1024x128_backend_speedup"),
+            Rule::kSpeedupLowerBound);
+  EXPECT_EQ(tools::classify_metric("ab_mismatch_count"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("conv_shapes_count"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("img_conv_20x20x64_fast_us_p50"),
+            Rule::kTailUpperBound);
 }
 
 std::string report_doc(const std::string& metrics) {
@@ -245,6 +258,30 @@ TEST(RegressGate, PromotionTickIsUpperBoundedWithZeroDefaultSlack) {
   EXPECT_TRUE(diff(R"("clean_promotion_tick": 80)",
                    R"("clean_promotion_tick": 86)", loose)
                   .ok());
+}
+
+TEST(RegressGate, BackendSpeedupIsAnAbsoluteFloorNotBaselineRelative) {
+  // The fast backend must clear the floor on the gate's machine regardless
+  // of what the committed baseline measured: a 4.5x baseline with a 2.1x
+  // current run still passes (the floor is 2.0, not 4.5 - 10%), while a
+  // 1.9x current run fails even if the baseline itself was marginal.
+  EXPECT_TRUE(diff(R"("conv_backend_speedup_min": 4.5)",
+                   R"("conv_backend_speedup_min": 2.1)")
+                  .ok());
+  EXPECT_TRUE(diff(R"("conv_backend_speedup_min": 2.1)",
+                   R"("conv_backend_speedup_min": 6.0)")
+                  .ok());
+  const RegressResult r = diff(R"("conv_backend_speedup_min": 2.1)",
+                               R"("conv_backend_speedup_min": 1.9)");
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.checks.size(), 1u);
+  EXPECT_EQ(r.checks[0].rule, Rule::kSpeedupLowerBound);
+  EXPECT_NE(r.checks[0].detail.find("floor"), std::string::npos);
+  RegressConfig strict;
+  strict.speedup_floor = 3.0;
+  EXPECT_FALSE(diff(R"("conv_backend_speedup_min": 4.0)",
+                    R"("conv_backend_speedup_min": 2.5)", strict)
+                   .ok());
 }
 
 TEST(ChaosSpec, ParsesWellFormedSpecs) {

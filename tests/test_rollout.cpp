@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "models/backbones.hpp"
 #include "parallel/pool.hpp"
 #include "reliability/fault_injector.hpp"
@@ -487,4 +488,63 @@ TEST(InterpreterPool, ReimageMovesReplicaAcrossVariants) {
   ASSERT_EQ(moved.value().size(), expect.value().size());
   for (int64_t i = 0; i < expect.value().size(); ++i)
     EXPECT_EQ(moved.value()[i], expect.value()[i]) << i;
+}
+
+TEST(InterpreterPool, FastBackendRebuildKeepsQuarantineInvariants) {
+  // The quarantine/rebuild contract must hold unchanged when a variant runs
+  // on the fast kernel backend: weights are packed once per variant, every
+  // replica (including re-imaged ones) aliases the same panels, and the
+  // rebuilt replica's outputs are bit-identical to a reference-backend pool
+  // serving the same model.
+  serve::InterpreterPool ref_pool;
+  serve::VariantSpec ref_spec;
+  ref_spec.model = tiny_model(1);
+  ref_spec.service_ticks = 2;
+  ref_spec.instances = 1;
+  ref_pool.add_variant(std::move(ref_spec));
+
+  serve::InterpreterPool pool;
+  serve::VariantSpec spec;
+  spec.model = tiny_model(1);
+  spec.service_ticks = 2;
+  spec.instances = 2;
+  spec.backend = kernels::BackendConfig::fast();
+  const int v = pool.add_variant(std::move(spec));
+  EXPECT_EQ(pool.variant_backend(v), kernels::BackendKind::kFast);
+  const TensorF in = clean_inputs(1)[0];
+
+  // Both replicas share the variant's packed panels (packed once at
+  // add_variant, like the memory plan), and serve the reference output.
+  const auto* panels = pool.interp(0).packed_model().get();
+  ASSERT_NE(panels, nullptr);
+  EXPECT_EQ(pool.interp(1).packed_model().get(), panels);
+  const auto golden = ref_pool.interp(0).try_invoke(in);
+  const auto fast_out = pool.interp(0).try_invoke(in);
+  ASSERT_TRUE(golden.ok());
+  ASSERT_TRUE(fast_out.ok());
+  ASSERT_EQ(fast_out.value().size(), golden.value().size());
+  for (int64_t i = 0; i < golden.value().size(); ++i)
+    EXPECT_EQ(fast_out.value()[i], golden.value()[i]) << i;
+
+  // Poison -> quarantine -> rebuild: the re-imaged replica still aliases the
+  // shared panels and still matches the reference-backend golden.
+  pool.interp(0).mutable_weights()[0] ^= 0xFF;
+  ASSERT_TRUE(pool.health_check(0).has_value());
+  pool.quarantine(0, /*until=*/5);
+  EXPECT_EQ(pool.instance(0).rebuilds, 1);
+  EXPECT_FALSE(pool.health_check(0).has_value());
+  EXPECT_EQ(pool.interp(0).packed_model().get(), panels);
+  const auto rebuilt = pool.interp(0).try_invoke(in);
+  ASSERT_TRUE(rebuilt.ok());
+  for (int64_t i = 0; i < golden.value().size(); ++i)
+    EXPECT_EQ(rebuilt.value()[i], golden.value()[i]) << i;
+
+  // A standalone replica minted after the rebuild shares the panels too.
+  auto fresh = pool.make_replica(v);
+  EXPECT_EQ(fresh->packed_model().get(), panels);
+  const auto fresh_out = fresh->try_invoke(in);
+  ASSERT_TRUE(fresh_out.ok());
+  for (int64_t i = 0; i < golden.value().size(); ++i)
+    EXPECT_EQ(fresh_out.value()[i], golden.value()[i]) << i;
+  EXPECT_TRUE(pool.all_healthy());
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/backend.hpp"
 #include "models/backbones.hpp"
 #include "parallel/pool.hpp"
 #include "runtime/converter.hpp"
@@ -419,6 +420,65 @@ TEST(ServeThreadInvariance, ShedServedCountsAndFingerprintAreBitIdentical) {
     EXPECT_EQ(r.stats.canary_detections, ref.stats.canary_detections);
     EXPECT_EQ(r.p99_ticks, ref.p99_ticks);
   }
+}
+
+// --- kernel backends ---------------------------------------------------------
+
+namespace {
+
+// Same chaos workload as chaos_run(), but with every variant built on the
+// given kernel backend. The backend only changes how conv/FC ops execute;
+// outputs are bit-identical, so scheduling, quarantine decisions, and the
+// completion-order fingerprint must not move at all.
+ChaosRunResult chaos_run_on(kernels::BackendConfig backend) {
+  serve::EngineConfig cfg;
+  cfg.canary_period_ticks = 8;
+  cfg.chaos.seed = 77;
+  cfg.chaos.fault_rate = 0.10;
+  cfg.chaos.arena_soft_error_period = 9;
+  serve::ServingEngine eng(cfg);
+  serve::TenantConfig t0;
+  t0.queue_capacity = 16;
+  t0.shed_policy = serve::ShedPolicy::kDropOldest;
+  t0.deadline_ticks = 24;
+  t0.degrade_queue_depth = 5;
+  serve::VariantSpec primary = make_variant(4, 2, 1);
+  primary.backend = backend;
+  serve::VariantSpec degraded = make_variant(2, 1, 2, 4);
+  degraded.backend = backend;
+  eng.register_tenant(t0, std::move(primary), std::move(degraded),
+                      clean_inputs(4));
+  serve::TenantConfig t1;
+  t1.queue_capacity = 8;
+  t1.deadline_ticks = 16;
+  serve::VariantSpec solo = make_variant(3, 1, 5);
+  solo.backend = backend;
+  eng.register_tenant(t1, std::move(solo), std::nullopt, clean_inputs(4, 11));
+  for (int tick = 0; tick < 240; ++tick) {
+    (void)eng.submit(0);
+    if (tick % 3 == 0) (void)eng.submit(1);
+    eng.step();
+  }
+  eng.drain(2000);
+  ChaosRunResult r;
+  r.fingerprint = eng.fingerprint();
+  r.stats = eng.stats();
+  r.p99_ticks = eng.virtual_latency().p99;
+  return r;
+}
+
+}  // namespace
+
+TEST(ServeBackend, FastPoolFingerprintMatchesReference) {
+  const ChaosRunResult ref = chaos_run_on(kernels::BackendConfig::reference());
+  const ChaosRunResult fast = chaos_run_on(kernels::BackendConfig::fast());
+  EXPECT_EQ(fast.fingerprint, ref.fingerprint);
+  EXPECT_EQ(fast.stats.served, ref.stats.served);
+  EXPECT_EQ(fast.stats.served_degraded, ref.stats.served_degraded);
+  EXPECT_EQ(fast.stats.total_shed(), ref.stats.total_shed());
+  EXPECT_EQ(fast.stats.failed, ref.stats.failed);
+  EXPECT_EQ(fast.stats.quarantines, ref.stats.quarantines);
+  EXPECT_EQ(fast.p99_ticks, ref.p99_ticks);
 }
 
 // --- latency digest ----------------------------------------------------------

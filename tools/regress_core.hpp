@@ -49,6 +49,11 @@ struct RegressConfig {
   // quantity is deterministic, so the default slack is zero — a rollout that
   // takes even one extra tick to promote is a scheduling change worth seeing.
   double promotion_slack = 0.0;
+  // Backend-gate rule: a "backend_speedup" metric (fast-over-reference ratio
+  // measured by bench_kernels_micro) must stay at or above this absolute
+  // floor, independent of what the committed baseline recorded — the fast
+  // backend has to *earn* its place on every machine the gate runs on.
+  double speedup_floor = 2.0;
 };
 
 enum class Rule {
@@ -59,6 +64,7 @@ enum class Rule {
   kShedUpperBound,
   kThroughputLowerBound,
   kPromotionUpperBound,
+  kSpeedupLowerBound,
   kStringEqual,
 };
 
@@ -71,6 +77,7 @@ inline const char* rule_name(Rule r) {
     case Rule::kShedUpperBound: return "shed-upper-bound";
     case Rule::kThroughputLowerBound: return "throughput-lower";
     case Rule::kPromotionUpperBound: return "promotion-upper";
+    case Rule::kSpeedupLowerBound: return "speedup-floor";
     case Rule::kStringEqual: return "string";
   }
   return "?";
@@ -90,6 +97,9 @@ inline Rule classify_metric(const std::string& name) {
   // never be swallowed by a plural marker: a rollout may promote *earlier*
   // than baseline (an improvement), but never later.
   if (contains(name, "promotion_tick")) return Rule::kPromotionUpperBound;
+  // Deliberately "backend_speedup", not "speedup": fig3's "anomaly_speedup"
+  // is an unrelated simulated ratio that must keep its relative rule.
+  if (contains(name, "backend_speedup")) return Rule::kSpeedupLowerBound;
   static const char* kExactMarkers[] = {
       "bytes", "flash", "sram", "arena",  "samples", "invokes",
       "layers", "models", "count", "pareto", "size", "epochs",
@@ -199,6 +209,13 @@ inline MetricCheck check_metric(const std::string& name, const JsonValue& base,
       if (!c.pass)
         c.detail =
             "promotion tick grew past baseline + " + num_str(cfg.promotion_slack);
+      break;
+    case Rule::kSpeedupLowerBound:
+      // Absolute floor, not baseline-relative: the fast backend must deliver
+      // at least speedup_floor x on the machine the gate runs on.
+      c.pass = v >= cfg.speedup_floor;
+      if (!c.pass)
+        c.detail = "backend speedup below floor " + num_str(cfg.speedup_floor);
       break;
     case Rule::kRelative: {
       const double denom = std::fabs(b) > 0 ? std::fabs(b) : 1.0;
