@@ -131,6 +131,8 @@ std::vector<LayerDesc> layers_of(const rt::ModelDef& model) {
       case rt::OpType::kSoftmax:
         l.kind = LayerKind::kSoftmax;
         break;
+      case rt::OpType::kOpTypeCount:
+        throw std::invalid_argument("perf_model: invalid op type");
     }
     out.push_back(l);
   }

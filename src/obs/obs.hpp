@@ -48,6 +48,9 @@ enum class Counter : uint32_t {
   kServeDegraded,        // invokes routed to a tenant's fallback variant
   kBackendFastOps,       // ops dispatched to a fast-backend kernel
   kBackendReferenceOps,  // ops run on the reference path (incl. fallbacks)
+  kCompileOpsRemoved,    // graph-compiler: ops folded/fused/eliminated
+  kCompileBytesFolded,   // graph-compiler: const bytes materialized into blob
+  kCompilePeakBytesSaved,  // graph-compiler: peak_live_bytes reduction
   kCount
 };
 

@@ -10,25 +10,8 @@
 
 namespace mn::rt {
 
-namespace {
-
-// Fused-activation clamp in the quantized domain.
-void activation_range(Activation act, const quant::QuantParams& out_qp, int bits,
-                      int32_t* act_min, int32_t* act_max) {
-  const quant::QRange r = quant::qrange(bits);
-  *act_min = r.qmin;
-  *act_max = r.qmax;
-  if (act == Activation::kRelu) {
-    *act_min = std::max(*act_min, out_qp.zero_point);
-  } else if (act == Activation::kRelu6) {
-    *act_min = std::max(*act_min, out_qp.zero_point);
-    const int32_t six =
-        out_qp.zero_point + static_cast<int32_t>(std::lround(6.f / out_qp.scale));
-    *act_max = std::min(*act_max, six);
-  }
-}
-
-}  // namespace
+// activation_range (the fused-activation clamp in the quantized domain)
+// lives in model.cpp now, shared with the compile:: passes.
 
 namespace {
 constexpr uint8_t kCanaryByte = 0xA5;
@@ -269,6 +252,8 @@ void Interpreter::prepare() {
         p.softmax_scale = in.qp.scale;
         break;
       }
+      case OpType::kOpTypeCount:
+        throw std::runtime_error("Interpreter: invalid op type");
     }
   }
 }
@@ -392,6 +377,8 @@ void Interpreter::run_op(size_t i) {
       kernels::softmax_s8(as_s8(in_b), as_s8(out_b), 1, cols, p.softmax_scale);
       break;
     }
+    case OpType::kOpTypeCount:
+      throw std::runtime_error("Interpreter: invalid op type");
   }
 }
 

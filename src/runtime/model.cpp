@@ -10,6 +10,11 @@
 namespace mn::rt {
 
 const char* op_type_name(OpType t) {
+  // Exhaustive: no default, and the count is pinned so a new OpType fails to
+  // compile here (and at every other asserting switch) until handled.
+  static_assert(static_cast<int>(OpType::kOpTypeCount) == 7,
+                "update op_type_name() (and every switch asserting "
+                "kOpTypeCount) when adding an op type");
   switch (t) {
     case OpType::kConv2D: return "CONV_2D";
     case OpType::kDepthwiseConv2D: return "DEPTHWISE_CONV_2D";
@@ -18,8 +23,37 @@ const char* op_type_name(OpType t) {
     case OpType::kMaxPool2D: return "MAX_POOL_2D";
     case OpType::kAdd: return "ADD";
     case OpType::kSoftmax: return "SOFTMAX";
+    case OpType::kOpTypeCount: break;  // not a real op type
   }
   return "UNKNOWN";
+}
+
+const char* activation_name(Activation a) {
+  static_assert(static_cast<int>(Activation::kActivationCount) == 3,
+                "update activation_name() (and activation_range) when adding "
+                "an activation");
+  switch (a) {
+    case Activation::kNone: return "NONE";
+    case Activation::kRelu: return "RELU";
+    case Activation::kRelu6: return "RELU6";
+    case Activation::kActivationCount: break;  // not a real activation
+  }
+  return "UNKNOWN";
+}
+
+void activation_range(Activation act, const quant::QuantParams& out_qp,
+                      int bits, int32_t* act_min, int32_t* act_max) {
+  const quant::QRange r = quant::qrange(bits);
+  *act_min = r.qmin;
+  *act_max = r.qmax;
+  if (act == Activation::kRelu) {
+    *act_min = std::max(*act_min, out_qp.zero_point);
+  } else if (act == Activation::kRelu6) {
+    *act_min = std::max(*act_min, out_qp.zero_point);
+    const int32_t six =
+        out_qp.zero_point + static_cast<int32_t>(std::lround(6.f / out_qp.scale));
+    *act_max = std::min(*act_max, six);
+  }
 }
 
 int64_t OpDef::macs(const std::vector<TensorDef>& tensors) const {
@@ -283,11 +317,11 @@ ModelDef read_body(Reader& r) {
   for (int32_t i = 0; i < no; ++i) {
     OpDef op;
     const uint8_t type = r.u8();
-    if (type > static_cast<uint8_t>(OpType::kSoftmax))
+    if (type >= static_cast<uint8_t>(OpType::kOpTypeCount))
       r.fail(ErrorCode::kBadOpType, "op type " + std::to_string(type));
     op.type = static_cast<OpType>(type);
     const uint8_t act = r.u8();
-    if (act > static_cast<uint8_t>(Activation::kRelu6))
+    if (act >= static_cast<uint8_t>(Activation::kActivationCount))
       r.fail(ErrorCode::kBadOpType, "activation " + std::to_string(act));
     op.act = static_cast<Activation>(act);
     const int32_t ni = r.i32();
@@ -435,9 +469,30 @@ std::optional<RtError> ModelDef::check() const {
     }
   }
   for (const OpDef& op : ops) {
+    if (static_cast<uint8_t>(op.type) >= static_cast<uint8_t>(OpType::kOpTypeCount))
+      return RtError{ErrorCode::kBadOpType,
+                     "ModelDef: op type " +
+                         std::to_string(static_cast<int>(op.type)) +
+                         " out of range"};
+    if (static_cast<uint8_t>(op.act) >=
+        static_cast<uint8_t>(Activation::kActivationCount))
+      return RtError{ErrorCode::kBadOpType,
+                     "ModelDef: activation " +
+                         std::to_string(static_cast<int>(op.act)) +
+                         " out of range"};
+    // -1 marks an absent optional input (conv/FC bias); every other id must
+    // resolve. Negative ids other than -1 used to slip through here and
+    // reach the planner.
     for (int id : op.inputs)
-      if (id >= 0 && bad_id(id)) return id_error(id, op_type_name(op.type));
+      if (id != -1 && bad_id(id)) return id_error(id, op_type_name(op.type));
     if (bad_id(op.output)) return id_error(op.output, op_type_name(op.type));
+    // Ops write arena tensors; a const (blob-backed) output would let an
+    // invoke silently scribble over "flash" contents.
+    if (tensors[static_cast<size_t>(op.output)].is_const)
+      return RtError{ErrorCode::kGraphInvalid,
+                     std::string("ModelDef: ") + op_type_name(op.type) +
+                         " writes const tensor " +
+                         tensors[static_cast<size_t>(op.output)].name};
     const bool is_mac_op = op.type == OpType::kConv2D ||
                            op.type == OpType::kDepthwiseConv2D ||
                            op.type == OpType::kFullyConnected;

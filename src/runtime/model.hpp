@@ -26,11 +26,30 @@ enum class OpType : uint8_t {
   kMaxPool2D = 4,
   kAdd = 5,
   kSoftmax = 6,
+  // Keep last. Every dispatch switch carries a static_assert against this
+  // (same pattern as serve::outcome_name), so adding an op type fails to
+  // compile until the parser, interpreter, perf model and compiler passes
+  // are all updated.
+  kOpTypeCount,
 };
 
-enum class Activation : uint8_t { kNone = 0, kRelu = 1, kRelu6 = 2 };
+enum class Activation : uint8_t {
+  kNone = 0,
+  kRelu = 1,
+  kRelu6 = 2,
+  kActivationCount,  // keep last; see OpType::kOpTypeCount
+};
 
 const char* op_type_name(OpType t);
+const char* activation_name(Activation a);
+
+// Fused-activation clamp bounds in the quantized domain: the [min, max] the
+// kernels clamp an op's outputs to for `act` at the output tensor's
+// quantization. Shared by the interpreter (requant preparation) and the
+// graph compiler (activation-fusion legality: a standalone clamp op is
+// foldable iff its transfer function equals clamp to one of these ranges).
+void activation_range(Activation act, const quant::QuantParams& out_qp,
+                      int bits, int32_t* act_min, int32_t* act_max);
 
 struct TensorDef {
   std::string name;

@@ -171,6 +171,63 @@ TEST(FuzzModel, EmptyAndTinyInputs) {
   }
 }
 
+TEST(FuzzModel, StructuralSeedsForHardenedCheck) {
+  // Deterministic seeds for the hardened ModelDef::check(): each mutates a
+  // valid model *in memory* and round-trips through serialize(), so the V2
+  // CRCs cover the mutated content and the image reaches the structural
+  // checks instead of being short-circuited by a checksum mismatch.
+  const ModelDef base = tiny_model(5);
+  ASSERT_GE(base.ops.size(), 2u);
+
+  {  // op input id one past the end of the tensor table
+    ModelDef m = base;
+    m.ops[1].inputs[0] = static_cast<int>(m.tensors.size());
+    const auto r = ModelDef::try_deserialize(m.serialize());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kBadTensorId);
+  }
+  {  // negative input id other than the -1 "absent bias" marker
+    ModelDef m = base;
+    m.ops[1].inputs[0] = -2;
+    const auto r = ModelDef::try_deserialize(m.serialize());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kBadTensorId);
+  }
+  {  // op output id out of range
+    ModelDef m = base;
+    m.ops[0].output = static_cast<int>(m.tensors.size()) + 7;
+    const auto r = ModelDef::try_deserialize(m.serialize());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kBadTensorId);
+  }
+  {  // op output colliding with a const (blob-backed) tensor
+    ModelDef m = base;
+    int const_id = -1;
+    for (size_t i = 0; i < m.tensors.size(); ++i)
+      if (m.tensors[i].is_const) const_id = static_cast<int>(i);
+    ASSERT_GE(const_id, 0);
+    m.ops[0].output = const_id;
+    const auto r = ModelDef::try_deserialize(m.serialize());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kGraphInvalid);
+    EXPECT_NE(r.error().message.find("writes const tensor"), std::string::npos);
+  }
+  {  // op type past the kOpTypeCount sentinel — rejected at parse time
+    ModelDef m = base;
+    m.ops[0].type = OpType::kOpTypeCount;
+    const auto r = ModelDef::try_deserialize(m.serialize());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kBadOpType);
+  }
+  {  // activation past the kActivationCount sentinel
+    ModelDef m = base;
+    m.ops[0].act = Activation::kActivationCount;
+    const auto r = ModelDef::try_deserialize(m.serialize());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kBadOpType);
+  }
+}
+
 TEST(FuzzModel, WrongMagicIsBadMagicNotTruncated) {
   std::vector<uint8_t> img = tiny_model(4).serialize();
   img[0] ^= 0xFF;

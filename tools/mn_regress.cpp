@@ -3,7 +3,8 @@
 // Usage:
 //   mn_regress [--rel-tol F] [--r2-drop F] [--tail-headroom F]
 //              [--shed-slack F] [--throughput-drop F] [--promotion-slack F]
-//              [--speedup-floor F] BASELINE CURRENT [BASELINE CURRENT]...
+//              [--speedup-floor F] [--arena-peak-slack F]
+//              BASELINE CURRENT [BASELINE CURRENT]...
 //
 // Each (BASELINE, CURRENT) pair is a committed bench/baselines/BENCH_*.json
 // and the BENCH_*.json a fresh bench run just wrote. For every pair the gate
@@ -39,6 +40,7 @@ int usage() {
                "usage: mn_regress [--rel-tol F] [--r2-drop F] "
                "[--tail-headroom F] [--shed-slack F] [--throughput-drop F] "
                "[--promotion-slack F] [--speedup-floor F] "
+               "[--arena-peak-slack F] "
                "BASELINE CURRENT [BASELINE CURRENT]...\n");
   return 2;
 }
@@ -63,6 +65,8 @@ int main(int argc, char** argv) {
       cfg.promotion_slack = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--speedup-floor") == 0 && i + 1 < argc) {
       cfg.speedup_floor = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--arena-peak-slack") == 0 && i + 1 < argc) {
+      cfg.arena_peak_slack = std::stod(argv[++i]);
     } else if (argv[i][0] == '-') {
       return usage();
     } else {

@@ -54,6 +54,13 @@ struct RegressConfig {
   // floor, independent of what the committed baseline recorded — the fast
   // backend has to *earn* its place on every machine the gate runs on.
   double speedup_floor = 2.0;
+  // Compiler-gate rule: a "compiled_peak" metric (arena peak_live_bytes of a
+  // graph after the compile pipeline, measured by bench_compile) may never
+  // grow past baseline + arena_peak_slack. The planner and compiler are
+  // deterministic, so the default slack is zero — shrinking the peak further
+  // is an improvement the gate waves through; growing it even one byte means
+  // a pass stopped firing.
+  double arena_peak_slack = 0.0;
 };
 
 enum class Rule {
@@ -65,6 +72,7 @@ enum class Rule {
   kThroughputLowerBound,
   kPromotionUpperBound,
   kSpeedupLowerBound,
+  kArenaPeakUpperBound,
   kStringEqual,
 };
 
@@ -78,6 +86,7 @@ inline const char* rule_name(Rule r) {
     case Rule::kThroughputLowerBound: return "throughput-lower";
     case Rule::kPromotionUpperBound: return "promotion-upper";
     case Rule::kSpeedupLowerBound: return "speedup-floor";
+    case Rule::kArenaPeakUpperBound: return "peak-upper-bound";
     case Rule::kStringEqual: return "string";
   }
   return "?";
@@ -100,6 +109,13 @@ inline Rule classify_metric(const std::string& name) {
   // Deliberately "backend_speedup", not "speedup": fig3's "anomaly_speedup"
   // is an unrelated simulated ratio that must keep its relative rule.
   if (contains(name, "backend_speedup")) return Rule::kSpeedupLowerBound;
+  // Checked before the exact markers: "..._compiled_peak_live_bytes" contains
+  // "bytes", but a compiled peak that *shrinks* (a new pass firing) is an
+  // improvement, not a drift — only growth may fail the gate. The "uncompiled"
+  // guard matters: "uncompiled_peak" contains "compiled_peak" as a substring,
+  // and the *uncompiled* plan is deterministic, so it stays bytes-exact.
+  if (contains(name, "compiled_peak") && !contains(name, "uncompiled"))
+    return Rule::kArenaPeakUpperBound;
   static const char* kExactMarkers[] = {
       "bytes", "flash", "sram", "arena",  "samples", "invokes",
       "layers", "models", "count", "pareto", "size", "epochs",
@@ -216,6 +232,12 @@ inline MetricCheck check_metric(const std::string& name, const JsonValue& base,
       c.pass = v >= cfg.speedup_floor;
       if (!c.pass)
         c.detail = "backend speedup below floor " + num_str(cfg.speedup_floor);
+      break;
+    case Rule::kArenaPeakUpperBound:
+      c.pass = v <= b + cfg.arena_peak_slack;
+      if (!c.pass)
+        c.detail = "compiled arena peak grew past baseline + " +
+                   num_str(cfg.arena_peak_slack);
       break;
     case Rule::kRelative: {
       const double denom = std::fabs(b) > 0 ? std::fabs(b) : 1.0;
