@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/eventlog.hpp"
 #include "parallel/pool.hpp"
 #include "rollout/controller.hpp"
 #include "serve/engine.hpp"
@@ -197,6 +198,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_args(argc, argv);
   bench::print_header("Staged rollout: shadow validation & auto-rollback");
   bench::start_trace_if_requested(opt);
+  obs::event_reserve(1 << 17);  // flight recorder: never evict mid-scenario
   bench::Reporter rep("rollout", opt);
   int failures = 0;
 
@@ -248,13 +250,22 @@ int main(int argc, char** argv) {
   // --- scenario 2: poisoned update, at 1 and 8 threads ----------------------
   rep.phase("poisoned_update");
   bench::print_subheader("poisoned update (candidate bit-flipped in canary)");
+  const int64_t pm_before = obs::postmortem_count();
+  obs::event_clear();  // fresh flight-recorder stream per thread count
   parallel::set_threads(1);
   const ScenarioResult p1 =
       run_scenario(opt.seed, /*poisoned=*/true, poison_seed, poison_bits);
+  const uint64_t event_fp1 = obs::event_fingerprint();
+  int64_t abort_events = 0;
+  for (const obs::Event& e : obs::event_snapshot())
+    if (e.kind == obs::EventKind::kRolloutAbort) ++abort_events;
+  obs::event_clear();
   parallel::set_threads(8);
   const ScenarioResult p8 =
       run_scenario(opt.seed, /*poisoned=*/true, poison_seed, poison_bits);
+  const uint64_t event_fp8 = obs::event_fingerprint();
   parallel::set_threads(0);  // restore the environment default
+  const int64_t poisoned_postmortems = obs::postmortem_count() - pm_before;
   std::printf(
       "  stage %s  reason %s  rollback latency %lld ticks\n  repinned %lld "
       "tenants, re-imaged %lld replicas, post-abort dispatches %lld\n  "
@@ -280,13 +291,28 @@ int main(int argc, char** argv) {
     std::printf("  FAIL: fleet did not recover healthy after rollback\n");
     ++failures;
   }
+  // The flight-recorder stream joins the thread-invariance contract: same
+  // schedule => same event fold, at 1 and 8 worker threads. (Trivially equal
+  // in -DMN_OBS=OFF builds, where both folds are the no-op zero.)
   const bool invariant = p1.fingerprint == p8.fingerprint &&
                          p1.rollback_latency == p8.rollback_latency &&
-                         p1.post_abort_dispatches == p8.post_abort_dispatches;
+                         p1.post_abort_dispatches == p8.post_abort_dispatches &&
+                         event_fp1 == event_fp8;
   if (!invariant) {
     std::printf("  FAIL: rollout not bit-identical across thread counts\n");
     ++failures;
   }
+  std::printf("  flight recorder: %lld abort event(s), %lld postmortem "
+              "capture(s), event fingerprint %s\n",
+              static_cast<long long>(abort_events),
+              static_cast<long long>(poisoned_postmortems),
+              hex64(event_fp1).c_str());
+#if !defined(MN_OBS_DISABLED)
+  if (abort_events < 1 || poisoned_postmortems < 1) {
+    std::printf("  FAIL: rollout abort left no flight-recorder evidence\n");
+    ++failures;
+  }
+#endif
   rep.metric("rollback_latency_ticks",
              static_cast<double>(p1.rollback_latency));
   rep.metric("poisoned_post_abort_dispatch_count",
@@ -300,12 +326,15 @@ int main(int argc, char** argv) {
   rep.metric("poisoned_abort_reason",
              std::string(rollout::abort_reason_name(p1.report.reason)));
   rep.metric("poisoned_fingerprint", hex64(p1.fingerprint));
+  rep.metric("poisoned_postmortem_count",
+             static_cast<double>(poisoned_postmortems));
   rep.metric("thread_invariant_count", invariant ? 1.0 : 0.0);
   rep.metric("recovered_healthy_count",
              (p1.healthy && p8.healthy && clean.healthy) ? 1.0 : 0.0);
 
   rep.finish();
   bench::write_trace_if_requested(opt);
+  bench::write_events_if_requested(opt);
   if (failures > 0) {
     std::printf("\nbench_rollout: %d contract failure(s)\n", failures);
     return 1;

@@ -24,10 +24,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 #include "serve/engine.hpp"
 
@@ -80,6 +85,8 @@ struct PhaseResult {
   serve::ServeStats stats;
   serve::LatencyDigest virt;
   serve::LatencyDigest wall_us;
+  obs::TickHistogram fleet_hist;                 // merged per-tenant SLO view
+  std::vector<obs::TickHistogram> tenant_hists;  // one per tenant
   double wall_seconds = 0.0;
   uint64_t fingerprint = 0;
   int64_t final_sweep_detections = 0;
@@ -112,9 +119,45 @@ PhaseResult run_phase(serve::ServingEngine& engine, int64_t ticks,
   r.stats = engine.stats();
   r.virt = engine.virtual_latency();
   r.wall_us = engine.wall_latency_us();
+  r.fleet_hist = engine.latency_histogram();
+  for (int t = 0; t < engine.num_tenants(); ++t)
+    r.tenant_hists.push_back(engine.tenant_histogram(t));
   r.fingerprint = engine.fingerprint();
   r.healthy = engine.pool().all_healthy();
   return r;
+}
+
+// Request-lifecycle accounting over the flight-recorder event stream: every
+// admitted (tenant, seq) must reach exactly one terminal (kComplete) event,
+// and no terminal may appear without its admit. All three violation counts
+// gate as zero-exact in mn_regress. Empty stream (MN_OBS=OFF) => all zero.
+struct EventAccounting {
+  int64_t admits = 0;
+  int64_t terminals = 0;
+  int64_t unterminated = 0;    // admitted but never reached a terminal event
+  int64_t multi_terminal = 0;  // more than one terminal for one request
+  int64_t orphan_terminal = 0; // terminal without a matching admit
+};
+
+EventAccounting account_events(const std::vector<obs::Event>& events) {
+  EventAccounting acc;
+  std::map<std::pair<int32_t, int64_t>, std::pair<int64_t, int64_t>> reqs;
+  for (const obs::Event& e : events) {
+    if (e.kind == obs::EventKind::kAdmit) {
+      ++acc.admits;
+      ++reqs[{e.tenant, e.seq}].first;
+    } else if (e.kind == obs::EventKind::kComplete) {
+      ++acc.terminals;
+      ++reqs[{e.tenant, e.seq}].second;
+    }
+  }
+  for (const auto& [key, counts] : reqs) {
+    (void)key;
+    if (counts.first > 0 && counts.second == 0) ++acc.unterminated;
+    if (counts.second > 1) ++acc.multi_terminal;
+    if (counts.first == 0 && counts.second > 0) ++acc.orphan_terminal;
+  }
+  return acc;
 }
 
 void print_stats(const serve::ServeStats& s) {
@@ -185,6 +228,10 @@ int main(int argc, char** argv) {
 
   bench::print_header("Fleet serving: throughput & tails under chaos");
   bench::start_trace_if_requested(opt);
+  // Size the flight recorder so the chaos phase never evicts: the accounting
+  // metrics below require the complete event stream (drops would read as
+  // unterminated requests).
+  obs::event_reserve(1 << 17);
   bench::Reporter rep("serving", opt);
   int failures = 0;
 
@@ -194,6 +241,7 @@ int main(int argc, char** argv) {
   // --- phase 1: baseline (no chaos, arrivals under capacity) ----------------
   rep.phase("baseline");
   bench::print_subheader("baseline (no faults, under capacity)");
+  obs::event_clear();  // per-phase event stream
   PhaseResult base;
   {
     serve::ServingEngine engine{serve::EngineConfig{}};
@@ -251,7 +299,18 @@ int main(int argc, char** argv) {
   rep.metric("baseline_p50_host_us", base.wall_us.p50);
   rep.metric("baseline_p95_host_us", base.wall_us.p95);
   rep.metric("baseline_p99_host_us", base.wall_us.p99);
+  rep.metric("baseline_p999_host_us", base.wall_us.p999);
   rep.metric("baseline_streams_per_min", base_streams_per_min);
+  // Whole-run SLO histogram (deterministic log buckets): unlike the virt
+  // digest these merge per-tenant views and never evict, so they gate EXACT.
+  rep.metric("baseline_fleet_p50_ticks",
+             static_cast<double>(base.fleet_hist.percentile(0.50)));
+  rep.metric("baseline_fleet_p95_ticks",
+             static_cast<double>(base.fleet_hist.percentile(0.95)));
+  rep.metric("baseline_fleet_p99_ticks",
+             static_cast<double>(base.fleet_hist.percentile(0.99)));
+  rep.metric("baseline_fleet_p999_ticks",
+             static_cast<double>(base.fleet_hist.percentile(0.999)));
 
   // --- phase 2: chaos (overload + injected faults) --------------------------
   rep.phase("chaos");
@@ -267,6 +326,7 @@ int main(int argc, char** argv) {
   std::printf("  chaos schedule: seed %llu, rate %g\n",
               static_cast<unsigned long long>(ecfg.chaos.seed),
               ecfg.chaos.fault_rate);
+  obs::event_clear();  // chaos gets its own event stream + fingerprint
   PhaseResult chaos;
   {
     serve::ServingEngine engine{ecfg};
@@ -333,14 +393,123 @@ int main(int argc, char** argv) {
   rep.metric("chaos_shed_rate", chaos_shed_rate);
   rep.metric("chaos_p99_ticks", chaos.virt.p99);
   rep.metric("chaos_p99_host_us", chaos.wall_us.p99);
+  rep.metric("chaos_p999_host_us", chaos.wall_us.p999);
+  rep.metric("chaos_fleet_p50_ticks",
+             static_cast<double>(chaos.fleet_hist.percentile(0.50)));
+  rep.metric("chaos_fleet_p95_ticks",
+             static_cast<double>(chaos.fleet_hist.percentile(0.95)));
+  rep.metric("chaos_fleet_p99_ticks",
+             static_cast<double>(chaos.fleet_hist.percentile(0.99)));
+  rep.metric("chaos_fleet_p999_ticks",
+             static_cast<double>(chaos.fleet_hist.percentile(0.999)));
+  // Per-tenant SLO tails: tenant 0 is the overloaded drop-oldest stream,
+  // tenant 1 the under-capacity bystander riding the same fault schedule.
+  rep.metric("chaos_t0_p99_ticks",
+             static_cast<double>(chaos.tenant_hists[0].percentile(0.99)));
+  rep.metric("chaos_t0_p999_ticks",
+             static_cast<double>(chaos.tenant_hists[0].percentile(0.999)));
+  rep.metric("chaos_t1_p99_ticks",
+             static_cast<double>(chaos.tenant_hists[1].percentile(0.99)));
+  rep.metric("chaos_t1_p999_ticks",
+             static_cast<double>(chaos.tenant_hists[1].percentile(0.999)));
   char fp[32];
   std::snprintf(fp, sizeof(fp), "%016llx",
                 static_cast<unsigned long long>(chaos.fingerprint));
   rep.metric("chaos_fingerprint", std::string(fp));
   rep.metric("recovered_healthy_count", chaos.healthy ? 1.0 : 0.0);
 
+  // Flight-recorder witness for the chaos phase. Snapshot BEFORE the
+  // postmortem probe below — the probe engine shares the global ring and
+  // would otherwise pollute the stream accounting and fingerprint.
+  const std::vector<obs::Event> chaos_events = obs::event_snapshot();
+  const EventAccounting acc = account_events(chaos_events);
+  std::printf(
+      "  flight recorder: %zu events (%lld dropped), %lld admits -> %lld "
+      "terminals\n",
+      chaos_events.size(), static_cast<long long>(obs::event_dropped()),
+      static_cast<long long>(acc.admits),
+      static_cast<long long>(acc.terminals));
+#if !defined(MN_OBS_DISABLED)
+  if (acc.unterminated != 0 || acc.multi_terminal != 0 ||
+      acc.orphan_terminal != 0) {
+    std::printf("  FAIL: event accounting violated (%lld/%lld/%lld)\n",
+                static_cast<long long>(acc.unterminated),
+                static_cast<long long>(acc.multi_terminal),
+                static_cast<long long>(acc.orphan_terminal));
+    ++failures;
+  }
+  if (acc.admits != chaos.stats.admitted) {
+    std::printf("  FAIL: event admits %lld != stats admitted %lld\n",
+                static_cast<long long>(acc.admits),
+                static_cast<long long>(chaos.stats.admitted));
+    ++failures;
+  }
+#endif
+  rep.metric("chaos_event_count", static_cast<double>(chaos_events.size()));
+  rep.metric("chaos_events_dropped_count",
+             static_cast<double>(obs::event_dropped()));
+  rep.metric("chaos_accounting_unterminated",
+             static_cast<double>(acc.unterminated));
+  rep.metric("chaos_accounting_multi_terminal",
+             static_cast<double>(acc.multi_terminal));
+  rep.metric("chaos_accounting_orphan_terminal",
+             static_cast<double>(acc.orphan_terminal));
+  char efp[32];
+  std::snprintf(efp, sizeof(efp), "%016llx",
+                static_cast<unsigned long long>(obs::event_fingerprint()));
+  rep.metric("chaos_event_fingerprint", std::string(efp));
+
+  // Postmortem probe: a deliberately broken micro-fleet (all-NaN inputs,
+  // tight breaker, 8-tick watchdog) that deterministically trips the breaker
+  // and stalls the watchdog — the witness that incident captures fire and
+  // carry recent event history into the dump.
+  bench::print_subheader("postmortem probe (NaN inputs, breaker + watchdog)");
+  const int64_t pm_before = obs::postmortem_count();
+  int64_t probe_trips = 0, probe_stalls = 0;
+  {
+    serve::ServingEngine probe{serve::EngineConfig{}};
+    serve::VariantSpec pv;
+    pv.model = kws_variant(opt.seed + 31, 8, 4, {{8, 1}}, "kws_probe");
+    pv.service_ticks = 2;
+    pv.instances = 1;
+    serve::TenantConfig ptc = tenant_kws("probe_nan");
+    ptc.breaker_threshold = 3;
+    ptc.breaker_cooldown_ticks = 64;
+    ptc.watchdog_timeout_ticks = 8;
+    std::vector<TensorF> bad = make_inputs(2, opt.seed + 300);
+    for (TensorF& t : bad)
+      for (int64_t k = 0; k < t.size(); ++k)
+        t[k] = std::numeric_limits<float>::quiet_NaN();
+    probe.register_tenant(ptc, std::move(pv), std::nullopt, std::move(bad));
+    for (int64_t tick = 0; tick < 64; ++tick) {
+      (void)probe.submit(0);
+      probe.step();
+    }
+    (void)probe.drain(256);
+    probe_trips = probe.stats().breaker_trips;
+    probe_stalls = probe.stats().watchdog_stalls;
+  }
+  const int64_t probe_postmortems = obs::postmortem_count() - pm_before;
+  std::printf("  probe: %lld breaker trip(s), %lld stall(s), %lld postmortem "
+              "capture(s)\n",
+              static_cast<long long>(probe_trips),
+              static_cast<long long>(probe_stalls),
+              static_cast<long long>(probe_postmortems));
+  if (probe_trips < 1 || probe_stalls < 1) {
+    std::printf("  FAIL: probe did not trip breaker + watchdog\n");
+    ++failures;
+  }
+#if !defined(MN_OBS_DISABLED)
+  if (probe_postmortems < 1 || obs::postmortem_latest().events.empty()) {
+    std::printf("  FAIL: incident did not capture a postmortem dump\n");
+    ++failures;
+  }
+#endif
+  rep.metric("chaos_postmortem_count", static_cast<double>(probe_postmortems));
+
   rep.finish();
   bench::write_trace_if_requested(opt);
+  bench::write_events_if_requested(opt);
   if (failures > 0) {
     std::printf("\nbench_serving: %d contract failure(s)\n", failures);
     return 1;

@@ -9,6 +9,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/snapshot.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
@@ -93,6 +94,8 @@ BenchOptions parse_args(int argc, char** argv) {
         opt.full = false;
       } else if (flag_value(argc, argv, &i, "--trace-out", &v)) {
         opt.trace_out = v;
+      } else if (flag_value(argc, argv, &i, "--events-out", &v)) {
+        opt.events_out = v;
       } else if (flag_value(argc, argv, &i, "--chaos", &v)) {
         opt.chaos = parse_chaos_spec(v);
       }
@@ -120,6 +123,20 @@ void write_trace_if_requested(const BenchOptions& opt) {
                 opt.trace_out.c_str());
   else
     std::printf("  [failed to write trace %s]\n", opt.trace_out.c_str());
+}
+
+void write_events_if_requested(const BenchOptions& opt) {
+  if (opt.events_out.empty()) return;
+  const std::string dump = "{\"log\": " + obs::event_log_json() +
+                           ", \"postmortem\": " + obs::postmortem_json() +
+                           "}\n";
+  if (obs::write_text_file(opt.events_out, dump))
+    std::printf("  flight recorder (%zu events, %lld postmortem(s)) -> %s\n",
+                obs::event_size(),
+                static_cast<long long>(obs::postmortem_count()),
+                opt.events_out.c_str());
+  else
+    std::printf("  [failed to write events %s]\n", opt.events_out.c_str());
 }
 
 void print_header(const std::string& title) {

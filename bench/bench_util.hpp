@@ -40,6 +40,12 @@ struct BenchOptions {
   // tracks for the whole run and write a chrome://tracing JSON there.
   // Empty = tracing stays off (benches may install a default path).
   std::string trace_out;
+  // --events-out=PATH (or --events-out PATH): write the flight-recorder
+  // dump — {"log": <event ring + fingerprint>, "postmortem": <latest
+  // capture>} — at the end of the run. The event ring records regardless of
+  // this flag (it must already be running when an incident happens); the
+  // flag only selects a dump destination. Empty = no dump.
+  std::string events_out;
   ChaosOptions chaos;
 };
 // Parses the shared flags. A malformed or valueless flag (`--chaos` with no
@@ -61,6 +67,12 @@ ChaosOptions parse_chaos_spec(const std::string& spec);
 void start_trace_if_requested(const BenchOptions& opt,
                               std::size_t capacity = 16384);
 void write_trace_if_requested(const BenchOptions& opt);
+
+// Shared --events-out implementation (mirroring --trace-out): writes the
+// flight-recorder event log + latest postmortem capture as JSON to
+// opt.events_out. No-op when the flag was not given; in -DMN_OBS=OFF builds
+// the written dump is valid but empty.
+void write_events_if_requested(const BenchOptions& opt);
 
 // Pretty-printers.
 void print_header(const std::string& title);

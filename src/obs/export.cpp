@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/eventlog.hpp"
+
 namespace mn::obs {
 
 namespace {
@@ -110,6 +112,51 @@ std::vector<std::pair<std::string, int64_t>> metrics_flat() {
     out.emplace_back(gauge_name(g), gauge_value(g));
   }
   return out;
+}
+
+namespace {
+
+std::string hex64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string events_array(const std::vector<Event>& events) {
+  std::string j = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i > 0) j += ",";
+    j += "\n{\"kind\": \"" + std::string(event_kind_name(e.kind)) + "\"";
+    j += ", \"tenant\": " + std::to_string(e.tenant);
+    j += ", \"seq\": " + std::to_string(e.seq);
+    j += ", \"tick\": " + std::to_string(e.tick);
+    j += ", \"a\": " + std::to_string(e.a);
+    j += ", \"b\": " + std::to_string(e.b) + "}";
+  }
+  j += "\n]";
+  return j;
+}
+
+}  // namespace
+
+std::string event_log_json() {
+  std::string j = "{\"fingerprint\": \"" + hex64(event_fingerprint()) + "\"";
+  j += ", \"dropped\": " + std::to_string(event_dropped());
+  j += ", \"events\": " + events_array(event_snapshot()) + "}\n";
+  return j;
+}
+
+std::string postmortem_json() {
+  const PostmortemDump dump = postmortem_latest();
+  std::string j = "{\"captures\": " + std::to_string(postmortem_count());
+  j += ", \"reason\": ";
+  j += dump.reason == nullptr ? "null"
+                              : "\"" + json_escape(dump.reason) + "\"";
+  j += ", \"tick\": " + std::to_string(dump.tick);
+  j += ", \"events\": " + events_array(dump.events) + "}\n";
+  return j;
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

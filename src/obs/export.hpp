@@ -28,6 +28,16 @@ std::string metrics_json();
 // included so a metric's absence never looks like a measurement.
 std::vector<std::pair<std::string, int64_t>> metrics_flat();
 
+// Flight-recorder export (eventlog.hpp): {"fingerprint": "<hex>",
+// "dropped": N, "events": [{"kind", "tenant", "seq", "tick", "a", "b"}...]}
+// over the resident event ring, oldest first.
+std::string event_log_json();
+
+// Latest postmortem capture: {"captures": N, "reason": "...", "tick": T,
+// "events": [...]}. With no capture taken, renders {"captures": 0,
+// "reason": null, "tick": 0, "events": []} — still a valid document.
+std::string postmortem_json();
+
 // Writes `content` to `path` (plain overwrite; trace dumps are not
 // crash-critical artifacts). Returns false on any I/O error.
 bool write_text_file(const std::string& path, const std::string& content);

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <mutex>
 
+#include "obs/eventlog.hpp"
+
 namespace mn::obs {
 
 // Name tables compile in every configuration: the exporters render (empty)
@@ -34,6 +36,9 @@ const char* counter_name(Counter c) {
     case Counter::kCompileOpsRemoved: return "compile_ops_removed";
     case Counter::kCompileBytesFolded: return "compile_bytes_folded";
     case Counter::kCompilePeakBytesSaved: return "compile_peak_bytes_saved";
+    case Counter::kEventsEmitted: return "events_emitted";
+    case Counter::kEventsDropped: return "events_dropped";
+    case Counter::kPostmortemDumps: return "postmortem_dumps";
     case Counter::kCount: break;
   }
   return "unknown_counter";
@@ -49,6 +54,7 @@ const char* gauge_name(Gauge g) {
     case Gauge::kArenaLiveBytesPeak: return "arena_live_bytes_peak";
     case Gauge::kServeQueueDepthPeak: return "serve_queue_depth_peak";
     case Gauge::kServeInflightPeak: return "serve_inflight_peak";
+    case Gauge::kEventHighWater: return "event_high_water";
     case Gauge::kCount: break;
   }
   return "unknown_gauge";
@@ -130,6 +136,11 @@ void reset_counters() {
 void reset_all() {
   reset_counters();
   trace_clear();
+  // Serving-era state (PRs 6-10): the flight-recorder ring, its running
+  // fingerprint, and the stored postmortem capture must also reset, or
+  // back-to-back bench phases inherit each other's incident history.
+  event_clear();
+  postmortem_clear();
 }
 
 void trace_reserve(size_t capacity) {
@@ -143,7 +154,9 @@ void set_tracing(bool on) {
   if (on) {
     std::lock_guard<std::mutex> lk(g_trace_m);
     if (g_ring.empty()) {
-      g_ring.assign(kDefaultTraceCapacity, TraceEvent{});
+      g_ring.assign(std::max(ring_capacity_from_env(kDefaultTraceCapacity),
+                             kMinTraceCapacity),
+                    TraceEvent{});
       g_head = 0;
       g_size = 0;
     }

@@ -51,6 +51,9 @@ enum class Counter : uint32_t {
   kCompileOpsRemoved,    // graph-compiler: ops folded/fused/eliminated
   kCompileBytesFolded,   // graph-compiler: const bytes materialized into blob
   kCompilePeakBytesSaved,  // graph-compiler: peak_live_bytes reduction
+  kEventsEmitted,        // flight-recorder events emitted (eventlog.hpp)
+  kEventsDropped,        // flight-recorder events evicted by ring wrap
+  kPostmortemDumps,      // postmortem captures taken (stall/breaker/abort)
   kCount
 };
 
@@ -65,6 +68,7 @@ enum class Gauge : uint32_t {
   kArenaLiveBytesPeak,   // largest per-op sum of live activation tensors
   kServeQueueDepthPeak,  // deepest single tenant queue seen by the engine
   kServeInflightPeak,    // most requests simultaneously executing
+  kEventHighWater,       // most events ever resident in the flight recorder
   kCount
 };
 
@@ -110,9 +114,11 @@ int64_t gauge_value(Gauge g);
 // Zeroes every counter AND every gauge. The trace ring buffer is untouched;
 // use reset_all() to also drop recorded events.
 void reset_counters();
-// Full registry reset: counters, gauges, and the trace ring's recorded
-// events (reserved capacity and the tracing on/off switch are kept). The
-// state a test fixture wants between cases.
+// Full registry reset: counters, gauges, the trace ring's recorded events,
+// the flight-recorder event ring + fingerprint, and the stored postmortem
+// capture (reserved capacities and the tracing on/off switch are kept).
+// Audited against every serving-era counter/gauge so back-to-back bench
+// phases start clean — the state a test fixture wants between cases.
 void reset_all();
 
 // --- span tracing -----------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/eventlog.hpp"
 #include "reliability/fault_injector.hpp"
 #include "tensor/rng.hpp"
 
@@ -333,12 +334,21 @@ void RolloutController::rollback(AbortReason reason, std::string detail) {
   stats_.cohort_size = 0;
   cohort_.clear();
   completion_tick_ = engine_.now();
+  obs::event_emit({obs::EventKind::kRolloutAbort, /*tenant=*/-1, /*seq=*/-1,
+                   engine_.now(), static_cast<int64_t>(reason),
+                   report_.tenants_repinned});
   enter(Stage::kAborted);
+  // Captured after kAborted is entered so the dump's trailing events show
+  // the complete incident: guard breach, repins, reimages, stage change.
+  obs::event_postmortem("rollout_abort", engine_.now());
 }
 
 void RolloutController::enter(Stage s) {
   stage_ = s;
   stage_entered_ = engine_.now();
+  obs::event_emit({obs::EventKind::kRolloutStage, /*tenant=*/-1, /*seq=*/-1,
+                   engine_.now(), static_cast<int64_t>(s),
+                   static_cast<int64_t>(stats_.cohort_size)});
   trajectory_ = hash_combine(
       trajectory_, hash_combine(static_cast<uint64_t>(s) << 8,
                                 static_cast<uint64_t>(engine_.now())));

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/eventlog.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "reliability/fault_injector.hpp"
@@ -65,6 +66,7 @@ LatencyDigest digest(const std::vector<int64_t>& samples) {
   d.p50 = percentile(sorted, 0.50);
   d.p95 = percentile(sorted, 0.95);
   d.p99 = percentile(sorted, 0.99);
+  d.p999 = percentile(sorted, 0.999);
   d.max = sorted.back();
   return d;
 }
@@ -148,6 +150,16 @@ Tick ServingEngine::tenant_p99(int tenant) const {
   return tenant_window_p99(tenants_.at(static_cast<size_t>(tenant)));
 }
 
+const obs::TickHistogram& ServingEngine::tenant_histogram(int tenant) const {
+  return tenants_.at(static_cast<size_t>(tenant)).hist;
+}
+
+obs::TickHistogram ServingEngine::latency_histogram() const {
+  obs::TickHistogram merged;
+  for (const Tenant& t : tenants_) merged.merge(t.hist);
+  return merged;
+}
+
 rt::Expected<int64_t> ServingEngine::submit(int tenant, Tick deadline_budget) {
   Tenant& t = tenants_.at(static_cast<size_t>(tenant));
   ++t.stats.submitted;
@@ -156,6 +168,9 @@ rt::Expected<int64_t> ServingEngine::submit(int tenant, Tick deadline_budget) {
     ++t.stats.rejected_breaker;
     ++stats_.rejected_breaker;
     obs::counter_add(obs::Counter::kServeShed, 1);
+    obs::event_emit({obs::EventKind::kReject, tenant, /*seq=*/-1, now_,
+                     static_cast<int64_t>(Outcome::kRejectedBreaker),
+                     t.queue.size()});
     fingerprint_ = hash_combine(
         fingerprint_,
         hash_combine(static_cast<uint64_t>(tenant) << 32 |
@@ -179,6 +194,9 @@ rt::Expected<int64_t> ServingEngine::submit(int tenant, Tick deadline_budget) {
     ++t.stats.rejected_queue_full;
     ++stats_.rejected_queue_full;
     obs::counter_add(obs::Counter::kServeShed, 1);
+    obs::event_emit({obs::EventKind::kReject, tenant, seq, now_,
+                     static_cast<int64_t>(Outcome::kRejectedQueueFull),
+                     t.queue.size()});
     fingerprint_ = hash_combine(
         fingerprint_,
         hash_combine(static_cast<uint64_t>(tenant) << 32 |
@@ -192,6 +210,8 @@ rt::Expected<int64_t> ServingEngine::submit(int tenant, Tick deadline_budget) {
   ++stats_.admitted;
   obs::counter_add(obs::Counter::kServeAdmitted, 1);
   obs::gauge_set_max(obs::Gauge::kServeQueueDepthPeak, t.queue.size());
+  obs::event_emit({obs::EventKind::kAdmit, tenant, seq, now_, t.queue.size(),
+                   now_ + budget});
   return seq;
 }
 
@@ -210,6 +230,27 @@ void ServingEngine::step() {
                        obs::Cat::kRuntime);
     obs::trace_counter("serve_inflight", static_cast<double>(inflight_.size()),
                        obs::Cat::kRuntime);
+    // Per-tenant SLO tracks (counter names must be static literals, so the
+    // first kMaxTenantTracks tenants get their own Perfetto track).
+    static constexpr int kMaxTenantTracks = 8;
+    static constexpr const char* kP50Track[kMaxTenantTracks] = {
+        "serve_t0_p50_ticks", "serve_t1_p50_ticks", "serve_t2_p50_ticks",
+        "serve_t3_p50_ticks", "serve_t4_p50_ticks", "serve_t5_p50_ticks",
+        "serve_t6_p50_ticks", "serve_t7_p50_ticks"};
+    static constexpr const char* kP99Track[kMaxTenantTracks] = {
+        "serve_t0_p99_ticks", "serve_t1_p99_ticks", "serve_t2_p99_ticks",
+        "serve_t3_p99_ticks", "serve_t4_p99_ticks", "serve_t5_p99_ticks",
+        "serve_t6_p99_ticks", "serve_t7_p99_ticks"};
+    for (size_t i = 0; i < tenants_.size() &&
+                       i < static_cast<size_t>(kMaxTenantTracks);
+         ++i) {
+      const obs::TickHistogram& h = tenants_[i].hist;
+      if (h.count() == 0) continue;
+      obs::trace_counter(kP50Track[i], static_cast<double>(h.percentile(0.50)),
+                         obs::Cat::kRuntime);
+      obs::trace_counter(kP99Track[i], static_cast<double>(h.percentile(0.99)),
+                         obs::Cat::kRuntime);
+    }
   }
   ++now_;
 }
@@ -310,6 +351,14 @@ void ServingEngine::record_breaker_trips(Tenant& t, int64_t before) {
   const int64_t delta = t.breaker.trips() - before;
   t.stats.breaker_trips += delta;
   stats_.breaker_trips += delta;
+  if (delta > 0) {
+    // Breaker open: a flight-recorder incident. Capture the trailing events
+    // so the postmortem shows what the tenant was doing when it tripped.
+    const auto id = static_cast<int32_t>(&t - tenants_.data());
+    obs::event_emit({obs::EventKind::kBreakerTrip, id, /*seq=*/-1, now_,
+                     t.breaker.trips(), delta});
+    obs::event_postmortem("breaker_open", now_);
+  }
 }
 
 void ServingEngine::complete(Inflight rec) {
@@ -332,6 +381,7 @@ void ServingEngine::complete(Inflight rec) {
       const Tick lat = rec.completes - rec.req.arrival;
       virtual_lat_.push_back(lat);
       wall_ns_.push_back(rec.wall_ns);
+      t.hist.record(lat);
       if (static_cast<int64_t>(t.lat_window.size()) < kLatencyWindow) {
         t.lat_window.push_back(lat);
       } else {
@@ -352,6 +402,9 @@ void ServingEngine::complete(Inflight rec) {
       ++t.stats.quarantines;
       ++stats_.quarantines;
       obs::counter_add(obs::Counter::kServeQuarantines, 1);
+      obs::event_emit({obs::EventKind::kQuarantine, rec.req.tenant,
+                       rec.req.seq, now_, rec.instance,
+                       now_ + cfg_.quarantine_cooldown_ticks});
       Request retry = rec.req;
       ++retry.attempt;
       const Tick backoff = t.cfg.retry_backoff_ticks
@@ -360,6 +413,8 @@ void ServingEngine::complete(Inflight rec) {
       const bool feasible =
           retry.not_before + min_service_ticks(t) <= retry.deadline;
       if (retry.attempt <= t.cfg.max_retries && feasible) {
+        obs::event_emit({obs::EventKind::kRetry, retry.tenant, retry.seq,
+                         now_, retry.attempt, retry.not_before});
         t.retry_queue.push_back(std::move(retry));
         ++t.stats.retries;
         ++stats_.retries;
@@ -416,6 +471,11 @@ void ServingEngine::finish(const Request& req, Outcome o, Tick completion) {
       break;  // recorded at submit (or sentinel); never reach finish()
   }
   if (is_shed(o)) obs::counter_add(obs::Counter::kServeShed, 1);
+  // The one terminal emission point: every admitted request flows through
+  // finish() exactly once, so the event accounting invariant (one kComplete
+  // per kAdmit) holds by construction — mn_regress gates it as exact-zero.
+  obs::event_emit({obs::EventKind::kComplete, req.tenant, req.seq, completion,
+                   static_cast<int64_t>(o), completion - req.arrival});
   fingerprint_ = hash_combine(
       fingerprint_,
       hash_combine(static_cast<uint64_t>(req.tenant) << 32 |
@@ -438,9 +498,16 @@ void ServingEngine::run_watchdogs() {
         t.stall_latched = true;
         ++t.stats.watchdog_stalls;
         ++stats_.watchdog_stalls;
+        const auto id = static_cast<int32_t>(&t - tenants_.data());
+        obs::event_emit({obs::EventKind::kWatchdogStall, id, /*seq=*/-1, now_,
+                         t.queue.size(),
+                         static_cast<int64_t>(t.retry_queue.size())});
         const int64_t before = t.breaker.trips();
         t.breaker.force_open(now_);
         record_breaker_trips(t, before);
+        // Capture last (after the forced breaker trip) so the stall
+        // postmortem includes the whole incident, trip included.
+        obs::event_postmortem("watchdog_stall", now_);
       }
     } else if (!t.watchdog.stalled()) {
       t.stall_latched = false;
@@ -479,6 +546,8 @@ void ServingEngine::run_canary() {
     ++stats_.canary_detections;
     ++stats_.quarantines;
     obs::counter_add(obs::Counter::kServeQuarantines, 1);
+    obs::event_emit({obs::EventKind::kCanaryDetect, /*tenant=*/-1, /*seq=*/-1,
+                     now_, idx, now_ + cfg_.quarantine_cooldown_ticks});
     fingerprint_ = hash_combine(
         fingerprint_, hash_combine(0xCA11A57ULL | static_cast<uint64_t>(idx)
                                                       << 32,
@@ -500,6 +569,10 @@ void ServingEngine::evaluate_degradation() {
         t.degraded = true;
         ++t.stats.degrade_enters;
         ++stats_.degrade_enters;
+        obs::event_emit({obs::EventKind::kDegradeEnter,
+                         static_cast<int32_t>(&t - tenants_.data()),
+                         /*seq=*/-1, now_, t.queue.size(),
+                         tenant_window_p99(t)});
       }
     } else if (t.degraded) {
       // Hysteresis: require degrade_hold_ticks of calm before recovering.
@@ -508,6 +581,10 @@ void ServingEngine::evaluate_degradation() {
         t.degrade_ok_run = 0;
         ++t.stats.degrade_exits;
         ++stats_.degrade_exits;
+        obs::event_emit({obs::EventKind::kDegradeExit,
+                         static_cast<int32_t>(&t - tenants_.data()),
+                         /*seq=*/-1, now_, t.queue.size(),
+                         tenant_window_p99(t)});
       }
     }
   }
@@ -588,6 +665,8 @@ bool ServingEngine::dispatch_one(int tenant_index, std::vector<size_t>* fresh) {
   pool_.instance(idx).busy_until = rec.completes;
   ++variant_dispatches_[static_cast<size_t>(variant)];
   ++t.inflight;
+  obs::event_emit({obs::EventKind::kDispatch, rec.req.tenant, rec.req.seq,
+                   now_, variant, rec.req.attempt});
   inflight_.push_back(std::move(rec));
   fresh->push_back(inflight_.size() - 1);
   return true;

@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "reliability/watchdog.hpp"
 #include "runtime/rt_error.hpp"
 #include "serve/admission.hpp"
@@ -96,6 +97,14 @@ class ServingEngine {
   // same ring the degradation trigger reads).
   Tick tenant_p99(int tenant) const;
 
+  // Cumulative per-tenant SLO histogram over served virtual latencies
+  // (deterministic log buckets, obs/histogram.hpp) and the merged fleet
+  // view. Unlike the lat_window ring these never evict, so p50/p95/p99/p999
+  // cover the whole run; like everything tick-derived they are bit-identical
+  // at any MN_THREADS.
+  const obs::TickHistogram& tenant_histogram(int tenant) const;
+  obs::TickHistogram latency_histogram() const;
+
   // Submits one request for the tenant at the current tick. Deadline budget
   // defaults to the tenant's configured deadline_ticks. Returns the admitted
   // request's sequence number, or a typed rejection: kCircuitOpen (breaker),
@@ -154,6 +163,7 @@ class ServingEngine {
     std::unique_ptr<rt::Interpreter> shadow_mirror;
     std::vector<Tick> lat_window;  // ring of recent virtual latencies
     int64_t lat_seen = 0;
+    obs::TickHistogram hist;       // cumulative served-latency histogram
     int64_t inflight = 0;
     int64_t next_seq = 0;
     std::vector<TensorF> inputs;

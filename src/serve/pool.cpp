@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/eventlog.hpp"
 #include "runtime/planner.hpp"
 
 namespace mn::serve {
@@ -104,6 +105,10 @@ void InterpreterPool::reimage(int idx, int variant, Tick until) {
   inst.variant = variant;
   inst.busy_until = until;
   ++inst.rebuilds;
+  // Fleet-scoped flight-recorder record; `tick` is the tick the rebuilt
+  // replica rejoins rotation (the only virtual time the pool is handed).
+  obs::event_emit({obs::EventKind::kReimage, /*tenant=*/-1, /*seq=*/-1, until,
+                   idx, variant});
 }
 
 bool InterpreterPool::all_healthy() const {

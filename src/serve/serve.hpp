@@ -147,7 +147,7 @@ struct ServeStats {
 // Order statistics over recorded latency samples.
 struct LatencyDigest {
   int64_t count = 0;
-  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, p999 = 0.0;
   int64_t max = 0;
 };
 LatencyDigest digest(const std::vector<int64_t>& samples);

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
 #include <string>
@@ -24,7 +26,9 @@
 #include "nn/checkpoint.hpp"
 #include "nn/graph.hpp"
 #include "nn/trainer.hpp"
+#include "obs/eventlog.hpp"
 #include "obs/export.hpp"
+#include "obs/histogram.hpp"
 #include "obs/obs.hpp"
 #include "parallel/pool.hpp"
 #include "runtime/converter.hpp"
@@ -207,7 +211,174 @@ TEST_F(ObsTest, PoolStatsCountChunksAndRegions) {
   EXPECT_LE(s.stolen_fraction(), 1.0);
 }
 
+// --- request-lifecycle flight recorder (PR 10) -------------------------------
+
+obs::Event lifecycle_event(obs::EventKind kind, int64_t seq, int64_t tick) {
+  obs::Event ev;
+  ev.kind = kind;
+  ev.tenant = 0;
+  ev.seq = seq;
+  ev.tick = tick;
+  ev.a = seq * 3;
+  ev.b = tick + 1;
+  return ev;
+}
+
+TEST_F(ObsTest, EventRingEvictsOldestAndCountsDrops) {
+  obs::event_reserve(16);
+  EXPECT_EQ(obs::event_capacity(), 16u);
+  for (int i = 0; i < 24; ++i)
+    obs::event_emit(lifecycle_event(obs::EventKind::kAdmit, i, 100 + i));
+  EXPECT_EQ(obs::event_size(), 16u);
+  EXPECT_EQ(obs::event_dropped(), 8);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kEventsDropped), 8);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kEventsEmitted), 24);
+  const auto events = obs::event_snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  // The first 8 were evicted; survivors stay oldest-first.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<int64_t>(8 + i));
+    EXPECT_EQ(events[i].tick, static_cast<int64_t>(108 + i));
+  }
+  obs::event_clear();
+  EXPECT_EQ(obs::event_size(), 0u);
+  EXPECT_EQ(obs::event_capacity(), 16u);  // clear keeps the reservation
+}
+
+TEST_F(ObsTest, EventFingerprintIsOrderExactAndCapacityIndependent) {
+  // Same emission order at a tiny capacity (everything evicted) and a large
+  // one (nothing evicted) folds to the same fingerprint: the fold happens at
+  // emit time, before eviction.
+  obs::event_reserve(16);
+  const uint64_t fresh = obs::event_fingerprint();
+  for (int i = 0; i < 64; ++i)
+    obs::event_emit(lifecycle_event(obs::EventKind::kDispatch, i, i));
+  const uint64_t small_ring = obs::event_fingerprint();
+  EXPECT_NE(small_ring, fresh);
+  obs::event_reserve(1024);
+  for (int i = 0; i < 64; ++i)
+    obs::event_emit(lifecycle_event(obs::EventKind::kDispatch, i, i));
+  EXPECT_EQ(obs::event_fingerprint(), small_ring);
+  // Swapping two events changes the fold: the hash is order-exact.
+  obs::event_clear();
+  for (int i = 63; i >= 0; --i)
+    obs::event_emit(lifecycle_event(obs::EventKind::kDispatch, i, i));
+  EXPECT_NE(obs::event_fingerprint(), small_ring);
+}
+
+TEST_F(ObsTest, PostmortemCapturesTrailingEventsLatestWins) {
+  obs::event_reserve(256);
+  EXPECT_EQ(obs::postmortem_count(), 0);
+  EXPECT_EQ(obs::postmortem_latest().reason, nullptr);
+  for (int i = 0; i < 100; ++i)
+    obs::event_emit(lifecycle_event(obs::EventKind::kComplete, i, i));
+  obs::event_postmortem("first_incident", 99);
+  EXPECT_EQ(obs::postmortem_count(), 1);
+  obs::PostmortemDump dump = obs::postmortem_latest();
+  EXPECT_STREQ(dump.reason, "first_incident");
+  EXPECT_EQ(dump.tick, 99);
+  ASSERT_EQ(dump.events.size(), obs::kPostmortemDepth);
+  // The capture is the TAIL of the stream: seqs 36..99.
+  for (size_t i = 0; i < dump.events.size(); ++i)
+    EXPECT_EQ(dump.events[i].seq,
+              static_cast<int64_t>(100 - obs::kPostmortemDepth + i));
+  obs::event_emit(lifecycle_event(obs::EventKind::kBreakerTrip, 100, 100));
+  obs::event_postmortem("second_incident", 100);
+  EXPECT_EQ(obs::postmortem_count(), 2);
+  dump = obs::postmortem_latest();
+  EXPECT_STREQ(dump.reason, "second_incident");
+  EXPECT_EQ(dump.events.back().seq, 100);
+  // A capture on a short stream keeps everything recorded so far.
+  obs::event_clear();
+  obs::event_emit(lifecycle_event(obs::EventKind::kWatchdogStall, 7, 7));
+  obs::event_postmortem("short_stream", 7);
+  EXPECT_EQ(obs::postmortem_latest().events.size(), 1u);
+}
+
+TEST_F(ObsTest, MnObsRingEnvOverridesRingDefault) {
+  ASSERT_EQ(unsetenv("MN_OBS_RING"), 0);
+  EXPECT_EQ(obs::ring_capacity_from_env(4096), 4096u);
+  ASSERT_EQ(setenv("MN_OBS_RING", "128", 1), 0);
+  EXPECT_EQ(obs::ring_capacity_from_env(4096), 128u);
+  // Unparseable values warn once on stderr and keep the fallback.
+  ASSERT_EQ(setenv("MN_OBS_RING", "lots", 1), 0);
+  EXPECT_EQ(obs::ring_capacity_from_env(4096), 4096u);
+  ASSERT_EQ(setenv("MN_OBS_RING", "-5", 1), 0);
+  EXPECT_EQ(obs::ring_capacity_from_env(4096), 4096u);
+  ASSERT_EQ(unsetenv("MN_OBS_RING"), 0);
+}
+
+TEST_F(ObsTest, EventLogJsonRendersStreamAndPostmortem) {
+  obs::event_reserve(64);
+  obs::event_emit(lifecycle_event(obs::EventKind::kAdmit, 1, 10));
+  obs::event_emit(lifecycle_event(obs::EventKind::kRolloutAbort, -1, 11));
+  std::string j = obs::event_log_json();
+  EXPECT_NE(j.find("\"fingerprint\": \"0x"), std::string::npos);
+  EXPECT_NE(j.find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(j.find("\"kind\": \"admit\""), std::string::npos);
+  EXPECT_NE(j.find("\"kind\": \"rollout_abort\""), std::string::npos);
+  // Without a capture the postmortem document is explicit about it.
+  EXPECT_NE(obs::postmortem_json().find("\"reason\": null"),
+            std::string::npos);
+  obs::event_postmortem("json_incident", 11);
+  j = obs::postmortem_json();
+  EXPECT_NE(j.find("\"reason\": \"json_incident\""), std::string::npos);
+  EXPECT_NE(j.find("\"captures\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"tick\": 11"), std::string::npos);
+}
+
+// Regression test for the PR 10 reset_all fix: every serving-era registry —
+// ALL counters and gauges (enumerated, so a new enumerator can't dodge the
+// reset), the event ring + fingerprint, and the postmortem capture — must
+// return to the fresh-process state.
+TEST_F(ObsTest, ResetAllClearsServingEraState) {
+  const uint64_t fresh_fp = obs::event_fingerprint();
+  for (uint32_t i = 0; i < static_cast<uint32_t>(obs::Counter::kCount); ++i)
+    obs::counter_add(static_cast<obs::Counter>(i), 3);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(obs::Gauge::kCount); ++i)
+    obs::gauge_set_max(static_cast<obs::Gauge>(i), 5);
+  obs::event_reserve(64);
+  for (int i = 0; i < 8; ++i)
+    obs::event_emit(lifecycle_event(obs::EventKind::kRetry, i, i));
+  obs::event_postmortem("reset_me", 7);
+  ASSERT_NE(obs::event_fingerprint(), fresh_fp);
+  ASSERT_GT(obs::postmortem_count(), 0);
+  obs::reset_all();
+  for (uint32_t i = 0; i < static_cast<uint32_t>(obs::Counter::kCount); ++i)
+    EXPECT_EQ(obs::counter_value(static_cast<obs::Counter>(i)), 0)
+        << obs::counter_name(static_cast<obs::Counter>(i));
+  for (uint32_t i = 0; i < static_cast<uint32_t>(obs::Gauge::kCount); ++i)
+    EXPECT_EQ(obs::gauge_value(static_cast<obs::Gauge>(i)), 0)
+        << obs::gauge_name(static_cast<obs::Gauge>(i));
+  EXPECT_EQ(obs::trace_size(), 0u);
+  EXPECT_EQ(obs::event_size(), 0u);
+  EXPECT_EQ(obs::event_dropped(), 0);
+  EXPECT_EQ(obs::event_fingerprint(), fresh_fp);
+  EXPECT_EQ(obs::postmortem_count(), 0);
+  EXPECT_EQ(obs::postmortem_latest().reason, nullptr);
+  EXPECT_TRUE(obs::postmortem_latest().events.empty());
+}
+
 #else  // MN_OBS_DISABLED: the whole registry is compiled out.
+
+TEST_F(ObsTest, DisabledBuildEventLogIsNoOp) {
+  obs::event_reserve(64);
+  obs::Event ev;
+  ev.kind = obs::EventKind::kAdmit;
+  obs::event_emit(ev);
+  EXPECT_EQ(obs::event_size(), 0u);
+  EXPECT_EQ(obs::event_capacity(), 0u);
+  EXPECT_EQ(obs::event_dropped(), 0);
+  EXPECT_EQ(obs::event_fingerprint(), 0u);
+  EXPECT_TRUE(obs::event_snapshot().empty());
+  obs::event_postmortem("ignored", 1);
+  EXPECT_EQ(obs::postmortem_count(), 0);
+  EXPECT_EQ(obs::postmortem_latest().reason, nullptr);
+  EXPECT_EQ(obs::ring_capacity_from_env(2048), 2048u);
+  // The name table stays linked in every configuration.
+  EXPECT_STREQ(obs::event_kind_name(obs::EventKind::kWatchdogStall),
+               "watchdog_stall");
+}
 
 TEST_F(ObsTest, DisabledBuildPinsEverythingToZero) {
   obs::counter_add(obs::Counter::kKernelMacs, 123);
@@ -235,6 +406,100 @@ TEST_F(ObsTest, DisabledBuildExportersStillRender) {
 }
 
 #endif  // MN_OBS_DISABLED
+
+// --- deterministic SLO histograms (plain value type: both configurations) ---
+
+// Nearest-rank oracle matching serve::digest / TickHistogram::percentile:
+// rank = ceil(q * n) clamped to [1, n], 1-indexed into the sorted samples.
+int64_t oracle_percentile(std::vector<int64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  rank = std::clamp<int64_t>(rank, 1, static_cast<int64_t>(samples.size()));
+  return samples[static_cast<size_t>(rank - 1)];
+}
+
+TEST_F(ObsTest, HistogramPercentilesExactInSingletonRange) {
+  // Below 128 every bucket holds exactly one value, so the histogram
+  // percentile equals the sorted-vector oracle for every quantile.
+  Rng rng(21);
+  obs::TickHistogram h;
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v =
+        std::min<int64_t>(127, std::abs(static_cast<int64_t>(
+                                   rng.normal(0.0, 40.0))));
+    samples.push_back(v);
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 2000);
+  for (double q : {0.01, 0.25, 0.50, 0.95, 0.99, 0.999, 1.0})
+    EXPECT_EQ(h.percentile(q), oracle_percentile(samples, q)) << "q=" << q;
+}
+
+TEST_F(ObsTest, HistogramPercentileBoundsLargeValues) {
+  // Above the singleton range the reported value is the bucket lower bound:
+  // never above the true order statistic, and within one log-bucket width
+  // (1/64 relative) below it.
+  Rng rng(22);
+  obs::TickHistogram h;
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t v = 1 + std::abs(static_cast<int64_t>(
+                              rng.normal(0.0, 1e6)));
+    samples.push_back(v);
+    h.record(v);
+  }
+  for (double q : {0.50, 0.95, 0.99, 0.999}) {
+    const int64_t hp = h.percentile(q);
+    const int64_t op = oracle_percentile(samples, q);
+    EXPECT_LE(hp, op) << "q=" << q;
+    EXPECT_LT(op, hp + std::max<int64_t>(1, hp >> 6) + 1) << "q=" << q;
+  }
+  EXPECT_EQ(h.max(), *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST_F(ObsTest, HistogramMergeIsAssociativeAndMatchesUnion) {
+  Rng rng(23);
+  obs::TickHistogram a, b, c, all;
+  for (int i = 0; i < 900; ++i) {
+    const int64_t v = std::abs(static_cast<int64_t>(rng.normal(0.0, 500.0)));
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+    all.record(v);
+  }
+  // (a + b) + c == a + (b + c): bucket counts are elementwise sums.
+  obs::TickHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  obs::TickHistogram bc = b;
+  bc.merge(c);
+  obs::TickHistogram right = a;
+  right.merge(bc);
+  EXPECT_TRUE(left == right);
+  // And both equal the histogram of the union stream, regardless of the
+  // insertion order (merge is commutative).
+  EXPECT_TRUE(left == all);
+  obs::TickHistogram rev = c;
+  rev.merge(b);
+  rev.merge(a);
+  EXPECT_TRUE(rev == all);
+  EXPECT_EQ(left.count(), 900);
+  EXPECT_EQ(left.percentile(0.99), all.percentile(0.99));
+}
+
+TEST_F(ObsTest, HistogramEdgeCases) {
+  obs::TickHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.percentile(0.99), 0);  // empty: no samples to rank
+  h.record(-17);                     // negative latencies clamp to 0
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.max(), 0);
+  h.record(1);
+  h.record(1);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.percentile(1.0), 1);
+}
 
 TEST_F(ObsTest, MetricsJsonListsEveryCounterAndGauge) {
   const std::string j = obs::metrics_json();

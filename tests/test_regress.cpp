@@ -138,6 +138,25 @@ TEST(RegressRules, ClassifiesByMetricName) {
   EXPECT_EQ(tools::classify_metric("kws_ops_removed_count"), Rule::kExact);
   EXPECT_EQ(tools::classify_metric("kws_compile_latency_ratio"),
             Rule::kRelative);
+  // Flight-recorder rules (PR 10). "accounting" wins over everything (the
+  // exactly-one-terminal invariant must be zero); "p999" in virtual ticks
+  // stays exact via the "ticks" marker, while host-clock p999 gets its own
+  // wider headroom (the extreme tail is noisier than p99); "p999" must be
+  // checked before "p99" (substring!).
+  EXPECT_EQ(tools::classify_metric("chaos_accounting_unterminated"),
+            Rule::kZeroExact);
+  EXPECT_EQ(tools::classify_metric("chaos_accounting_multi_terminal"),
+            Rule::kZeroExact);
+  EXPECT_EQ(tools::classify_metric("chaos_t0_p999_ticks"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("chaos_fleet_p999_ticks"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("chaos_p999_host_us"),
+            Rule::kP999UpperBound);
+  EXPECT_EQ(tools::classify_metric("baseline_p999_host_us"),
+            Rule::kP999UpperBound);
+  EXPECT_EQ(tools::classify_metric("chaos_event_count"), Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("chaos_events_dropped_count"),
+            Rule::kExact);
+  EXPECT_EQ(tools::classify_metric("chaos_postmortem_count"), Rule::kExact);
 }
 
 std::string report_doc(const std::string& metrics) {
@@ -212,6 +231,40 @@ TEST(RegressGate, TailMetricsAreUpperBoundedWithHeadroom) {
   tight.tail_headroom = 0.10;
   EXPECT_FALSE(
       diff(R"("p99_host_us": 100.0)", R"("p99_host_us": 115.0)", tight).ok());
+}
+
+TEST(RegressGate, P999HasItsOwnWiderHeadroom) {
+  // The extreme tail may improve freely and gets a wider default headroom
+  // than p99 (default 3.0 allows 4x baseline); past that it fails.
+  EXPECT_TRUE(
+      diff(R"("p999_host_us": 100.0)", R"("p999_host_us": 10.0)").ok());
+  EXPECT_TRUE(
+      diff(R"("p999_host_us": 100.0)", R"("p999_host_us": 399.0)").ok());
+  const RegressResult r =
+      diff(R"("p999_host_us": 100.0)", R"("p999_host_us": 401.0)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kP999UpperBound);
+  RegressConfig tight;
+  tight.p999_headroom = 0.50;
+  EXPECT_FALSE(
+      diff(R"("p999_host_us": 100.0)", R"("p999_host_us": 160.0)", tight)
+          .ok());
+}
+
+TEST(RegressGate, AccountingInvariantsMustBeZero) {
+  // Zero-exact metrics ignore the baseline value entirely: the current value
+  // must be 0, so the invariant holds even if a bad baseline was committed.
+  EXPECT_TRUE(diff(R"("chaos_accounting_unterminated": 0)",
+                   R"("chaos_accounting_unterminated": 0)")
+                  .ok());
+  const RegressResult r = diff(R"("chaos_accounting_unterminated": 0)",
+                               R"("chaos_accounting_unterminated": 1)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.checks[0].rule, Rule::kZeroExact);
+  // Even a nonzero baseline does not excuse a nonzero current value.
+  EXPECT_FALSE(diff(R"("chaos_accounting_orphan_terminal": 2)",
+                    R"("chaos_accounting_orphan_terminal": 2)")
+                   .ok());
 }
 
 TEST(RegressGate, ShedRateIsUpperBoundedWithAbsoluteSlack) {

@@ -11,6 +11,7 @@
 
 #include "kernels/backend.hpp"
 #include "models/backbones.hpp"
+#include "obs/eventlog.hpp"
 #include "parallel/pool.hpp"
 #include "reliability/fault_injector.hpp"
 #include "rollout/controller.hpp"
@@ -321,6 +322,58 @@ TEST(Rollout, PoisonedCanaryAutoRollsBack) {
   EXPECT_TRUE(eng.pool().all_healthy());
   EXPECT_EQ(reg.active(), 0);
   EXPECT_EQ(eng.stats().admitted, eng.stats().completed());
+}
+
+TEST(Rollout, RollbackLeavesFlightRecorderEvidence) {
+  // Same poisoned-canary scenario, watched through the flight recorder: the
+  // rollback must emit a kRolloutAbort event, the stage transitions must be
+  // on the stream, and a "rollout_abort" postmortem must capture the tail.
+  obs::event_reserve(1 << 14);
+  obs::event_clear();
+  obs::postmortem_clear();
+  const int64_t pm_before = obs::postmortem_count();
+  serve::ServingEngine eng;
+  rollout::VersionRegistry reg;
+  rollout::RolloutConfig rc = quick_config();
+  rollout::RolloutController ctl(eng, reg, rc);
+  deploy_fleet(eng, ctl, reg);
+  pump(eng, ctl, 16);
+  const int v1 = reg.add_version("v1", tiny_model(1), 2, 2).value();
+  const serve::Tick begin_tick = eng.now();
+  ASSERT_TRUE(ctl.begin(v1).ok());
+  rollout::PoisonPlan plan;
+  plan.at_tick = begin_tick + rc.shadow_ticks + 6;
+  plan.flip_bits = 6;
+  plan.seed = 0xBAD;
+  ctl.schedule_poison(plan);
+  pump_to_terminal(eng, ctl, 512);
+  ASSERT_EQ(ctl.stage(), rollout::Stage::kAborted);
+#if !defined(MN_OBS_DISABLED)
+  int aborts = 0, stages = 0;
+  for (const obs::Event& e : obs::event_snapshot()) {
+    if (e.kind == obs::EventKind::kRolloutAbort) {
+      ++aborts;
+      EXPECT_EQ(e.a, static_cast<int64_t>(
+                         rollout::AbortReason::kCandidateQuarantine));
+      EXPECT_EQ(e.tick, ctl.abort_tick());
+    } else if (e.kind == obs::EventKind::kRolloutStage) {
+      ++stages;
+    }
+  }
+  EXPECT_EQ(aborts, 1);
+  EXPECT_GE(stages, 3);  // shadow -> canary -> aborted at minimum
+  EXPECT_GE(obs::postmortem_count() - pm_before, 1);
+  const obs::PostmortemDump dump = obs::postmortem_latest();
+  EXPECT_STREQ(dump.reason, "rollout_abort");
+  EXPECT_EQ(dump.tick, ctl.abort_tick());
+  bool dump_has_abort = false;
+  for (const obs::Event& e : dump.events)
+    if (e.kind == obs::EventKind::kRolloutAbort) dump_has_abort = true;
+  EXPECT_TRUE(dump_has_abort);
+#else
+  EXPECT_TRUE(obs::event_snapshot().empty());
+  EXPECT_EQ(obs::postmortem_count(), 0);
+#endif
 }
 
 TEST(Rollout, PoisonedStagedImageFailsProvenanceAtPromotion) {

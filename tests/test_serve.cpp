@@ -7,13 +7,17 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kernels/backend.hpp"
 #include "models/backbones.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/histogram.hpp"
 #include "parallel/pool.hpp"
 #include "runtime/converter.hpp"
 #include "runtime/planner.hpp"
@@ -491,6 +495,128 @@ TEST(ServeDigest, NearestRankPercentiles) {
   EXPECT_EQ(d.p50, 50.0);
   EXPECT_EQ(d.p95, 95.0);
   EXPECT_EQ(d.p99, 99.0);
+  EXPECT_EQ(d.p999, 100.0);  // ceil(0.999 * 100) = rank 100
   EXPECT_EQ(d.max, 100);
   EXPECT_EQ(serve::digest({}).count, 0);
+}
+
+// --- per-tenant SLO histograms -----------------------------------------------
+
+TEST(ServeHistogram, TenantHistogramsMergeToFleetAndMatchDigest) {
+  serve::ServingEngine eng{serve::EngineConfig{}};
+  serve::TenantConfig t0;
+  t0.deadline_ticks = 48;
+  eng.register_tenant(t0, make_variant(4, 2, 1), std::nullopt,
+                      clean_inputs(4));
+  serve::TenantConfig t1;
+  t1.deadline_ticks = 48;
+  eng.register_tenant(t1, make_variant(2, 1, 5), std::nullopt,
+                      clean_inputs(4, 11));
+  for (int tick = 0; tick < 200; ++tick) {
+    if (tick % 2 == 0) (void)eng.submit(0);
+    if (tick % 3 == 0) (void)eng.submit(1);
+    eng.step();
+  }
+  eng.drain(2000);
+  // The fleet view is exactly the merge of the per-tenant views, and every
+  // served request is in it.
+  obs::TickHistogram merged = eng.tenant_histogram(0);
+  merged.merge(eng.tenant_histogram(1));
+  EXPECT_TRUE(eng.latency_histogram() == merged);
+  EXPECT_EQ(merged.count(), eng.stats().total_served());
+  EXPECT_EQ(eng.tenant_histogram(0).count(),
+            eng.tenant_stats(0).total_served());
+  // Under-capacity latencies sit in the histogram's singleton range, so the
+  // histogram percentiles equal the exact sorted-sample digest.
+  const serve::LatencyDigest d = eng.virtual_latency();
+  ASSERT_LT(eng.latency_histogram().max(), 128);
+  EXPECT_EQ(static_cast<double>(eng.latency_histogram().percentile(0.50)),
+            d.p50);
+  EXPECT_EQ(static_cast<double>(eng.latency_histogram().percentile(0.95)),
+            d.p95);
+  EXPECT_EQ(static_cast<double>(eng.latency_histogram().percentile(0.99)),
+            d.p99);
+  EXPECT_EQ(static_cast<double>(eng.latency_histogram().percentile(0.999)),
+            d.p999);
+}
+
+// --- request-lifecycle flight recorder ---------------------------------------
+
+TEST(ServeEvents, EveryAdmittedRequestReachesExactlyOneTerminalEvent) {
+  obs::event_reserve(1 << 16);
+  obs::event_clear();
+  const ChaosRunResult r = chaos_run();
+#if !defined(MN_OBS_DISABLED)
+  // Replay the stream: each admitted (tenant, seq) must see exactly one
+  // kComplete, and no terminal may appear for a request never admitted.
+  std::map<std::pair<int32_t, int64_t>, std::pair<int, int>> reqs;
+  int64_t admits = 0;
+  for (const obs::Event& e : obs::event_snapshot()) {
+    if (e.kind == obs::EventKind::kAdmit) {
+      ++admits;
+      ++reqs[{e.tenant, e.seq}].first;
+    } else if (e.kind == obs::EventKind::kComplete) {
+      ++reqs[{e.tenant, e.seq}].second;
+    }
+  }
+  EXPECT_EQ(obs::event_dropped(), 0);  // ring sized for the whole run
+  EXPECT_EQ(admits, r.stats.admitted);
+  for (const auto& [key, counts] : reqs) {
+    if (counts.first > 0)
+      EXPECT_EQ(counts.second, 1)
+          << "tenant " << key.first << " seq " << key.second;
+    else
+      EXPECT_EQ(counts.second, 0)
+          << "orphan terminal: tenant " << key.first << " seq " << key.second;
+  }
+#else
+  EXPECT_TRUE(obs::event_snapshot().empty());  // no-op collapse
+  EXPECT_GT(r.stats.admitted, 0);
+#endif
+}
+
+TEST(ServeEvents, EventFingerprintIsThreadInvariant) {
+  // The flight-recorder fold joins the engine fingerprint in the
+  // thread-invariance contract. (Trivially zero in -DMN_OBS=OFF builds.)
+  obs::event_reserve(1 << 16);
+  std::vector<uint64_t> folds;
+  for (const int threads : {1, 2, 8}) {
+    parallel::set_threads(threads);
+    obs::event_clear();
+    (void)chaos_run();
+    folds.push_back(obs::event_fingerprint());
+    parallel::set_threads(0);
+  }
+  EXPECT_EQ(folds[0], folds[1]);
+  EXPECT_EQ(folds[0], folds[2]);
+}
+
+TEST(ServeEvents, BreakerOpenCapturesPostmortemDump) {
+  obs::event_reserve(1 << 12);
+  obs::event_clear();
+  obs::postmortem_clear();
+  [[maybe_unused]] const int64_t pm_before = obs::postmortem_count();
+  serve::ServingEngine eng{serve::EngineConfig{}};
+  serve::TenantConfig tc;
+  tc.breaker_threshold = 3;
+  tc.breaker_cooldown_ticks = 64;
+  eng.register_tenant(tc, make_variant(2, 1, 1), std::nullopt, nan_inputs(2));
+  for (int tick = 0; tick < 32; ++tick) {
+    (void)eng.submit(0);
+    eng.step();
+  }
+  eng.drain(256);
+  ASSERT_GE(eng.stats().breaker_trips, 1);
+#if !defined(MN_OBS_DISABLED)
+  EXPECT_GE(obs::postmortem_count() - pm_before, 1);
+  const obs::PostmortemDump dump = obs::postmortem_latest();
+  EXPECT_STREQ(dump.reason, "breaker_open");
+  ASSERT_FALSE(dump.events.empty());
+  bool saw_trip = false;
+  for (const obs::Event& e : dump.events)
+    if (e.kind == obs::EventKind::kBreakerTrip) saw_trip = true;
+  EXPECT_TRUE(saw_trip);  // the dump carries the incident itself
+#else
+  EXPECT_EQ(obs::postmortem_count(), 0);
+#endif
 }

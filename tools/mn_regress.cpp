@@ -3,7 +3,7 @@
 // Usage:
 //   mn_regress [--rel-tol F] [--r2-drop F] [--tail-headroom F]
 //              [--shed-slack F] [--throughput-drop F] [--promotion-slack F]
-//              [--speedup-floor F] [--arena-peak-slack F]
+//              [--speedup-floor F] [--arena-peak-slack F] [--p999-headroom F]
 //              BASELINE CURRENT [BASELINE CURRENT]...
 //
 // Each (BASELINE, CURRENT) pair is a committed bench/baselines/BENCH_*.json
@@ -40,7 +40,7 @@ int usage() {
                "usage: mn_regress [--rel-tol F] [--r2-drop F] "
                "[--tail-headroom F] [--shed-slack F] [--throughput-drop F] "
                "[--promotion-slack F] [--speedup-floor F] "
-               "[--arena-peak-slack F] "
+               "[--arena-peak-slack F] [--p999-headroom F] "
                "BASELINE CURRENT [BASELINE CURRENT]...\n");
   return 2;
 }
@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
       cfg.speedup_floor = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--arena-peak-slack") == 0 && i + 1 < argc) {
       cfg.arena_peak_slack = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--p999-headroom") == 0 && i + 1 < argc) {
+      cfg.p999_headroom = std::stod(argv[++i]);
     } else if (argv[i][0] == '-') {
       return usage();
     } else {

@@ -61,6 +61,12 @@ struct RegressConfig {
   // is an improvement the gate waves through; growing it even one byte means
   // a pass stopped firing.
   double arena_peak_slack = 0.0;
+  // Flight-recorder gate rule: a "p999" metric measured in host time gets a
+  // wider one-sided headroom than p50/p95/p99 — a 1-in-1000 host-time tail
+  // is the noisiest quantity the gate sees. ("..._p999_ticks" percentiles
+  // are deterministic and stay exact via the tick marker, like every other
+  // virtual-time tail.)
+  double p999_headroom = 3.0;
 };
 
 enum class Rule {
@@ -73,6 +79,8 @@ enum class Rule {
   kPromotionUpperBound,
   kSpeedupLowerBound,
   kArenaPeakUpperBound,
+  kP999UpperBound,
+  kZeroExact,
   kStringEqual,
 };
 
@@ -87,6 +95,8 @@ inline const char* rule_name(Rule r) {
     case Rule::kPromotionUpperBound: return "promotion-upper";
     case Rule::kSpeedupLowerBound: return "speedup-floor";
     case Rule::kArenaPeakUpperBound: return "peak-upper-bound";
+    case Rule::kP999UpperBound: return "p999-upper-bound";
+    case Rule::kZeroExact: return "zero-exact";
     case Rule::kStringEqual: return "string";
   }
   return "?";
@@ -101,6 +111,11 @@ inline bool contains(const std::string& s, const char* sub) {
 // Picks the comparison rule from the metric name alone, so adding a metric
 // to a bench automatically gates it with sensible semantics.
 inline Rule classify_metric(const std::string& name) {
+  // Event-accounting invariants ("every admitted request reaches exactly one
+  // terminal event") are absolute: the metric must be zero regardless of
+  // what the baseline recorded. Checked first so no other marker (e.g. a
+  // "..._count" suffix) can soften the rule.
+  if (contains(name, "accounting")) return Rule::kZeroExact;
   if (contains(name, "r2")) return Rule::kR2LowerBound;
   // Checked before the exact markers so a singular "..._promotion_tick" can
   // never be swallowed by a plural marker: a rollout may promote *earlier*
@@ -125,6 +140,8 @@ inline Rule classify_metric(const std::string& name) {
     if (contains(name, m)) return Rule::kExact;
   // Host-time order statistics: only growing is a regression. Checked after
   // the exact markers so deterministic "..._ticks" percentiles stay exact.
+  // p999 before p99 (substring!) so the extreme tail gets its wider headroom.
+  if (contains(name, "p999")) return Rule::kP999UpperBound;
   if (contains(name, "p50") || contains(name, "p95") || contains(name, "p99"))
     return Rule::kTailUpperBound;
   if (contains(name, "shed_rate")) return Rule::kShedUpperBound;
@@ -238,6 +255,18 @@ inline MetricCheck check_metric(const std::string& name, const JsonValue& base,
       if (!c.pass)
         c.detail = "compiled arena peak grew past baseline + " +
                    num_str(cfg.arena_peak_slack);
+      break;
+    case Rule::kP999UpperBound:
+      c.pass = v <= b * (1.0 + cfg.p999_headroom);
+      if (!c.pass)
+        c.detail = "p999 tail grew past baseline x " +
+                   num_str(1.0 + cfg.p999_headroom);
+      break;
+    case Rule::kZeroExact:
+      // Absolute invariant, baseline-independent: any non-zero value means a
+      // request was lost or double-terminated by the serving engine.
+      c.pass = v == 0.0;
+      if (!c.pass) c.detail = "accounting invariant violated (must be 0)";
       break;
     case Rule::kRelative: {
       const double denom = std::fabs(b) > 0 ? std::fabs(b) : 1.0;
